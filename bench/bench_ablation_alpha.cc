@@ -1,0 +1,71 @@
+// Ablation: the exponents of adaptive bit-pushing — gamma for the round-1
+// probe allocation and alpha for the learned round-2 allocation
+// (alpha = 0.5 is the Lemma 3.3 optimum; alpha = 1 over-weights
+// high-variance bits).
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/adaptive.h"
+#include "data/census.h"
+#include "stats/repetition.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace bitpush {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t n = 10000;
+  int64_t reps = 150;
+  int64_t bits = 16;
+  int64_t seed = 20240406;
+  FlagSet flags;
+  flags.AddInt64("n", &n, "number of clients");
+  flags.AddInt64("reps", &reps, "repetitions per point");
+  flags.AddInt64("bits", &bits, "bit depth b");
+  flags.AddInt64("seed", &seed, "base seed");
+  flags.Parse(argc, argv);
+
+  bench::PrintHeader("Ablation: adaptive exponents gamma and alpha",
+                     "census ages",
+                     "n=" + std::to_string(n) + " bits=" +
+                         std::to_string(bits) + " reps=" +
+                         std::to_string(reps));
+
+  Rng data_rng(static_cast<uint64_t>(seed));
+  const Dataset data = CensusAges(n, data_rng);
+  const FixedPointCodec codec =
+      FixedPointCodec::Integer(static_cast<int>(bits));
+  const std::vector<uint64_t> codewords = codec.EncodeAll(data.values());
+
+  Table table({"gamma", "alpha", "nrmse", "stderr"});
+  for (const double gamma : std::vector<double>{0.0, 0.5, 1.0}) {
+    for (const double alpha : std::vector<double>{0.25, 0.5, 1.0}) {
+      AdaptiveConfig config;
+      config.bits = static_cast<int>(bits);
+      config.gamma = gamma;
+      config.alpha = alpha;
+      const ErrorStats stats = RunRepetitions(
+          reps, static_cast<uint64_t>(seed) + 1, data.truth().mean,
+          [&](Rng& rng) {
+            return codec.Decode(
+                RunAdaptiveBitPushing(codewords, config, rng)
+                    .estimate_codeword);
+          });
+      table.NewRow()
+          .AddDouble(gamma, 3)
+          .AddDouble(alpha, 3)
+          .AddDouble(stats.nrmse)
+          .AddDouble(stats.stderr_nrmse, 3);
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bitpush
+
+int main(int argc, char** argv) { return bitpush::Main(argc, argv); }

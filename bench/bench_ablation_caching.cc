@@ -1,0 +1,65 @@
+// Ablation: the "caching" combiner of Section 3.2 — pooling round-1
+// reports into the final estimate instead of discarding them. Expected:
+// caching only improves accuracy, with the largest gains when round 2 has
+// little to learn (tight bit width).
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/adaptive.h"
+#include "data/census.h"
+#include "stats/repetition.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace bitpush {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t n = 10000;
+  int64_t reps = 100;
+  int64_t seed = 20240404;
+  FlagSet flags;
+  flags.AddInt64("n", &n, "number of clients");
+  flags.AddInt64("reps", &reps, "repetitions per point");
+  flags.AddInt64("seed", &seed, "base seed");
+  flags.Parse(argc, argv);
+
+  bench::PrintHeader("Ablation: round pooling (caching)", "census ages",
+                     "n=" + std::to_string(n) + " reps=" +
+                         std::to_string(reps));
+
+  Rng data_rng(static_cast<uint64_t>(seed));
+  const Dataset data = CensusAges(n, data_rng);
+
+  Table table({"bits", "caching", "nrmse", "stderr"});
+  for (const int bits : std::vector<int>{7, 10, 16}) {
+    const FixedPointCodec codec = FixedPointCodec::Integer(bits);
+    const std::vector<uint64_t> codewords = codec.EncodeAll(data.values());
+    for (const bool caching : {false, true}) {
+      AdaptiveConfig config;
+      config.bits = bits;
+      config.caching = caching;
+      const ErrorStats stats = RunRepetitions(
+          reps, static_cast<uint64_t>(seed) + 1, data.truth().mean,
+          [&](Rng& rng) {
+            return codec.Decode(
+                RunAdaptiveBitPushing(codewords, config, rng)
+                    .estimate_codeword);
+          });
+      table.NewRow()
+          .AddInt(bits)
+          .AddCell(caching ? "on" : "off")
+          .AddDouble(stats.nrmse)
+          .AddDouble(stats.stderr_nrmse, 3);
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bitpush
+
+int main(int argc, char** argv) { return bitpush::Main(argc, argv); }

@@ -1,0 +1,86 @@
+// Ablation: the one-bit encoding family of Ben-Basat et al. (footnote 3 of
+// the paper: "subtractive dithering was a clear frontrunner") against
+// bit-pushing, with tight and loose range bounds. Expected: subtractive
+// beats the other fixed-range one-bit encodings everywhere; bit-pushing
+// matches it at tight bounds and crushes every fixed-range method at loose
+// ones.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/census.h"
+#include "ldp/duchi.h"
+#include "ldp/rounding.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace bitpush {
+namespace {
+
+bench::MethodSpec DeterministicRoundingMethod() {
+  return bench::MethodSpec{
+      "deterministic_rounding",
+      [](const Dataset& data, const FixedPointCodec& codec, Rng& rng) {
+        const DeterministicRounding mechanism(0.0, codec.low(),
+                                              codec.high());
+        return mechanism.EstimateMean(data.values(), rng);
+      }};
+}
+
+bench::MethodSpec NonSubtractiveMethod() {
+  return bench::MethodSpec{
+      "nonsubtractive_dithering",
+      [](const Dataset& data, const FixedPointCodec& codec, Rng& rng) {
+        const NonSubtractiveDithering mechanism(0.0, codec.low(),
+                                                codec.high());
+        return mechanism.EstimateMean(data.values(), rng);
+      }};
+}
+
+int Main(int argc, char** argv) {
+  int64_t n = 10000;
+  int64_t reps = 100;
+  int64_t seed = 20240413;
+  FlagSet flags;
+  flags.AddInt64("n", &n, "number of clients");
+  flags.AddInt64("reps", &reps, "repetitions per point");
+  flags.AddInt64("seed", &seed, "base seed");
+  flags.Parse(argc, argv);
+
+  bench::PrintHeader("Ablation: the one-bit encoding family",
+                     "census ages",
+                     "n=" + std::to_string(n) + " reps=" +
+                         std::to_string(reps));
+
+  Rng data_rng(static_cast<uint64_t>(seed));
+  const Dataset data = CensusAges(n, data_rng);
+
+  Table table({"bits", "method", "nrmse", "stderr"});
+  for (const int bits : std::vector<int>{7, 16}) {
+    const FixedPointCodec codec = FixedPointCodec::Integer(bits);
+    const std::vector<bench::MethodSpec> methods = {
+        bench::DitheringMethod(0.0),
+        NonSubtractiveMethod(),
+        DeterministicRoundingMethod(),
+        bench::DuchiMethod(0.0),  // randomized rounding without DP
+        bench::AdaptiveMethod(0.0),
+    };
+    for (const bench::MethodSpec& method : methods) {
+      const ErrorStats stats = bench::EvaluateMethod(
+          method, data, codec, reps, static_cast<uint64_t>(seed) + 1);
+      table.NewRow()
+          .AddInt(bits)
+          .AddCell(method.name)
+          .AddDouble(stats.nrmse)
+          .AddDouble(stats.stderr_nrmse, 3);
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bitpush
+
+int main(int argc, char** argv) { return bitpush::Main(argc, argv); }

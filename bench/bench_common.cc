@@ -1,0 +1,150 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "core/bit_probabilities.h"
+#include "core/bit_pushing.h"
+#include "ldp/ding.h"
+#include "ldp/dithering.h"
+#include "ldp/duchi.h"
+#include "ldp/laplace.h"
+#include "ldp/piecewise.h"
+#include "stats/repetition.h"
+
+namespace bitpush {
+namespace bench {
+namespace {
+
+std::string WithEps(const std::string& base, double epsilon) {
+  if (epsilon <= 0.0) return base;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s eps=%g", base.c_str(), epsilon);
+  return buffer;
+}
+
+}  // namespace
+
+MethodSpec WeightedMethod(double alpha, double epsilon) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "weighted a=%.2g", alpha);
+  return MethodSpec{
+      WithEps(name, epsilon),
+      [alpha, epsilon](const Dataset& data, const FixedPointCodec& codec,
+                       Rng& rng) {
+        BitPushingConfig config;
+        config.probabilities = GeometricProbabilities(codec.bits(), alpha);
+        config.epsilon = epsilon;
+        const std::vector<uint64_t> codewords =
+            codec.EncodeAll(data.values());
+        return codec.Decode(
+            RunBasicBitPushing(codewords, config, rng).estimate_codeword);
+      }};
+}
+
+MethodSpec AdaptiveMethod(double epsilon, SquashPolicy squash) {
+  std::string name = WithEps("adaptive", epsilon);
+  if (squash.enabled()) name += " squash";
+  return MethodSpec{
+      name,
+      [epsilon, squash](const Dataset& data, const FixedPointCodec& codec,
+                        Rng& rng) {
+        AdaptiveConfig config;
+        config.bits = codec.bits();
+        config.epsilon = epsilon;
+        config.squash = squash;
+        const std::vector<uint64_t> codewords =
+            codec.EncodeAll(data.values());
+        return codec.Decode(
+            RunAdaptiveBitPushing(codewords, config, rng)
+                .estimate_codeword);
+      }};
+}
+
+MethodSpec DitheringMethod(double epsilon) {
+  return MethodSpec{
+      WithEps("dithering", epsilon),
+      [epsilon](const Dataset& data, const FixedPointCodec& codec,
+                Rng& rng) {
+        const SubtractiveDithering mechanism(epsilon, codec.low(),
+                                             codec.high());
+        return mechanism.EstimateMean(data.values(), rng);
+      }};
+}
+
+MethodSpec PiecewiseMethod(double epsilon) {
+  return MethodSpec{
+      WithEps("piecewise", epsilon),
+      [epsilon](const Dataset& data, const FixedPointCodec& codec,
+                Rng& rng) {
+        const PiecewiseMechanism mechanism(epsilon, codec.low(),
+                                           codec.high());
+        return mechanism.EstimateMean(data.values(), rng);
+      }};
+}
+
+MethodSpec DuchiMethod(double epsilon) {
+  return MethodSpec{
+      WithEps("duchi", epsilon),
+      [epsilon](const Dataset& data, const FixedPointCodec& codec,
+                Rng& rng) {
+        const DuchiMechanism mechanism(epsilon, codec.low(), codec.high());
+        return mechanism.EstimateMean(data.values(), rng);
+      }};
+}
+
+MethodSpec DingMethod(double epsilon) {
+  return MethodSpec{
+      WithEps("ding", epsilon),
+      [epsilon](const Dataset& data, const FixedPointCodec& codec,
+                Rng& rng) {
+        const DingMechanism mechanism(epsilon, codec.low(), codec.high());
+        return mechanism.EstimateMean(data.values(), rng);
+      }};
+}
+
+MethodSpec LaplaceMethod(double epsilon) {
+  return MethodSpec{
+      WithEps("laplace", epsilon),
+      [epsilon](const Dataset& data, const FixedPointCodec& codec,
+                Rng& rng) {
+        const LaplaceMechanism mechanism(epsilon, codec.low(), codec.high());
+        return mechanism.EstimateMean(data.values(), rng);
+      }};
+}
+
+std::vector<MethodSpec> AccuracyMethods() {
+  return {DitheringMethod(0.0), WeightedMethod(0.5, 0.0),
+          WeightedMethod(1.0, 0.0), AdaptiveMethod(0.0)};
+}
+
+std::vector<MethodSpec> DpMethods(double epsilon) {
+  return {DitheringMethod(epsilon), WeightedMethod(0.5, epsilon),
+          WeightedMethod(1.0, epsilon), AdaptiveMethod(epsilon),
+          PiecewiseMethod(epsilon), DuchiMethod(epsilon),
+          DingMethod(epsilon)};
+}
+
+ErrorStats EvaluateMethodAgainst(const MethodSpec& method,
+                                 const Dataset& data,
+                                 const FixedPointCodec& codec, double truth,
+                                 int64_t repetitions, uint64_t seed) {
+  return RunRepetitions(repetitions, seed, truth, [&](Rng& rng) {
+    return method.estimate(data, codec, rng);
+  });
+}
+
+ErrorStats EvaluateMethod(const MethodSpec& method, const Dataset& data,
+                          const FixedPointCodec& codec, int64_t repetitions,
+                          uint64_t seed) {
+  return EvaluateMethodAgainst(method, data, codec, data.truth().mean,
+                               repetitions, seed);
+}
+
+void PrintHeader(const std::string& figure, const std::string& workload,
+                 const std::string& parameters) {
+  std::printf("=== %s ===\nworkload: %s\nparams:   %s\n\n", figure.c_str(),
+              workload.c_str(), parameters.c_str());
+}
+
+}  // namespace bench
+}  // namespace bitpush

@@ -1,0 +1,88 @@
+// Shared harness for the figure-reproduction binaries.
+//
+// Each bench binary sweeps one x-axis (mu, n, bit depth, epsilon, ...) and
+// prints, for every method the corresponding paper figure plots, the NRMSE
+// and its standard error over repeated runs — the same series as the
+// figure. Methods are the paper's: "dithering" (subtractive dithering,
+// RR-wrapped under DP), "weighted a=0.5" / "weighted a=1.0" (single-round
+// bit-pushing with p_j proportional to 2^{alpha j}), "adaptive" (two-round,
+// gamma=0.5, delta=1/3, caching on), plus "piecewise", "duchi" and
+// "laplace" where shown.
+
+#ifndef BITPUSH_BENCH_BENCH_COMMON_H_
+#define BITPUSH_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/fixed_point.h"
+#include "data/dataset.h"
+#include "rng/rng.h"
+#include "stats/metrics.h"
+
+namespace bitpush {
+namespace bench {
+
+// One estimator under test: produces a mean estimate for the dataset.
+struct MethodSpec {
+  std::string name;
+  std::function<double(const Dataset&, const FixedPointCodec&, Rng&)>
+      estimate;
+};
+
+// Single-round weighted bit-pushing with exponent `alpha` on 2^j.
+MethodSpec WeightedMethod(double alpha, double epsilon);
+
+// Two-round adaptive bit-pushing (paper defaults), with optional DP and
+// squashing.
+MethodSpec AdaptiveMethod(double epsilon,
+                          SquashPolicy squash = SquashPolicy::Off());
+
+// Subtractive dithering over the codec's range (RR-wrapped when
+// epsilon > 0).
+MethodSpec DitheringMethod(double epsilon);
+
+// Wang et al. piecewise mechanism (requires epsilon > 0).
+MethodSpec PiecewiseMethod(double epsilon);
+
+// Duchi-style randomized rounding (+RR when epsilon > 0).
+MethodSpec DuchiMethod(double epsilon);
+
+// Ding et al. (2017) 1-bit telemetry mechanism (requires epsilon > 0).
+MethodSpec DingMethod(double epsilon);
+
+// Laplace mechanism (requires epsilon > 0).
+MethodSpec LaplaceMethod(double epsilon);
+
+// The standard non-DP line-up of Figures 1 and 2: dithering,
+// weighted a=0.5, weighted a=1.0, adaptive.
+std::vector<MethodSpec> AccuracyMethods();
+
+// The DP line-up of Figure 3 at a given epsilon: the above (RR-wrapped)
+// plus piecewise.
+std::vector<MethodSpec> DpMethods(double epsilon);
+
+// Runs `method` `repetitions` times against the dataset's empirical mean.
+ErrorStats EvaluateMethod(const MethodSpec& method, const Dataset& data,
+                          const FixedPointCodec& codec, int64_t repetitions,
+                          uint64_t seed);
+
+// Runs `method` against an arbitrary truth (used for variance
+// experiments, where `estimate` returns a variance).
+ErrorStats EvaluateMethodAgainst(const MethodSpec& method,
+                                 const Dataset& data,
+                                 const FixedPointCodec& codec,
+                                 double truth, int64_t repetitions,
+                                 uint64_t seed);
+
+// Prints the standard experiment banner (figure id, workload, parameters).
+void PrintHeader(const std::string& figure, const std::string& workload,
+                 const std::string& parameters);
+
+}  // namespace bench
+}  // namespace bitpush
+
+#endif  // BITPUSH_BENCH_BENCH_COMMON_H_

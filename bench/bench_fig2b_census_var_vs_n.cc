@@ -1,0 +1,100 @@
+// Figure 2b: NRMSE of variance estimation on census ages as n grows.
+//
+// Expected shape (paper): error decreases roughly as n^{-1/2}, with more
+// fluctuation at small n for the adaptive approach; dithering cannot adapt
+// to the squared-value scale and stays far worse.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/variance_estimation.h"
+#include "data/census.h"
+#include "ldp/dithering.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace bitpush {
+namespace {
+
+bench::MethodSpec BitPushingVariance(const std::string& name, bool adaptive,
+                                     double gamma) {
+  return bench::MethodSpec{
+      name, [adaptive, gamma](const Dataset& data,
+                              const FixedPointCodec& codec, Rng& rng) {
+        VarianceConfig config;
+        config.protocol.bits = codec.bits();
+        config.protocol.gamma = gamma;
+        config.adaptive = adaptive;
+        return EstimateVariance(data.values(), codec, config, rng).variance;
+      }};
+}
+
+bench::MethodSpec DitheringVariance() {
+  return bench::MethodSpec{
+      "dithering", [](const Dataset& data, const FixedPointCodec& codec,
+                      Rng& rng) {
+        const size_t half = data.values().size() / 2;
+        const std::vector<double> first(data.values().begin(),
+                                        data.values().begin() + half);
+        std::vector<double> squares;
+        for (size_t i = half; i < data.values().size(); ++i) {
+          squares.push_back(data.values()[i] * data.values()[i]);
+        }
+        const SubtractiveDithering mean_mech(0.0, 0.0, codec.high());
+        const SubtractiveDithering sq_mech(0.0, 0.0,
+                                           codec.high() * codec.high());
+        const double mean = mean_mech.EstimateMean(first, rng);
+        const double second = sq_mech.EstimateMean(squares, rng);
+        return std::max(0.0, second - mean * mean);
+      }};
+}
+
+int Main(int argc, char** argv) {
+  int64_t reps = 30;
+  int64_t bits = 7;
+  int64_t seed = 20240329;
+  FlagSet flags;
+  flags.AddInt64("reps", &reps, "repetitions per point");
+  flags.AddInt64("bits", &bits, "bit depth b");
+  flags.AddInt64("seed", &seed, "base seed");
+  flags.Parse(argc, argv);
+
+  bench::PrintHeader("Figure 2b: estimating variance with varying n",
+                     "census ages",
+                     "bits=" + std::to_string(bits) + " reps=" +
+                         std::to_string(reps));
+
+  const FixedPointCodec codec =
+      FixedPointCodec::Integer(static_cast<int>(bits));
+  const std::vector<bench::MethodSpec> methods = {
+      DitheringVariance(),
+      BitPushingVariance("weighted a=0.5", false, 0.5),
+      BitPushingVariance("weighted a=1.0", false, 1.0),
+      BitPushingVariance("adaptive", true, 0.5),
+  };
+
+  Table table({"n", "method", "nrmse", "stderr"});
+  Rng data_rng(static_cast<uint64_t>(seed));
+  for (const int64_t n :
+       std::vector<int64_t>{10000, 30000, 100000, 300000}) {
+    const Dataset data = CensusAges(n, data_rng);
+    for (const bench::MethodSpec& method : methods) {
+      const ErrorStats stats = bench::EvaluateMethodAgainst(
+          method, data, codec, data.truth().variance, reps,
+          static_cast<uint64_t>(seed) + 1);
+      table.NewRow()
+          .AddInt(n)
+          .AddCell(method.name)
+          .AddDouble(stats.nrmse)
+          .AddDouble(stats.stderr_nrmse, 3);
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bitpush
+
+int main(int argc, char** argv) { return bitpush::Main(argc, argv); }

@@ -1,0 +1,59 @@
+// Figure 2c: NRMSE of mean estimation on census ages as the bit depth b
+// grows past the 7 bits the data actually uses, n = 10K.
+//
+// Expected shape (paper): the adaptive approach handles the increasing
+// number of (vacuous) bits the best of the methods.
+
+#include <cstdint>
+
+#include "bench/bench_common.h"
+#include "data/census.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace bitpush {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t n = 10000;
+  int64_t reps = 100;
+  int64_t min_bits = 7;
+  int64_t max_bits = 20;
+  int64_t seed = 20240330;
+  FlagSet flags;
+  flags.AddInt64("n", &n, "number of clients");
+  flags.AddInt64("reps", &reps, "repetitions per point");
+  flags.AddInt64("min_bits", &min_bits, "smallest bit depth");
+  flags.AddInt64("max_bits", &max_bits, "largest bit depth");
+  flags.AddInt64("seed", &seed, "base seed");
+  flags.Parse(argc, argv);
+
+  bench::PrintHeader("Figure 2c: estimating mean with varying bit depth",
+                     "census ages",
+                     "n=" + std::to_string(n) + " reps=" +
+                         std::to_string(reps));
+
+  Rng data_rng(static_cast<uint64_t>(seed));
+  const Dataset data = CensusAges(n, data_rng);
+  Table table({"bits", "method", "nrmse", "stderr"});
+  for (int64_t bits = min_bits; bits <= max_bits; ++bits) {
+    const FixedPointCodec codec =
+        FixedPointCodec::Integer(static_cast<int>(bits));
+    for (const bench::MethodSpec& method : bench::AccuracyMethods()) {
+      const ErrorStats stats = bench::EvaluateMethod(
+          method, data, codec, reps, static_cast<uint64_t>(seed) + 1);
+      table.NewRow()
+          .AddInt(bits)
+          .AddCell(method.name)
+          .AddDouble(stats.nrmse)
+          .AddDouble(stats.stderr_nrmse, 3);
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bitpush
+
+int main(int argc, char** argv) { return bitpush::Main(argc, argv); }

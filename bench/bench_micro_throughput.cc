@@ -1,0 +1,169 @@
+// Micro-benchmarks of the protocol hot paths (google-benchmark): encoding,
+// bit-report generation, QMC assignment, full basic and adaptive protocol
+// runs, and randomized response.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/adaptive.h"
+#include "core/bit_probabilities.h"
+#include "core/bit_pushing.h"
+#include "core/fixed_point.h"
+#include "core/histogram_estimation.h"
+#include "core/range_tree.h"
+#include "data/census.h"
+#include "federated/shamir.h"
+#include "ldp/memoization.h"
+#include "ldp/randomized_response.h"
+#include "rng/qmc.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+const Dataset& BenchAges() {
+  static const Dataset& data = *new Dataset([] {
+    Rng rng(1);
+    return CensusAges(100000, rng);
+  }());
+  return data;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(16);
+  const std::vector<double>& values = BenchAges().values();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.EncodeAll(values));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_Encode);
+
+void BM_RandomizedResponse(benchmark::State& state) {
+  const RandomizedResponse rr(1.0);
+  Rng rng(2);
+  int bit = 1;
+  for (auto _ : state) {
+    bit = rr.Apply(bit, rng);
+    benchmark::DoNotOptimize(bit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomizedResponse);
+
+void BM_QmcAssignment(benchmark::State& state) {
+  const std::vector<double> p = GeometricProbabilities(16, 0.5);
+  Rng rng(3);
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssignBitsCentral(n, p, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QmcAssignment)->Arg(10000)->Arg(100000);
+
+void BM_BasicBitPushing(benchmark::State& state) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(8);
+  const std::vector<uint64_t> codewords =
+      codec.EncodeAll(BenchAges().values());
+  BitPushingConfig config;
+  config.probabilities = GeometricProbabilities(8, 0.5);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBasicBitPushing(codewords, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(codewords.size()));
+}
+BENCHMARK(BM_BasicBitPushing);
+
+void BM_BasicBitPushingWithDp(benchmark::State& state) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(8);
+  const std::vector<uint64_t> codewords =
+      codec.EncodeAll(BenchAges().values());
+  BitPushingConfig config;
+  config.probabilities = GeometricProbabilities(8, 0.5);
+  config.epsilon = 1.0;
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBasicBitPushing(codewords, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(codewords.size()));
+}
+BENCHMARK(BM_BasicBitPushingWithDp);
+
+void BM_AdaptiveBitPushing(benchmark::State& state) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(16);
+  const std::vector<uint64_t> codewords =
+      codec.EncodeAll(BenchAges().values());
+  AdaptiveConfig config;
+  config.bits = 16;
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunAdaptiveBitPushing(codewords, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(codewords.size()));
+}
+BENCHMARK(BM_AdaptiveBitPushing);
+
+void BM_HistogramEstimation(benchmark::State& state) {
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 91.0, 16);
+  Rng rng(7);
+  const std::vector<double>& values = BenchAges().values();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateHistogram(values, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_HistogramEstimation);
+
+void BM_RangeTree(benchmark::State& state) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  const std::vector<uint64_t> codewords =
+      codec.EncodeAll(BenchAges().values());
+  RangeTreeConfig config;
+  config.levels = 7;
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateRangeTree(codewords, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(codewords.size()));
+}
+BENCHMARK(BM_RangeTree);
+
+void BM_ShamirShareAndReconstruct(benchmark::State& state) {
+  Rng rng(9);
+  const int threshold = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const std::vector<ShamirShare> shares =
+        ShamirShareSecret(123456789, threshold, 2 * threshold, rng);
+    benchmark::DoNotOptimize(ShamirReconstruct(shares, threshold));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShamirShareAndReconstruct)->Arg(5)->Arg(20);
+
+void BM_MemoizedReport(benchmark::State& state) {
+  const MemoizedResponder responder(1.0, 1.0, 42);
+  Rng rng(10);
+  int64_t value_id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        responder.Report(value_id++ % 1000, 3, 1, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoizedReport);
+
+}  // namespace
+}  // namespace bitpush
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// A multi-metric measurement campaign: three device metrics on different
+// cadences, one shared privacy budget. The meter allows each client 1 bit
+// per metric and 3 bits / eps=3 total — so every metric collects once on
+// day 0, and when the daily battery cadence tries to re-query on day 1
+// the budget refuses and the campaign reports a skip instead of silently
+// collecting.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/fixed_point.h"
+#include "federated/campaign.h"
+#include "federated/telemetry.h"
+#include "rng/rng.h"
+
+int main() {
+  bitpush::Rng rng(31);
+  const int64_t fleet = 8000;
+
+  // Three metric populations over the same fleet.
+  const std::vector<bitpush::Client> latency = bitpush::MakePopulation(
+      bitpush::GenerateMetric(bitpush::MetricFamily::kLatencyMs, fleet,
+                              rng),
+      bitpush::ClientConfig{});
+  const std::vector<bitpush::Client> battery = bitpush::MakePopulation(
+      bitpush::GenerateMetric(bitpush::MetricFamily::kBatteryDrainPct,
+                              fleet, rng),
+      bitpush::ClientConfig{});
+  const std::vector<bitpush::Client> queue = bitpush::MakePopulation(
+      bitpush::GenerateMetric(bitpush::MetricFamily::kQueueDepth, fleet,
+                              rng),
+      bitpush::ClientConfig{});
+
+  auto make_query = [](const std::string& name, int64_t value_id,
+                       int64_t cadence) {
+    bitpush::CampaignQuery query;
+    query.name = name;
+    query.value_id = value_id;
+    query.cadence_ticks = cadence;
+    query.query.adaptive.bits = 10;
+    query.query.adaptive.epsilon = 1.0;
+    query.query.adaptive.squash = bitpush::SquashPolicy::Absolute(0.05);
+    return query;
+  };
+
+  bitpush::MeterPolicy policy;
+  policy.max_bits_per_value = 1;
+  policy.max_bits_per_client = 3;
+  policy.max_epsilon_per_client = 3.0;
+  bitpush::PrivacyMeter meter(policy);
+
+  bitpush::MeasurementCampaign campaign(
+      {make_query("latency_ms", 0, 2), make_query("battery_pct", 1, 1),
+       make_query("queue_depth", 2, 3)},
+      &meter);
+
+  const bitpush::FixedPointCodec codec =
+      bitpush::FixedPointCodec::Integer(10);
+  const std::vector<const std::vector<bitpush::Client>*> populations = {
+      &latency, &battery, &queue};
+  const std::vector<bitpush::FixedPointCodec> codecs = {codec, codec,
+                                                        codec};
+
+  std::printf("day  metric        status          estimate  reports\n");
+  for (int64_t day = 0; day < 4; ++day) {
+    for (const bitpush::CampaignTickResult& result :
+         campaign.RunTick(day, populations, codecs, rng)) {
+      const char* status = "ran           ";
+      if (result.status ==
+          bitpush::CampaignTickResult::Status::kSkippedBudget) {
+        status = "SKIPPED:budget";
+      } else if (result.status ==
+                 bitpush::CampaignTickResult::Status::kSkippedCohort) {
+        status = "SKIPPED:cohort";
+      }
+      std::printf("%-3lld  %-12s  %s  %-8.2f  %lld\n",
+                  static_cast<long long>(day), result.query_name.c_str(),
+                  status, result.estimate,
+                  static_cast<long long>(result.reports));
+    }
+  }
+  std::printf("\nledger: %lld bits disclosed, %lld denied; "
+              "client 0 spent eps=%.1f of %.1f\n",
+              static_cast<long long>(meter.total_bits()),
+              static_cast<long long>(meter.denied_charges()),
+              meter.ClientEpsilon(0), policy.max_epsilon_per_client);
+  return 0;
+}

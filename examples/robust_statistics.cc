@@ -1,0 +1,63 @@
+// Robust and nonlinear aggregates under the one-bit discipline: the
+// Section 4.3 answer to heavy-tailed telemetry ("robust statistics are
+// more appropriate, such as the median and percentiles") and the Section
+// 3.4 extensions (higher moments, geometric mean).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/histogram_estimation.h"
+#include "core/moments.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+#include "stats/quantiles.h"
+
+int main() {
+  bitpush::Rng rng(11);
+
+  // A crash-counter-like metric: almost all devices report 0 or 1, a few
+  // report astronomically more.
+  const bitpush::Dataset metric =
+      bitpush::BinaryWithOutliersData(50000, 0.002, 1e6, rng);
+  std::printf("population: %lld devices, raw mean %.1f (wrecked by "
+              "outliers), true median %.1f\n\n",
+              static_cast<long long>(metric.size()), metric.truth().mean,
+              bitpush::Quantile(metric.values(), 0.5));
+
+  // Federated histogram: each device reveals ONE bit — whether its value
+  // lies in the single bucket the server asked it about.
+  bitpush::HistogramConfig histogram_config;
+  // Integer-centered buckets: the metric takes small integer values.
+  histogram_config.edges = bitpush::UniformEdges(-0.5, 15.5, 16);
+  histogram_config.epsilon = 1.0;
+  const bitpush::HistogramResult histogram =
+      bitpush::EstimateHistogram(metric.values(), histogram_config, rng);
+  std::printf("federated median (eps=1):      %6.2f\n",
+              histogram.Quantile(histogram_config.edges, 0.5));
+  std::printf("federated 90th pct (eps=1):    %6.2f\n",
+              histogram.Quantile(histogram_config.edges, 0.9));
+
+  // Nonlinear aggregates over a positive, skewed latency metric.
+  const bitpush::Dataset latency =
+      bitpush::LognormalData(50000, 4.0, 0.9, rng);
+  const bitpush::Dataset clipped = latency.Clipped(1.0, 4095.0);
+  const bitpush::FixedPointCodec codec =
+      bitpush::FixedPointCodec::Integer(12);
+  bitpush::MomentConfig moment_config;
+  moment_config.protocol.bits = codec.bits();
+
+  const double mean = bitpush::EstimateRawMoment(clipped.values(), codec, 1,
+                                                 moment_config, rng);
+  const double second = bitpush::EstimateCentralMoment(
+      clipped.values(), codec, 2, moment_config, rng);
+  const double geo = bitpush::EstimateGeometricMean(
+      clipped.values(), codec, 1.0, 12, moment_config, rng);
+  std::printf("\nlatency (clipped to 12 bits):\n");
+  std::printf("  arithmetic mean: est %7.2f  true %7.2f\n", mean,
+              clipped.truth().mean);
+  std::printf("  stddev:          est %7.2f  true %7.2f\n",
+              std::sqrt(std::max(0.0, second)),
+              std::sqrt(clipped.truth().variance));
+  std::printf("  geometric mean:  est %7.2f  (robust to the tail)\n", geo);
+  return 0;
+}

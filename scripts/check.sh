@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run every test, run every benchmark.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+cd "$(dirname "$0")/.."
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+for b in "$BUILD_DIR"/bench/*; do
+  echo "### $b"
+  "$b"
+  echo
+done

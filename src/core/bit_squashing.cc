@@ -1,0 +1,39 @@
+#include "core/bit_squashing.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+std::vector<bool> ComputeSquashMask(const std::vector<double>& means,
+                                    const std::vector<int64_t>& counts,
+                                    const RandomizedResponse& rr,
+                                    const SquashPolicy& policy) {
+  BITPUSH_CHECK_EQ(means.size(), counts.size());
+  std::vector<bool> keep(means.size(), true);
+  if (!policy.enabled()) return keep;
+
+  for (size_t j = 0; j < means.size(); ++j) {
+    if (counts[j] == 0) {
+      keep[j] = false;  // no information: treat as noise
+      continue;
+    }
+    double threshold = 0.0;
+    switch (policy.mode) {
+      case SquashPolicy::Mode::kAbsolute:
+        threshold = policy.value;
+        break;
+      case SquashPolicy::Mode::kNoiseMultiple:
+        threshold = policy.value * std::sqrt(rr.ReportVariance() /
+                                             static_cast<double>(counts[j]));
+        break;
+      case SquashPolicy::Mode::kOff:
+        break;
+    }
+    if (means[j] < threshold) keep[j] = false;
+  }
+  return keep;
+}
+
+}  // namespace bitpush

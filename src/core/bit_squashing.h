@@ -1,0 +1,53 @@
+// Bit squashing (Section 3.3): under DP noise the means of unused
+// high-order bits are no longer exactly zero, so bits whose estimated mean
+// is below a threshold are assumed to be "capturing noise" and are squashed
+// (given zero weight in the recombination and in the adaptive second round).
+// Figure 4 shows this recovering almost two orders of magnitude of accuracy
+// at bit depths far beyond b_max.
+
+#ifndef BITPUSH_CORE_BIT_SQUASHING_H_
+#define BITPUSH_CORE_BIT_SQUASHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ldp/randomized_response.h"
+
+namespace bitpush {
+
+struct SquashPolicy {
+  enum class Mode {
+    kOff,            // keep every bit
+    kAbsolute,       // squash bits with mean below `value` (Figure 4b's 0.05)
+    kNoiseMultiple,  // squash bits below value * (per-bit DP noise stddev),
+                     // the x-axis of Figure 4a
+  };
+
+  Mode mode = Mode::kOff;
+  double value = 0.0;
+
+  static SquashPolicy Off() { return SquashPolicy{Mode::kOff, 0.0}; }
+  static SquashPolicy Absolute(double threshold) {
+    return SquashPolicy{Mode::kAbsolute, threshold};
+  }
+  static SquashPolicy NoiseMultiple(double multiple) {
+    return SquashPolicy{Mode::kNoiseMultiple, multiple};
+  }
+
+  bool enabled() const { return mode != Mode::kOff; }
+};
+
+// Returns the per-bit keep mask. A bit is squashed when its estimated mean
+// (which may be negative under DP unbiasing) falls below the policy's
+// threshold, or when it received no reports at all (counts[j] == 0) while
+// squashing is enabled. For kNoiseMultiple the per-bit threshold is
+// value * sqrt(rr.ReportVariance() / counts[j]): the standard deviation of
+// the DP noise on that bit's estimated mean.
+std::vector<bool> ComputeSquashMask(const std::vector<double>& means,
+                                    const std::vector<int64_t>& counts,
+                                    const RandomizedResponse& rr,
+                                    const SquashPolicy& policy);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_CORE_BIT_SQUASHING_H_

@@ -1,0 +1,58 @@
+#include "core/fixed_point.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+FixedPointCodec::FixedPointCodec(int bits, double low, double high)
+    : bits_(bits), low_(low), high_(high) {
+  BITPUSH_CHECK_GE(bits, 1);
+  BITPUSH_CHECK_LE(bits, kMaxBits);
+  BITPUSH_CHECK_LT(low, high);
+  max_codeword_ = (uint64_t{1} << bits) - 1;
+  scale_ = static_cast<double>(max_codeword_) / (high - low);
+}
+
+FixedPointCodec FixedPointCodec::Integer(int bits) {
+  BITPUSH_CHECK_GE(bits, 1);
+  BITPUSH_CHECK_LE(bits, kMaxBits);
+  const double max_value =
+      static_cast<double>((uint64_t{1} << bits) - 1);
+  return FixedPointCodec(bits, 0.0, max_value);
+}
+
+uint64_t FixedPointCodec::Encode(double x) const {
+  const double clipped = std::clamp(x, low_, high_);
+  const double scaled = (clipped - low_) * scale_;
+  const uint64_t codeword = static_cast<uint64_t>(std::llround(scaled));
+  return std::min(codeword, max_codeword_);
+}
+
+std::vector<uint64_t> FixedPointCodec::EncodeAll(
+    const std::vector<double>& values) const {
+  std::vector<uint64_t> encoded;
+  encoded.reserve(values.size());
+  for (const double v : values) encoded.push_back(Encode(v));
+  return encoded;
+}
+
+double FixedPointCodec::Decode(double codeword) const {
+  return low_ + codeword / scale_;
+}
+
+int FixedPointCodec::Bit(uint64_t v, int j) {
+  BITPUSH_CHECK_GE(j, 0);
+  BITPUSH_CHECK_LT(j, 64);
+  return static_cast<int>((v >> j) & 1u);
+}
+
+int FixedPointCodec::HighestSetBit(uint64_t v) {
+  if (v == 0) return -1;
+  return 63 - std::countl_zero(v);
+}
+
+}  // namespace bitpush

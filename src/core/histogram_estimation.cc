@@ -1,0 +1,101 @@
+#include "core/histogram_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldp/randomized_response.h"
+#include "rng/qmc.h"
+#include "util/check.h"
+
+namespace bitpush {
+namespace {
+
+// Index of the bucket containing x (values outside the range clamp to the
+// first/last bucket).
+size_t BucketOf(const std::vector<double>& edges, double x) {
+  const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+  const ptrdiff_t raw = it - edges.begin() - 1;
+  const ptrdiff_t last = static_cast<ptrdiff_t>(edges.size()) - 2;
+  return static_cast<size_t>(std::clamp<ptrdiff_t>(raw, 0, last));
+}
+
+}  // namespace
+
+HistogramResult EstimateHistogram(const std::vector<double>& values,
+                                  const HistogramConfig& config, Rng& rng) {
+  BITPUSH_CHECK_GE(config.edges.size(), 2u);
+  for (size_t i = 1; i < config.edges.size(); ++i) {
+    BITPUSH_CHECK_LT(config.edges[i - 1], config.edges[i])
+        << "edges must be strictly increasing";
+  }
+  BITPUSH_CHECK(!values.empty());
+
+  const size_t buckets = config.edges.size() - 1;
+  const RandomizedResponse rr =
+      RandomizedResponse::FromEpsilon(config.epsilon);
+
+  // Server-side central assignment: every bucket is probed by an equal
+  // share of the cohort.
+  const std::vector<double> probabilities(
+      buckets, 1.0 / static_cast<double>(buckets));
+  const std::vector<int> assignment = AssignBitsCentral(
+      static_cast<int64_t>(values.size()), probabilities, rng);
+
+  std::vector<int64_t> ones(buckets, 0);
+  std::vector<int64_t> totals(buckets, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t bucket = static_cast<size_t>(assignment[i]);
+    const int bit = BucketOf(config.edges, values[i]) == bucket ? 1 : 0;
+    ones[bucket] += rr.Apply(bit, rng);
+    ++totals[bucket];
+  }
+
+  HistogramResult result;
+  result.counts = totals;
+  result.fractions.assign(buckets, 0.0);
+  for (size_t b = 0; b < buckets; ++b) {
+    if (totals[b] == 0) continue;
+    result.fractions[b] = rr.Unbias(static_cast<double>(ones[b]) /
+                                    static_cast<double>(totals[b]));
+  }
+  return result;
+}
+
+double HistogramResult::Quantile(const std::vector<double>& edges,
+                                 double q) const {
+  BITPUSH_CHECK_EQ(edges.size(), fractions.size() + 1);
+  BITPUSH_CHECK_GE(q, 0.0);
+  BITPUSH_CHECK_LE(q, 1.0);
+  // Clip DP-noise negatives and renormalize for the CDF walk.
+  std::vector<double> mass(fractions.size());
+  double total = 0.0;
+  for (size_t b = 0; b < fractions.size(); ++b) {
+    mass[b] = std::max(0.0, fractions[b]);
+    total += mass[b];
+  }
+  BITPUSH_CHECK_GT(total, 0.0) << "histogram carries no mass";
+  double target = q * total;
+  for (size_t b = 0; b < mass.size(); ++b) {
+    if (target <= mass[b] || b + 1 == mass.size()) {
+      const double inside = mass[b] > 0.0 ? target / mass[b] : 0.0;
+      return edges[b] + std::clamp(inside, 0.0, 1.0) *
+                            (edges[b + 1] - edges[b]);
+    }
+    target -= mass[b];
+  }
+  return edges.back();
+}
+
+std::vector<double> UniformEdges(double low, double high, int buckets) {
+  BITPUSH_CHECK_LT(low, high);
+  BITPUSH_CHECK_GE(buckets, 1);
+  std::vector<double> edges;
+  edges.reserve(static_cast<size_t>(buckets) + 1);
+  for (int b = 0; b <= buckets; ++b) {
+    edges.push_back(low + (high - low) * static_cast<double>(b) /
+                              static_cast<double>(buckets));
+  }
+  return edges;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,54 @@
+// Federated histogram (and quantile) estimation under the one-bit
+// discipline.
+//
+// The deployment section argues that for heavy-tailed data "robust
+// statistics are more appropriate, such as the median and percentiles"
+// (Section 4.3), and Section 3.3 observes that bit-pushing's server-side
+// data is "essentially a collection of binary histograms". This module
+// closes the loop: the server assigns each client one histogram bucket
+// (central randomness, QMC counts); the client reports the single bit
+// 1{my value falls in that bucket}, optionally through randomized
+// response. Bucket frequencies are unbiased means of those bits, and
+// quantiles follow from the estimated CDF.
+
+#ifndef BITPUSH_CORE_HISTOGRAM_ESTIMATION_H_
+#define BITPUSH_CORE_HISTOGRAM_ESTIMATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct HistogramConfig {
+  // Bucket boundaries: bucket i covers [edges[i], edges[i+1]); the last
+  // bucket is closed on the right. Must be strictly increasing with at
+  // least 2 entries.
+  std::vector<double> edges;
+  // Per-report randomized response budget; <= 0 disables.
+  double epsilon = 0.0;
+};
+
+struct HistogramResult {
+  // Estimated probability mass per bucket (unbiased; may be slightly
+  // negative under DP noise).
+  std::vector<double> fractions;
+  // Reports received per bucket.
+  std::vector<int64_t> counts;
+
+  // CDF-based quantile (q in [0, 1]) with linear interpolation inside the
+  // winning bucket. Negative noisy masses are clipped for this query.
+  double Quantile(const std::vector<double>& edges, double q) const;
+};
+
+// Runs the one-bit histogram protocol over the population.
+HistogramResult EstimateHistogram(const std::vector<double>& values,
+                                  const HistogramConfig& config, Rng& rng);
+
+// Equal-width bucket edges over [low, high].
+std::vector<double> UniformEdges(double low, double high, int buckets);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_CORE_HISTOGRAM_ESTIMATION_H_

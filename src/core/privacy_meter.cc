@@ -1,0 +1,48 @@
+#include "core/privacy_meter.h"
+
+#include "util/check.h"
+
+namespace bitpush {
+
+PrivacyMeter::PrivacyMeter(MeterPolicy policy) : policy_(policy) {
+  BITPUSH_CHECK_GE(policy_.max_bits_per_value, 1);
+  BITPUSH_CHECK_GE(policy_.max_bits_per_client, 1);
+  BITPUSH_CHECK_GT(policy_.max_epsilon_per_client, 0.0);
+}
+
+bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
+                                double epsilon) {
+  BITPUSH_CHECK_GE(epsilon, 0.0);
+  ClientLedger& ledger = ledgers_[client_id];
+  const int64_t value_bits = ledger.bits_per_value[value_id];
+  if (value_bits + 1 > policy_.max_bits_per_value ||
+      ledger.bits + 1 > policy_.max_bits_per_client ||
+      ledger.epsilon + epsilon > policy_.max_epsilon_per_client) {
+    ++denied_charges_;
+    return false;
+  }
+  ++ledger.bits_per_value[value_id];
+  ++ledger.bits;
+  ledger.epsilon += epsilon;
+  ++total_bits_;
+  return true;
+}
+
+int64_t PrivacyMeter::ClientBits(int64_t client_id) const {
+  const auto it = ledgers_.find(client_id);
+  return it == ledgers_.end() ? 0 : it->second.bits;
+}
+
+double PrivacyMeter::ClientEpsilon(int64_t client_id) const {
+  const auto it = ledgers_.find(client_id);
+  return it == ledgers_.end() ? 0.0 : it->second.epsilon;
+}
+
+int64_t PrivacyMeter::ValueBits(int64_t client_id, int64_t value_id) const {
+  const auto it = ledgers_.find(client_id);
+  if (it == ledgers_.end()) return 0;
+  const auto vit = it->second.bits_per_value.find(value_id);
+  return vit == it->second.bits_per_value.end() ? 0 : vit->second;
+}
+
+}  // namespace bitpush

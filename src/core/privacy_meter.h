@@ -1,0 +1,69 @@
+// Privacy metering (Section 1.1): private data is metered at the *bit*
+// level rather than the value level. The meter is the auditable ledger
+// behind the paper's headline promise — "for each private value, at most
+// one bit is used" — and behind platform-level disclosure caps ("limit
+// subsequent bits per value and per client").
+//
+// Protocol code must obtain permission from the meter before a private bit
+// leaves a client; a denied charge means the client skips the round.
+
+#ifndef BITPUSH_CORE_PRIVACY_METER_H_
+#define BITPUSH_CORE_PRIVACY_METER_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace bitpush {
+
+struct MeterPolicy {
+  // Maximum bits that may ever be disclosed about one (client, value) pair.
+  // 1 is the paper's worst-case guarantee.
+  int64_t max_bits_per_value = 1;
+  // Cap on total bits disclosed by one client across all values/rounds.
+  int64_t max_bits_per_client = std::numeric_limits<int64_t>::max();
+  // Cap on accumulated randomized-response epsilon per client (basic
+  // composition across that client's reports).
+  double max_epsilon_per_client = std::numeric_limits<double>::infinity();
+};
+
+class PrivacyMeter {
+ public:
+  explicit PrivacyMeter(MeterPolicy policy);
+
+  // Attempts to charge one disclosed bit about `value_id` from `client_id`
+  // at randomized-response cost `epsilon` (0 for a noiseless bit). Returns
+  // true and records the charge if all caps allow it; returns false and
+  // records nothing otherwise.
+  bool TryChargeBit(int64_t client_id, int64_t value_id, double epsilon);
+
+  // Total bits disclosed across all clients.
+  int64_t total_bits() const { return total_bits_; }
+  // Bits disclosed by one client so far.
+  int64_t ClientBits(int64_t client_id) const;
+  // Accumulated epsilon for one client.
+  double ClientEpsilon(int64_t client_id) const;
+  // Bits disclosed about one specific (client, value) pair.
+  int64_t ValueBits(int64_t client_id, int64_t value_id) const;
+  // Number of charges rejected by a cap.
+  int64_t denied_charges() const { return denied_charges_; }
+
+  const MeterPolicy& policy() const { return policy_; }
+
+ private:
+  struct ClientLedger {
+    int64_t bits = 0;
+    double epsilon = 0.0;
+    std::unordered_map<int64_t, int64_t> bits_per_value;
+  };
+
+  MeterPolicy policy_;
+  std::unordered_map<int64_t, ClientLedger> ledgers_;
+  int64_t total_bits_ = 0;
+  int64_t denied_charges_ = 0;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_CORE_PRIVACY_METER_H_

@@ -1,0 +1,46 @@
+#include "core/proportion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldp/randomized_response.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+ProportionResult EstimateProportion(
+    const std::vector<double>& values,
+    const std::function<bool(double)>& predicate, double epsilon,
+    Rng& rng) {
+  BITPUSH_CHECK(!values.empty());
+  BITPUSH_CHECK(predicate != nullptr);
+  const RandomizedResponse rr = RandomizedResponse::FromEpsilon(epsilon);
+
+  int64_t ones = 0;
+  for (const double value : values) {
+    ones += rr.Apply(predicate(value) ? 1 : 0, rng);
+  }
+  const double n = static_cast<double>(values.size());
+  const double raw_mean = static_cast<double>(ones) / n;
+
+  ProportionResult result;
+  result.reports = static_cast<int64_t>(values.size());
+  result.fraction = rr.Unbias(raw_mean);
+  result.clamped_fraction = std::clamp(result.fraction, 0.0, 1.0);
+  result.count = result.fraction * n;
+  const double m = result.clamped_fraction;
+  result.stderr_fraction =
+      std::sqrt((m * (1.0 - m) + rr.ReportVariance()) / n);
+  return result;
+}
+
+ProportionResult EstimateRangeProportion(const std::vector<double>& values,
+                                         double low, double high,
+                                         double epsilon, Rng& rng) {
+  BITPUSH_CHECK_LE(low, high);
+  return EstimateProportion(
+      values, [low, high](double v) { return v >= low && v <= high; },
+      epsilon, rng);
+}
+
+}  // namespace bitpush

@@ -1,0 +1,46 @@
+// Proportion and count estimation — the degenerate (and most common)
+// one-bit aggregate: each client reports the single bit
+// 1{predicate(my value)}, optionally through randomized response, and the
+// server estimates the population fraction and count. This is the
+// primitive behind eligibility-rate measurement, feature-flag rollout
+// checks, and the binary histograms every other protocol in this library
+// reduces to.
+
+#ifndef BITPUSH_CORE_PROPORTION_H_
+#define BITPUSH_CORE_PROPORTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct ProportionResult {
+  // Unbiased estimate of the population fraction (may fall outside [0, 1]
+  // under DP noise; clamped_fraction is the usable point estimate).
+  double fraction = 0.0;
+  double clamped_fraction = 0.0;
+  // fraction * population size.
+  double count = 0.0;
+  int64_t reports = 0;
+  // Plug-in standard error of `fraction` (includes the RR term).
+  double stderr_fraction = 0.0;
+};
+
+// Estimates the fraction of `values` satisfying `predicate`, with each
+// client disclosing exactly the one predicate bit at `epsilon` (<= 0
+// disables noise).
+ProportionResult EstimateProportion(
+    const std::vector<double>& values,
+    const std::function<bool(double)>& predicate, double epsilon, Rng& rng);
+
+// Convenience: the fraction of values in [low, high].
+ProportionResult EstimateRangeProportion(const std::vector<double>& values,
+                                         double low, double high,
+                                         double epsilon, Rng& rng);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_CORE_PROPORTION_H_

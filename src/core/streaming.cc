@@ -1,0 +1,54 @@
+#include "core/streaming.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+StreamingMeanEstimator::StreamingMeanEstimator(
+    const FixedPointCodec& codec, std::vector<double> probabilities,
+    double epsilon)
+    : codec_(codec),
+      probabilities_(std::move(probabilities)),
+      rr_(RandomizedResponse::FromEpsilon(epsilon)),
+      histogram_(codec.bits()) {
+  BITPUSH_CHECK_EQ(static_cast<int>(probabilities_.size()), codec_.bits());
+}
+
+void StreamingMeanEstimator::Observe(int bit_index, int reported_bit) {
+  histogram_.Add(bit_index, reported_bit);
+}
+
+double StreamingMeanEstimator::Estimate() const {
+  return codec_.Decode(RecombineBitMeans(histogram_.UnbiasedMeans(rr_)));
+}
+
+double StreamingMeanEstimator::StdError() const {
+  if (!AllBitsObserved()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double codeword_variance =
+      PluginVariance(histogram_, histogram_.UnbiasedMeans(rr_), rr_);
+  return std::sqrt(codeword_variance) * codec_.resolution();
+}
+
+StreamingMeanEstimator::Interval
+StreamingMeanEstimator::ConfidenceInterval95() const {
+  const double estimate = Estimate();
+  const double margin = 1.96 * StdError();
+  return Interval{estimate - margin, estimate + margin};
+}
+
+bool StreamingMeanEstimator::AllBitsObserved(int64_t min_reports) const {
+  for (int j = 0; j < histogram_.bits(); ++j) {
+    if (probabilities_[static_cast<size_t>(j)] > 0.0 &&
+        histogram_.total(j) < min_reports) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bitpush

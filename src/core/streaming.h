@@ -1,0 +1,65 @@
+// Streaming (asynchronous) aggregation.
+//
+// Section 1.1: bit-pushing "naturally accommodates asynchronous updates,
+// whereas secure aggregation can require batching a sufficient number of
+// updates". Reports arrive one at a time as devices come online; the server
+// keeps a running unbiased estimate with a plug-in confidence interval, so
+// a query can stop collecting as soon as the interval is tight enough
+// (Section 4.3: "achieve good accuracy as a function of number of
+// participants").
+
+#ifndef BITPUSH_CORE_STREAMING_H_
+#define BITPUSH_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bit_pushing.h"
+#include "core/fixed_point.h"
+#include "ldp/randomized_response.h"
+
+namespace bitpush {
+
+class StreamingMeanEstimator {
+ public:
+  // `probabilities` is the allocation reports are being collected under
+  // (length = codec bits); `epsilon` the per-report randomized-response
+  // budget (<= 0 disables unbiasing).
+  StreamingMeanEstimator(const FixedPointCodec& codec,
+                         std::vector<double> probabilities, double epsilon);
+
+  // Ingests one (possibly RR-perturbed) report for `bit_index`.
+  void Observe(int bit_index, int reported_bit);
+
+  int64_t reports() const { return histogram_.TotalReports(); }
+
+  // Current estimate in the value domain. Bits without reports contribute
+  // mean 0 — the estimate is usable (if coarse) from the first report.
+  double Estimate() const;
+
+  // Plug-in standard error of Estimate() in the value domain; infinity
+  // until every bit with positive allocation has at least one report.
+  double StdError() const;
+
+  struct Interval {
+    double low = 0.0;
+    double high = 0.0;
+  };
+  // Estimate() +/- 1.96 standard errors.
+  Interval ConfidenceInterval95() const;
+
+  // True when every bit with positive allocation has >= min_reports.
+  bool AllBitsObserved(int64_t min_reports = 1) const;
+
+  const BitHistogram& histogram() const { return histogram_; }
+
+ private:
+  FixedPointCodec codec_;
+  std::vector<double> probabilities_;
+  RandomizedResponse rr_;
+  BitHistogram histogram_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_CORE_STREAMING_H_

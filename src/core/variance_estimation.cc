@@ -1,0 +1,99 @@
+#include "core/variance_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bit_probabilities.h"
+#include "util/check.h"
+
+namespace bitpush {
+namespace {
+
+// Runs the configured protocol on `values` under `codec` and returns the
+// estimate decoded into the value domain.
+double EstimateMeanPhase(const std::vector<double>& values,
+                         const FixedPointCodec& codec,
+                         const VarianceConfig& outer, Rng& rng) {
+  const std::vector<uint64_t> codewords = codec.EncodeAll(values);
+  if (!outer.adaptive) {
+    BitPushingConfig config;
+    config.probabilities =
+        GeometricProbabilities(codec.bits(), outer.protocol.gamma);
+    config.epsilon = outer.protocol.epsilon;
+    config.bits_per_client = outer.protocol.bits_per_client;
+    config.central_randomness = outer.protocol.central_randomness;
+    return codec.Decode(
+        RunBasicBitPushing(codewords, config, rng).estimate_codeword);
+  }
+  AdaptiveConfig config = outer.protocol;
+  config.bits = codec.bits();
+  const AdaptiveResult result =
+      RunAdaptiveBitPushing(codewords, config, rng);
+  return codec.Decode(result.estimate_codeword);
+}
+
+// Codec for squared deviations/values: domain [0, width^2], doubled bit
+// budget capped at kMaxBits.
+FixedPointCodec SquaredCodec(const FixedPointCodec& codec, double high) {
+  const int bits = std::min(2 * codec.bits(), kMaxBits);
+  return FixedPointCodec(bits, 0.0, std::max(high, 1.0));
+}
+
+}  // namespace
+
+VarianceResult EstimateVariance(const std::vector<double>& values,
+                                const FixedPointCodec& codec,
+                                const VarianceConfig& config, Rng& rng) {
+  BITPUSH_CHECK_GE(values.size(), 4u);
+  BITPUSH_CHECK_GT(config.mean_fraction, 0.0);
+  BITPUSH_CHECK_LT(config.mean_fraction, 1.0);
+
+  const int64_t n = static_cast<int64_t>(values.size());
+  int64_t n_mean = static_cast<int64_t>(
+      std::llround(config.mean_fraction * static_cast<double>(n)));
+  n_mean = std::clamp<int64_t>(n_mean, 2, n - 2);
+
+  const std::vector<double> mean_cohort(values.begin(),
+                                        values.begin() + n_mean);
+  const std::vector<double> second_cohort(values.begin() + n_mean,
+                                          values.end());
+
+  VarianceResult result;
+  result.mean_estimate =
+      EstimateMeanPhase(mean_cohort, codec, config, rng);
+
+  const double width = codec.high() - codec.low();
+  switch (config.method) {
+    case VarianceMethod::kCentered: {
+      // Clients compute (x - mu_hat)^2 locally; deviations are bounded by
+      // the input width.
+      std::vector<double> deviations;
+      deviations.reserve(second_cohort.size());
+      for (const double x : second_cohort) {
+        const double d = x - result.mean_estimate;
+        deviations.push_back(d * d);
+      }
+      const FixedPointCodec sq_codec = SquaredCodec(codec, width * width);
+      result.second_moment_estimate =
+          EstimateMeanPhase(deviations, sq_codec, config, rng);
+      result.variance = std::max(0.0, result.second_moment_estimate);
+      break;
+    }
+    case VarianceMethod::kMoments: {
+      std::vector<double> squares;
+      squares.reserve(second_cohort.size());
+      for (const double x : second_cohort) squares.push_back(x * x);
+      const FixedPointCodec sq_codec =
+          SquaredCodec(codec, codec.high() * codec.high());
+      result.second_moment_estimate =
+          EstimateMeanPhase(squares, sq_codec, config, rng);
+      result.variance =
+          std::max(0.0, result.second_moment_estimate -
+                            result.mean_estimate * result.mean_estimate);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,59 @@
+// Variance estimation via bit-pushing (Section 3.4, Lemma 3.5).
+//
+// The empirical variance reduces to mean estimations of derived values.
+// Two estimators with different error behaviour:
+//   * kCentered: a first phase estimates the mean mu_hat; the remaining
+//     clients locally compute (x - mu_hat)^2 and bit-push those. Estimator
+//     variance proportional to (sigma^2 + mean^2/n)^2 / n — the better
+//     choice (used in Figures 1b and 2b).
+//   * kMoments: the cohort is split between estimating E[X] and E[X^2];
+//     variance = E[X^2] - E[X]^2. Estimator variance proportional to
+//     (sigma^2 + mean^2)^2 / n.
+// Squared derived values need up to twice the bit width of the inputs; the
+// squared-domain codec is derived automatically (capped at kMaxBits).
+
+#ifndef BITPUSH_CORE_VARIANCE_ESTIMATION_H_
+#define BITPUSH_CORE_VARIANCE_ESTIMATION_H_
+
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/fixed_point.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+enum class VarianceMethod {
+  kCentered,  // E[(X - mu_hat)^2]
+  kMoments,   // E[X^2] - (E[X])^2
+};
+
+struct VarianceConfig {
+  VarianceMethod method = VarianceMethod::kCentered;
+  // Fraction of clients assigned to the mean phase/half.
+  double mean_fraction = 0.5;
+  // Protocol settings shared by both phases. The `bits` field is overridden
+  // per phase (input width for means, doubled width for squares).
+  AdaptiveConfig protocol;
+  // When false, each phase runs single-round weighted bit-pushing with
+  // p_j proportional to 2^{gamma j} (protocol.gamma) instead of the
+  // two-round adaptive protocol — the "weighted" baseline of Figure 1b.
+  bool adaptive = true;
+};
+
+struct VarianceResult {
+  double variance = 0.0;       // clamped to >= 0
+  double mean_estimate = 0.0;  // the mean-phase estimate (value domain)
+  // Second-moment or centered-second-moment estimate, value domain.
+  double second_moment_estimate = 0.0;
+};
+
+// Estimates the population variance of `values`. `codec` describes the
+// input domain; requires at least 4 values so every phase has clients.
+VarianceResult EstimateVariance(const std::vector<double>& values,
+                                const FixedPointCodec& codec,
+                                const VarianceConfig& config, Rng& rng);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_CORE_VARIANCE_ESTIMATION_H_

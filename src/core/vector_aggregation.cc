@@ -1,0 +1,144 @@
+#include "core/vector_aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bit_probabilities.h"
+#include "ldp/randomized_response.h"
+#include "rng/qmc.h"
+#include "util/check.h"
+
+namespace bitpush {
+namespace {
+
+// Flattened (dimension, bit) cell helpers.
+int CellIndex(int dim, int bit, int bits) { return dim * bits + bit; }
+
+// Runs one collection pass over rows[first..last), tallying into
+// per-dimension histograms.
+void CollectPass(const std::vector<std::vector<double>>& rows, int64_t first,
+                 int64_t last, const std::vector<double>& cell_probs,
+                 const FixedPointCodec& codec,
+                 const VectorAggregationConfig& config,
+                 const RandomizedResponse& rr,
+                 std::vector<BitHistogram>* histograms, Rng& rng) {
+  const int bits = codec.bits();
+  const int64_t n = last - first;
+  const std::vector<int> assignment =
+      config.central_randomness ? AssignBitsCentral(n, cell_probs, rng)
+                                : AssignBitsLocal(n, cell_probs, rng);
+  for (int64_t i = 0; i < n; ++i) {
+    const int cell = assignment[static_cast<size_t>(i)];
+    const int dim = cell / bits;
+    const int bit_index = cell % bits;
+    const uint64_t codeword = codec.Encode(
+        rows[static_cast<size_t>(first + i)][static_cast<size_t>(dim)]);
+    (*histograms)[static_cast<size_t>(dim)].Add(
+        bit_index, MakeBitReport(codeword, bit_index, rr, rng));
+  }
+}
+
+// Round-1 cell probabilities: uniform across dimensions, geometric within.
+std::vector<double> ProbeProbabilities(int dims, int bits, double gamma) {
+  const std::vector<double> per_bit = GeometricProbabilities(bits, gamma);
+  std::vector<double> cells(static_cast<size_t>(dims * bits));
+  for (int d = 0; d < dims; ++d) {
+    for (int j = 0; j < bits; ++j) {
+      cells[static_cast<size_t>(CellIndex(d, j, bits))] =
+          per_bit[static_cast<size_t>(j)] / static_cast<double>(dims);
+    }
+  }
+  return cells;
+}
+
+// Learned cell weights: beta_{d,j}^alpha normalized across all cells, so
+// sampling budget flows toward informative coordinates and bits.
+std::vector<double> LearnedProbabilities(
+    const std::vector<BitHistogram>& histograms,
+    const RandomizedResponse& rr, int bits, double alpha,
+    const std::vector<double>& fallback) {
+  std::vector<double> weights(fallback.size(), 0.0);
+  double max_beta = 0.0;
+  std::vector<std::vector<double>> betas;
+  betas.reserve(histograms.size());
+  for (const BitHistogram& histogram : histograms) {
+    std::vector<double> means = histogram.UnbiasedMeans(rr);
+    for (double& m : means) m = std::clamp(m, 0.0, 1.0);
+    betas.push_back(BetaCoefficients(means));
+    for (const double b : betas.back()) max_beta = std::max(max_beta, b);
+  }
+  if (max_beta <= 0.0) return fallback;
+  double total = 0.0;
+  for (size_t d = 0; d < betas.size(); ++d) {
+    for (int j = 0; j < bits; ++j) {
+      const double w =
+          std::pow(betas[d][static_cast<size_t>(j)] / max_beta, alpha);
+      weights[static_cast<size_t>(
+          CellIndex(static_cast<int>(d), j, bits))] = w;
+      total += w;
+    }
+  }
+  if (total <= 0.0) return fallback;
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+VectorAggregationResult EstimateVectorMean(
+    const std::vector<std::vector<double>>& rows,
+    const FixedPointCodec& codec, const VectorAggregationConfig& config,
+    Rng& rng) {
+  BITPUSH_CHECK_GE(rows.size(), 2u);
+  const int dims = static_cast<int>(rows.front().size());
+  BITPUSH_CHECK_GE(dims, 1);
+  for (const std::vector<double>& row : rows) {
+    BITPUSH_CHECK_EQ(static_cast<int>(row.size()), dims)
+        << "ragged client vectors";
+  }
+  const int bits = codec.bits();
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const RandomizedResponse rr =
+      RandomizedResponse::FromEpsilon(config.epsilon);
+
+  VectorAggregationResult result;
+  result.histograms.assign(static_cast<size_t>(dims), BitHistogram(bits));
+
+  const std::vector<double> probe =
+      ProbeProbabilities(dims, bits, config.gamma);
+  if (!config.adaptive) {
+    CollectPass(rows, 0, n, probe, codec, config, rr, &result.histograms,
+                rng);
+  } else {
+    BITPUSH_CHECK_GT(config.delta, 0.0);
+    BITPUSH_CHECK_LT(config.delta, 1.0);
+    int64_t n1 = static_cast<int64_t>(
+        std::llround(config.delta * static_cast<double>(n)));
+    n1 = std::clamp<int64_t>(n1, 1, n - 1);
+    std::vector<BitHistogram> probe_histograms(
+        static_cast<size_t>(dims), BitHistogram(bits));
+    CollectPass(rows, 0, n1, probe, codec, config, rr, &probe_histograms,
+                rng);
+    const std::vector<double> learned = LearnedProbabilities(
+        probe_histograms, rr, bits, config.alpha, probe);
+    CollectPass(rows, n1, n, learned, codec, config, rr,
+                &result.histograms, rng);
+    // Pool the probe reports (caching).
+    for (int d = 0; d < dims; ++d) {
+      result.histograms[static_cast<size_t>(d)].Merge(
+          probe_histograms[static_cast<size_t>(d)]);
+    }
+  }
+
+  result.means.reserve(static_cast<size_t>(dims));
+  for (int d = 0; d < dims; ++d) {
+    const std::vector<double> means =
+        result.histograms[static_cast<size_t>(d)].UnbiasedMeans(rr);
+    result.means.push_back(codec.Decode(RecombineBitMeans(means)));
+    result.bits_disclosed +=
+        result.histograms[static_cast<size_t>(d)].TotalReports();
+  }
+  return result;
+}
+
+}  // namespace bitpush

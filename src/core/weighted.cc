@@ -1,0 +1,61 @@
+#include "core/weighted.h"
+
+#include "core/bit_pushing.h"
+#include "ldp/randomized_response.h"
+#include "rng/qmc.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+WeightedMeanResult EstimateWeightedMean(
+    const std::vector<WeightedValue>& values, const FixedPointCodec& codec,
+    const WeightedMeanConfig& config, Rng& rng) {
+  const int bits = codec.bits();
+  BITPUSH_CHECK_EQ(static_cast<int>(config.probabilities.size()), bits);
+  BITPUSH_CHECK(!values.empty());
+  const RandomizedResponse rr =
+      RandomizedResponse::FromEpsilon(config.epsilon);
+  const int64_t n = static_cast<int64_t>(values.size());
+
+  const std::vector<int> assignment =
+      config.central_randomness
+          ? AssignBitsCentral(n, config.probabilities, rng)
+          : AssignBitsLocal(n, config.probabilities, rng);
+
+  WeightedMeanResult result;
+  result.bit_means.assign(static_cast<size_t>(bits), 0.0);
+  result.bit_weights.assign(static_cast<size_t>(bits), 0.0);
+  std::vector<double> unbiased_weighted_ones(static_cast<size_t>(bits),
+                                             0.0);
+  std::vector<int64_t> group_sizes(static_cast<size_t>(bits), 0);
+  double total_weight = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const WeightedValue& wv = values[static_cast<size_t>(i)];
+    BITPUSH_CHECK_GT(wv.weight, 0.0) << "weights must be positive";
+    total_weight += wv.weight;
+    const int bit_index = assignment[static_cast<size_t>(i)];
+    const int report =
+        MakeBitReport(codec.Encode(wv.value), bit_index, rr, rng);
+    // Per-report RR unbiasing keeps the weighted sum unbiased by
+    // linearity.
+    unbiased_weighted_ones[static_cast<size_t>(bit_index)] +=
+        wv.weight * rr.Unbias(static_cast<double>(report));
+    result.bit_weights[static_cast<size_t>(bit_index)] += wv.weight;
+    ++group_sizes[static_cast<size_t>(bit_index)];
+  }
+
+  // Horvitz-Thompson: scale each group's weighted sum by the inverse
+  // inclusion probability n/n_j, normalize by the known total weight.
+  for (int j = 0; j < bits; ++j) {
+    const size_t index = static_cast<size_t>(j);
+    if (group_sizes[index] == 0) continue;
+    const double inclusion = static_cast<double>(group_sizes[index]) /
+                             static_cast<double>(n);
+    result.bit_means[index] =
+        unbiased_weighted_ones[index] / (inclusion * total_weight);
+  }
+  result.estimate = codec.Decode(RecombineBitMeans(result.bit_means));
+  return result;
+}
+
+}  // namespace bitpush

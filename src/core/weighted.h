@@ -1,0 +1,62 @@
+// Weighted mean estimation.
+//
+// Section 4.3 ("Aggregating multiple local values per feature"): when
+// clients hold different numbers of observations, one semantics is "a
+// multiset or weighted response" — the population mean weighted by each
+// client's (public, non-private) weight, e.g. its local observation count.
+// The bit discipline is unchanged: every client reports one bit of its
+// (locally aggregated) value; the server weights the tallies.
+//
+// Per bit j the server uses a Horvitz-Thompson-style estimator: the
+// weighted sum of the group's reported bits is divided by the group's
+// inclusion probability n_j/n and by the known total weight W,
+//
+//   m_hat_j = (n / n_j) * sum_{i in G_j} w_i * unbias(r_i) / W,
+//
+// which is exactly unbiased for the weighted bit mean sum_i w_i q_i^(j) / W
+// for *any* weight skew (a naive per-group ratio estimator is biased when a
+// single heavy client dominates, because it lands in only one group).
+
+#ifndef BITPUSH_CORE_WEIGHTED_H_
+#define BITPUSH_CORE_WEIGHTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fixed_point.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct WeightedValue {
+  double value = 0.0;
+  // Public weight, > 0 (e.g. the client's local observation count).
+  double weight = 1.0;
+};
+
+struct WeightedMeanConfig {
+  // Per-bit sampling probabilities (length = codec bits).
+  std::vector<double> probabilities;
+  double epsilon = 0.0;  // per-report randomized response; <= 0 disables
+  bool central_randomness = true;
+};
+
+struct WeightedMeanResult {
+  // Weighted mean estimate in the value domain.
+  double estimate = 0.0;
+  // Per-bit Horvitz-Thompson estimates of the weighted bit means. Unlike
+  // plain bit means these can exceed [0, 1] in any single run (they are
+  // unbiased, not bounded).
+  std::vector<double> bit_means;
+  // Per-bit total weight of reporting clients.
+  std::vector<double> bit_weights;
+};
+
+// Estimates sum(w_i x_i) / sum(w_i) with one disclosed bit per client.
+WeightedMeanResult EstimateWeightedMean(
+    const std::vector<WeightedValue>& values, const FixedPointCodec& codec,
+    const WeightedMeanConfig& config, Rng& rng);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_CORE_WEIGHTED_H_

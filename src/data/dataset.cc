@@ -1,0 +1,32 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "stats/welford.h"
+
+namespace bitpush {
+
+GroundTruth ComputeGroundTruth(const std::vector<double>& values) {
+  GroundTruth truth;
+  Welford acc;
+  for (const double v : values) acc.Add(v);
+  truth.mean = acc.mean();
+  truth.variance = acc.population_variance();
+  truth.min = acc.min();
+  truth.max = acc.max();
+  truth.count = acc.count();
+  return truth;
+}
+
+Dataset::Dataset(std::string name, std::vector<double> values)
+    : name_(std::move(name)),
+      values_(std::move(values)),
+      truth_(ComputeGroundTruth(values_)) {}
+
+Dataset Dataset::Clipped(double low, double high) const {
+  std::vector<double> clipped = values_;
+  for (double& v : clipped) v = std::clamp(v, low, high);
+  return Dataset(name_ + "/clipped", std::move(clipped));
+}
+
+}  // namespace bitpush

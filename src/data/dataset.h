@@ -1,0 +1,54 @@
+// Dataset container with exact ground-truth statistics.
+//
+// Experiments compare protocol estimates against the *empirical* mean and
+// variance of the concrete population sample (as the paper does), not
+// against the parameters of the generating distribution.
+
+#ifndef BITPUSH_DATA_DATASET_H_
+#define BITPUSH_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitpush {
+
+// Ground-truth summary of a concrete population.
+struct GroundTruth {
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+  double min = 0.0;
+  double max = 0.0;
+  int64_t count = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  // Takes ownership of `values`. `name` labels experiment output.
+  Dataset(std::string name, std::vector<double> values);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& values() const { return values_; }
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  // Exact statistics of the stored values (computed once, cached).
+  const GroundTruth& truth() const { return truth_; }
+
+  // Returns a copy with every value clipped to [low, high] and the ground
+  // truth recomputed — the winsorization-by-clipping of Section 4.3.
+  Dataset Clipped(double low, double high) const;
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+  GroundTruth truth_;
+};
+
+// Computes the exact statistics of `values`.
+GroundTruth ComputeGroundTruth(const std::vector<double>& values);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_DATA_DATASET_H_

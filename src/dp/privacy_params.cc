@@ -1,0 +1,19 @@
+#include "dp/privacy_params.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+PrivacyBudget Compose(const PrivacyBudget& a, const PrivacyBudget& b) {
+  return PrivacyBudget{a.epsilon + b.epsilon, a.delta + b.delta};
+}
+
+double RandomizedResponseVariance(double epsilon) {
+  BITPUSH_CHECK_GT(epsilon, 0.0);
+  const double e = std::exp(epsilon);
+  return e / ((e - 1.0) * (e - 1.0));
+}
+
+}  // namespace bitpush

@@ -1,0 +1,26 @@
+// Differential-privacy parameter types and basic (sequential) composition.
+
+#ifndef BITPUSH_DP_PRIVACY_PARAMS_H_
+#define BITPUSH_DP_PRIVACY_PARAMS_H_
+
+namespace bitpush {
+
+// An (epsilon, delta) differential-privacy budget. delta == 0 is pure DP.
+struct PrivacyBudget {
+  double epsilon = 0.0;
+  double delta = 0.0;
+
+  // True if this budget provides any formal guarantee (epsilon > 0).
+  bool enabled() const { return epsilon > 0.0; }
+};
+
+// Basic sequential composition: parameters add.
+PrivacyBudget Compose(const PrivacyBudget& a, const PrivacyBudget& b);
+
+// Variance of one unbiased randomized-response report at this epsilon:
+// exp(eps) / (exp(eps) - 1)^2. Infinity as epsilon -> 0.
+double RandomizedResponseVariance(double epsilon);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_DP_PRIVACY_PARAMS_H_

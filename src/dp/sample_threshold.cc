@@ -1,0 +1,55 @@
+#include "dp/sample_threshold.h"
+
+#include <cmath>
+
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+SampleThresholdConfig SampleThresholdForBudget(double epsilon, double delta,
+                                               double sampling_rate) {
+  BITPUSH_CHECK_GT(epsilon, 0.0);
+  BITPUSH_CHECK_GT(delta, 0.0);
+  BITPUSH_CHECK_LT(delta, 1.0);
+  BITPUSH_CHECK_GT(sampling_rate, 0.0);
+  BITPUSH_CHECK_LE(sampling_rate, 1.0);
+
+  const double a = 1.0 - std::exp(-epsilon);
+  const double keep = sampling_rate * a;
+  BITPUSH_CHECK_LT(keep, 1.0)
+      << "sampling_rate too high for this epsilon; reduce the rate";
+  const double tail_rate = -std::log(1.0 - keep);  // ln(1/(1 - s*a)) > 0
+  const double threshold = 1.0 + std::log(1.0 / delta) / tail_rate;
+  return SampleThresholdConfig{sampling_rate,
+                               static_cast<int64_t>(std::ceil(threshold))};
+}
+
+std::vector<int64_t> SampleAndThreshold(const std::vector<int64_t>& counts,
+                                        const SampleThresholdConfig& config,
+                                        Rng& rng) {
+  BITPUSH_CHECK_GT(config.sampling_rate, 0.0);
+  BITPUSH_CHECK_LE(config.sampling_rate, 1.0);
+  std::vector<int64_t> sampled;
+  sampled.reserve(counts.size());
+  for (const int64_t count : counts) {
+    BITPUSH_CHECK_GE(count, 0);
+    int64_t kept = SampleBinomial(rng, count, config.sampling_rate);
+    if (kept < config.threshold) kept = 0;
+    sampled.push_back(kept);
+  }
+  return sampled;
+}
+
+std::vector<double> UnbiasSampledCounts(const std::vector<int64_t>& sampled,
+                                        double sampling_rate) {
+  BITPUSH_CHECK_GT(sampling_rate, 0.0);
+  std::vector<double> unbiased;
+  unbiased.reserve(sampled.size());
+  for (const int64_t count : sampled) {
+    unbiased.push_back(static_cast<double>(count) / sampling_rate);
+  }
+  return unbiased;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,51 @@
+// Sample-and-threshold differential privacy for histograms
+// (Bharadwaj & Cormode, AISTATS 2022), used in Section 3.3 ("random sampling
+// is sufficient to give differential privacy, provided that very small
+// counts are removed from the reporting") and in deployment (Section 4.3,
+// central DP by thresholding reported bit counts inside the enclave).
+//
+// Each client's contribution to a histogram bucket is kept independently
+// with probability `sampling_rate`; buckets whose sampled count falls below
+// `threshold` are zeroed. Kept counts are unbiased by dividing by the
+// sampling rate.
+
+#ifndef BITPUSH_DP_SAMPLE_THRESHOLD_H_
+#define BITPUSH_DP_SAMPLE_THRESHOLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct SampleThresholdConfig {
+  double sampling_rate = 1.0;  // in (0, 1]
+  int64_t threshold = 0;       // sampled counts below this are dropped
+};
+
+// Chooses a threshold sufficient for an (epsilon, delta) guarantee at the
+// given sampling rate, using the simplified bound
+//   threshold >= 1 + ln(1/delta) / ln(1 / (1 - sampling_rate * a)),
+// with a = 1 - exp(-epsilon). This is the conservative closed form of the
+// Bharadwaj-Cormode analysis; it is loose by a small constant, which only
+// makes the mechanism more private. sampling_rate must satisfy
+// sampling_rate * (1 - exp(-epsilon)) < 1 (always true for rate < 1).
+SampleThresholdConfig SampleThresholdForBudget(double epsilon, double delta,
+                                               double sampling_rate);
+
+// Applies Bernoulli sampling then thresholding to per-bucket counts, where
+// each unit of count is a distinct client contribution.
+std::vector<int64_t> SampleAndThreshold(const std::vector<int64_t>& counts,
+                                        const SampleThresholdConfig& config,
+                                        Rng& rng);
+
+// Unbiases sampled counts: kept counts are divided by the sampling rate
+// (dropped buckets stay 0; the resulting small negative bias is the
+// "negligible amount of noise" reported in Section 4.3).
+std::vector<double> UnbiasSampledCounts(const std::vector<int64_t>& sampled,
+                                        double sampling_rate);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_DP_SAMPLE_THRESHOLD_H_

@@ -1,0 +1,56 @@
+#include "dp/shuffle_amplification.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+PrivacyBudget ShuffleAmplifiedBudget(double epsilon_local, int64_t n,
+                                     double delta) {
+  BITPUSH_CHECK_GT(epsilon_local, 0.0);
+  BITPUSH_CHECK_GE(n, 1);
+  BITPUSH_CHECK_GT(delta, 0.0);
+  BITPUSH_CHECK_LT(delta, 1.0);
+
+  const double e_local = std::exp(epsilon_local);
+  const double dn = static_cast<double>(n);
+  const double bracket =
+      4.0 * std::sqrt(2.0 * std::log(4.0 / delta) / ((e_local + 1.0) * dn)) +
+      4.0 / dn;
+  if (bracket >= 1.0) {
+    // Cohort too small for the closed form; fall back to the local
+    // guarantee (which always holds).
+    return PrivacyBudget{epsilon_local, 0.0};
+  }
+  const double amplified = std::log1p((e_local - 1.0) * bracket);
+  // Amplification is an upper bound; never report worse than local.
+  return PrivacyBudget{std::min(amplified, epsilon_local), delta};
+}
+
+int64_t RequiredCohortForCentralEpsilon(double epsilon_local,
+                                        double target_epsilon,
+                                        double delta) {
+  BITPUSH_CHECK_GT(target_epsilon, 0.0);
+  if (target_epsilon >= epsilon_local) return 1;
+  // The amplified epsilon decreases in n; binary search over a generous
+  // range.
+  int64_t low = 1;
+  int64_t high = int64_t{1} << 50;
+  if (ShuffleAmplifiedBudget(epsilon_local, high, delta).epsilon >
+      target_epsilon) {
+    return -1;
+  }
+  while (low < high) {
+    const int64_t mid = low + (high - low) / 2;
+    if (ShuffleAmplifiedBudget(epsilon_local, mid, delta).epsilon <=
+        target_epsilon) {
+      high = mid;
+    } else {
+      low = mid + 1;
+    }
+  }
+  return low;
+}
+
+}  // namespace bitpush

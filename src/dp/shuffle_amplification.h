@@ -1,0 +1,40 @@
+// Privacy amplification by shuffling.
+//
+// Section 3.3's "distributed privacy guarantees" cites the shuffle-model
+// line of work (Balcer-Cheu; Cheu's survey): if each of n clients applies
+// an eps_local-LDP randomizer and a trusted shuffler strips report origins
+// (which bit-pushing's anonymous bit reports naturally permit), the
+// *central* guarantee against the analyst is much stronger than eps_local.
+// We implement the widely used closed-form upper bound (Feldman, McSherry &
+// Talwar-style analysis as consolidated in Feldman-McMillan-Talwar 2021):
+//
+//   eps_central <= log(1 + (e^{eps_local} - 1) *
+//                          (4 * sqrt(2 log(4/delta) / ((e^{eps_local}+1) n))
+//                           + 4 / n))
+//
+// valid when the bracketed term is < 1 (n large enough).
+
+#ifndef BITPUSH_DP_SHUFFLE_AMPLIFICATION_H_
+#define BITPUSH_DP_SHUFFLE_AMPLIFICATION_H_
+
+#include <cstdint>
+
+#include "dp/privacy_params.h"
+
+namespace bitpush {
+
+// Returns the amplified central budget for n shuffled eps_local reports at
+// the given delta. If n is too small for the bound to apply, the local
+// guarantee is returned unchanged (amplification never hurts).
+PrivacyBudget ShuffleAmplifiedBudget(double epsilon_local, int64_t n,
+                                     double delta);
+
+// Smallest cohort for which the amplified central epsilon is at most
+// `target_epsilon` (holding delta). Returns -1 if even huge cohorts cannot
+// reach the target (target >= eps_local trivially returns 1).
+int64_t RequiredCohortForCentralEpsilon(double epsilon_local,
+                                        double target_epsilon, double delta);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_DP_SHUFFLE_AMPLIFICATION_H_

@@ -1,0 +1,66 @@
+#include "federated/campaign.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+MeasurementCampaign::MeasurementCampaign(std::vector<CampaignQuery> queries,
+                                         PrivacyMeter* meter)
+    : queries_(std::move(queries)), meter_(meter) {
+  BITPUSH_CHECK(!queries_.empty());
+  std::set<std::string> names;
+  for (const CampaignQuery& query : queries_) {
+    BITPUSH_CHECK_GE(query.cadence_ticks, 1);
+    BITPUSH_CHECK_GE(query.phase, 0);
+    BITPUSH_CHECK(names.insert(query.name).second)
+        << "duplicate query name " << query.name;
+  }
+}
+
+std::vector<CampaignTickResult> MeasurementCampaign::RunTick(
+    int64_t tick,
+    const std::vector<const std::vector<Client>*>& populations,
+    const std::vector<FixedPointCodec>& codecs, Rng& rng) {
+  BITPUSH_CHECK_EQ(populations.size(), queries_.size());
+  BITPUSH_CHECK_EQ(codecs.size(), queries_.size());
+  BITPUSH_CHECK_GE(tick, 0);
+
+  std::vector<CampaignTickResult> results;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const CampaignQuery& scheduled = queries_[q];
+    if (tick < scheduled.phase ||
+        (tick - scheduled.phase) % scheduled.cadence_ticks != 0) {
+      continue;
+    }
+    BITPUSH_CHECK(populations[q] != nullptr);
+
+    CampaignTickResult result;
+    result.tick = tick;
+    result.query_name = scheduled.name;
+
+    FederatedQueryConfig config = scheduled.query;
+    config.value_id = scheduled.value_id;
+    const FederatedQueryResult outcome = RunFederatedMeanQuery(
+        *populations[q], codecs[q], config, meter_, rng);
+    result.reports = outcome.round1.responded + outcome.round2.responded;
+    if (outcome.aborted) {
+      result.status = CampaignTickResult::Status::kSkippedCohort;
+      ++skips_;
+    } else if (result.reports == 0) {
+      // Every client declined: the shared budget is spent for this value.
+      result.status = CampaignTickResult::Status::kSkippedBudget;
+      ++skips_;
+    } else {
+      result.status = CampaignTickResult::Status::kRan;
+      result.estimate = outcome.estimate;
+      ++runs_;
+    }
+    history_.push_back(result);
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace bitpush

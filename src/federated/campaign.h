@@ -1,0 +1,77 @@
+// Measurement campaigns: several metrics collected on independent cadences
+// from one fleet, under one shared privacy-meter budget.
+//
+// This is the coordinator logic around everything else: each scheduled
+// query runs a federated mean query for its metric, the shared
+// PrivacyMeter enforces the per-client disclosure caps across *all*
+// metrics (Section 1.1's platform-level metering), and queries are skipped
+// — not silently degraded — when the budget or the cohort minimum cannot
+// be met.
+
+#ifndef BITPUSH_FEDERATED_CAMPAIGN_H_
+#define BITPUSH_FEDERATED_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/privacy_meter.h"
+#include "federated/round.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct CampaignQuery {
+  std::string name;
+  // The meter's value id for this metric (distinct per metric).
+  int64_t value_id = 0;
+  // Run every `cadence_ticks` ticks (>= 1), starting at tick `phase`.
+  int64_t cadence_ticks = 1;
+  int64_t phase = 0;
+  // Protocol parameters; adaptive.bits must match the codec width used by
+  // the metric's population.
+  FederatedQueryConfig query;
+};
+
+struct CampaignTickResult {
+  int64_t tick = 0;
+  std::string query_name;
+  // kRan: estimate valid. kSkippedCohort: below privacy minimum.
+  // kSkippedBudget: the meter refused every report (budget exhausted).
+  enum class Status { kRan, kSkippedCohort, kSkippedBudget } status =
+      Status::kRan;
+  double estimate = 0.0;
+  int64_t reports = 0;
+};
+
+class MeasurementCampaign {
+ public:
+  // `meter` may be null (no caps). Queries must have distinct names.
+  MeasurementCampaign(std::vector<CampaignQuery> queries,
+                      PrivacyMeter* meter);
+
+  // Runs every query scheduled for `tick` against its client population
+  // (`populations` is indexed parallel to the query list). Appends to and
+  // returns the per-query results for this tick.
+  std::vector<CampaignTickResult> RunTick(
+      int64_t tick,
+      const std::vector<const std::vector<Client>*>& populations,
+      const std::vector<FixedPointCodec>& codecs, Rng& rng);
+
+  const std::vector<CampaignTickResult>& history() const {
+    return history_;
+  }
+  int64_t runs() const { return runs_; }
+  int64_t skips() const { return skips_; }
+
+ private:
+  std::vector<CampaignQuery> queries_;
+  PrivacyMeter* meter_;
+  std::vector<CampaignTickResult> history_;
+  int64_t runs_ = 0;
+  int64_t skips_ = 0;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_CAMPAIGN_H_

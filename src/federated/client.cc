@@ -1,0 +1,71 @@
+#include "federated/client.h"
+
+#include "stats/welford.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+Client::Client(int64_t id, std::vector<double> values, ClientConfig config)
+    : id_(id), values_(std::move(values)), config_(config) {
+  BITPUSH_CHECK(!values_.empty());
+  BITPUSH_CHECK_GE(config_.dropout_probability, 0.0);
+  BITPUSH_CHECK_LE(config_.dropout_probability, 1.0);
+}
+
+double Client::SelectValue(Rng& rng) const {
+  switch (config_.value_policy) {
+    case ValuePolicy::kSampleOne:
+      return values_[rng.NextBelow(values_.size())];
+    case ValuePolicy::kLocalMean: {
+      Welford acc;
+      for (const double v : values_) acc.Add(v);
+      return acc.mean();
+    }
+    case ValuePolicy::kFirstValue:
+      return values_.front();
+  }
+  BITPUSH_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+std::optional<BitReport> Client::HandleRequest(const BitRequest& request,
+                                               const FixedPointCodec& codec,
+                                               bool local_randomness,
+                                               PrivacyMeter* meter,
+                                               Rng& rng) const {
+  if (rng.NextBernoulli(config_.dropout_probability)) return std::nullopt;
+  if (meter != nullptr &&
+      !meter->TryChargeBit(id_, request.value_id,
+                           request.rr_epsilon > 0 ? request.rr_epsilon
+                                                  : 0.0)) {
+    return std::nullopt;
+  }
+
+  const uint64_t codeword = codec.Encode(SelectValue(rng));
+  const int true_bit = FixedPointCodec::Bit(codeword, request.bit_index);
+  int reported_index = request.bit_index;
+  const int raw_bit =
+      PoisonedBit(config_.adversary, local_randomness, codec.bits() - 1,
+                  request.bit_index, true_bit, &reported_index);
+  const RandomizedResponse rr =
+      RandomizedResponse::FromEpsilon(request.rr_epsilon);
+  // Adversaries skip their own noise addition: they report exactly the bit
+  // they want the server to see. Honest clients perturb.
+  const int bit = config_.adversary == AdversaryMode::kHonest
+                      ? rr.Apply(raw_bit, rng)
+                      : raw_bit;
+  return BitReport{id_, reported_index, bit};
+}
+
+std::vector<Client> MakePopulation(const std::vector<double>& values,
+                                   const ClientConfig& config) {
+  std::vector<Client> clients;
+  clients.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    clients.emplace_back(static_cast<int64_t>(i),
+                         std::vector<double>{values[i]}, config);
+  }
+  return clients;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,75 @@
+// Simulated client device.
+//
+// A client holds one or more private values for a feature (Section 4.3:
+// "for many features of interest, most clients hold several values"),
+// selects the value to contribute per the configured semantics, and answers
+// the server's bit requests — metering every disclosed private bit, and
+// dropping out of rounds with a configured probability (the intermittent
+// connectivity of Section 4.3).
+
+#ifndef BITPUSH_FEDERATED_CLIENT_H_
+#define BITPUSH_FEDERATED_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/fixed_point.h"
+#include "core/privacy_meter.h"
+#include "federated/poisoning.h"
+#include "federated/report.h"
+#include "ldp/randomized_response.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+// How a multi-value client reduces its local values to the single value it
+// contributes (Section 4.3, "Aggregating multiple local values per
+// feature").
+enum class ValuePolicy {
+  kSampleOne,   // uniform random local value (the deployed semantics)
+  kLocalMean,   // mean of the local values
+  kFirstValue,  // deterministic; degenerate single-value clients
+};
+
+struct ClientConfig {
+  double dropout_probability = 0.0;
+  ValuePolicy value_policy = ValuePolicy::kSampleOne;
+  AdversaryMode adversary = AdversaryMode::kHonest;
+};
+
+class Client {
+ public:
+  // `values` must be non-empty.
+  Client(int64_t id, std::vector<double> values, ClientConfig config);
+
+  int64_t id() const { return id_; }
+  const std::vector<double>& values() const { return values_; }
+  const ClientConfig& config() const { return config_; }
+
+  // The value this client would contribute under its policy.
+  double SelectValue(Rng& rng) const;
+
+  // Handles one bit request. Returns nullopt when the client drops out of
+  // the round or its privacy meter refuses the disclosure. `local_bit_index`
+  // lets a local-randomness protocol (or an adversary) override the
+  // server's choice; honest central-randomness clients pass the request's
+  // index through. `meter` may be null (no metering).
+  std::optional<BitReport> HandleRequest(const BitRequest& request,
+                                         const FixedPointCodec& codec,
+                                         bool local_randomness,
+                                         PrivacyMeter* meter, Rng& rng) const;
+
+ private:
+  int64_t id_;
+  std::vector<double> values_;
+  ClientConfig config_;
+};
+
+// Builds one single-value client per element of `values`, ids 0..n-1.
+std::vector<Client> MakePopulation(const std::vector<double>& values,
+                                   const ClientConfig& config);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_CLIENT_H_

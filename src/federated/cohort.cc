@@ -1,0 +1,38 @@
+#include "federated/cohort.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+std::vector<int64_t> SelectCohort(
+    const std::vector<Client>& clients,
+    const std::function<bool(const Client&)>& eligible,
+    const CohortPolicy& policy, Rng& rng, bool* below_minimum) {
+  BITPUSH_CHECK(below_minimum != nullptr);
+  BITPUSH_CHECK_GE(policy.min_cohort_size, 1);
+
+  std::vector<int64_t> cohort;
+  for (size_t i = 0; i < clients.size(); ++i) {
+    if (eligible == nullptr || eligible(clients[i])) {
+      cohort.push_back(static_cast<int64_t>(i));
+    }
+  }
+  if (static_cast<int64_t>(cohort.size()) < policy.min_cohort_size) {
+    *below_minimum = true;
+    return {};
+  }
+  *below_minimum = false;
+  // Shuffle so truncation is an unbiased subsample.
+  for (size_t i = cohort.size(); i > 1; --i) {
+    std::swap(cohort[i - 1], cohort[rng.NextBelow(i)]);
+  }
+  if (policy.max_cohort_size > 0 &&
+      static_cast<int64_t>(cohort.size()) > policy.max_cohort_size) {
+    cohort.resize(static_cast<size_t>(policy.max_cohort_size));
+  }
+  return cohort;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,35 @@
+// Cohort selection: eligibility filtering, sub-sampling, and the minimum
+// cohort size check of Section 4.3 ("enforce a minimum cohort size for
+// privacy" for selective queries).
+
+#ifndef BITPUSH_FEDERATED_COHORT_H_
+#define BITPUSH_FEDERATED_COHORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "federated/client.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct CohortPolicy {
+  // Rounds abort when fewer eligible clients than this are available.
+  int64_t min_cohort_size = 1;
+  // Cap on cohort size; 0 means "all eligible clients".
+  int64_t max_cohort_size = 0;
+};
+
+// Returns the indices (into `clients`) of the selected cohort: clients
+// passing `eligible` (null accepts everyone), shuffled, truncated to
+// max_cohort_size. An empty result with *below_minimum = true signals a
+// round that must abort.
+std::vector<int64_t> SelectCohort(
+    const std::vector<Client>& clients,
+    const std::function<bool(const Client&)>& eligible,
+    const CohortPolicy& policy, Rng& rng, bool* below_minimum);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_COHORT_H_

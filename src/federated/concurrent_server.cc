@@ -1,0 +1,27 @@
+#include "federated/concurrent_server.h"
+
+namespace bitpush {
+
+ConcurrentAggregator::ConcurrentAggregator(int bits) : histogram_(bits) {}
+
+void ConcurrentAggregator::Add(int bit_index, int reported_bit) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.Add(bit_index, reported_bit);
+}
+
+void ConcurrentAggregator::Merge(const BitHistogram& batch) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.Merge(batch);
+}
+
+BitHistogram ConcurrentAggregator::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_;
+}
+
+int64_t ConcurrentAggregator::TotalReports() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_.TotalReports();
+}
+
+}  // namespace bitpush

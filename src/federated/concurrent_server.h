@@ -1,0 +1,44 @@
+// Thread-safe report ingestion.
+//
+// A coordinator ingests reports from many transport threads; this wrapper
+// serializes tallies into a BitHistogram behind a mutex and hands out
+// consistent snapshots. The protocol math is unchanged — this is the
+// production-hygiene layer over core/bit_pushing.h.
+
+#ifndef BITPUSH_FEDERATED_CONCURRENT_SERVER_H_
+#define BITPUSH_FEDERATED_CONCURRENT_SERVER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/bit_pushing.h"
+
+namespace bitpush {
+
+class ConcurrentAggregator {
+ public:
+  explicit ConcurrentAggregator(int bits);
+
+  ConcurrentAggregator(const ConcurrentAggregator&) = delete;
+  ConcurrentAggregator& operator=(const ConcurrentAggregator&) = delete;
+
+  // Records one report. Safe to call from any thread.
+  void Add(int bit_index, int reported_bit);
+
+  // Merges a locally accumulated histogram (e.g. one transport thread's
+  // batch). Safe to call from any thread.
+  void Merge(const BitHistogram& batch);
+
+  // Returns a consistent copy of the tallies.
+  BitHistogram Snapshot() const;
+
+  int64_t TotalReports() const;
+
+ private:
+  mutable std::mutex mutex_;
+  BitHistogram histogram_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_CONCURRENT_SERVER_H_

@@ -1,0 +1,145 @@
+#include "federated/dropout_secure_agg.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bitpush {
+namespace {
+
+// Expands a seed into a field-sized mask. A seeded PRNG stands in for the
+// PRG of the real protocol.
+uint64_t Prg(uint64_t seed) {
+  Rng rng(seed);
+  return rng.NextBelow(kShamirPrime);
+}
+
+// Reconstructs a secret from the shares held by surviving clients.
+uint64_t ReconstructFromSurvivors(const std::vector<ShamirShare>& shares,
+                                  const std::vector<bool>& survived,
+                                  int threshold) {
+  std::vector<ShamirShare> available;
+  for (size_t holder = 0; holder < shares.size(); ++holder) {
+    if (survived[holder]) available.push_back(shares[holder]);
+  }
+  return ShamirReconstruct(available, threshold);
+}
+
+}  // namespace
+
+DoubleMaskingSession::DoubleMaskingSession(int num_clients, int threshold,
+                                           Rng& rng)
+    : num_clients_(num_clients), threshold_(threshold) {
+  BITPUSH_CHECK_GE(threshold, 2);
+  BITPUSH_CHECK_LE(threshold, num_clients);
+
+  self_seeds_.resize(static_cast<size_t>(num_clients));
+  shares_of_self_.resize(static_cast<size_t>(num_clients));
+  pairwise_seeds_.resize(static_cast<size_t>(num_clients));
+  shares_of_pairwise_.resize(static_cast<size_t>(num_clients));
+  submissions_.assign(static_cast<size_t>(num_clients), std::nullopt);
+  dropped_.assign(static_cast<size_t>(num_clients), false);
+
+  for (int i = 0; i < num_clients; ++i) {
+    self_seeds_[static_cast<size_t>(i)] = rng.NextBelow(kShamirPrime);
+    shares_of_self_[static_cast<size_t>(i)] = ShamirShareSecret(
+        self_seeds_[static_cast<size_t>(i)], threshold, num_clients, rng);
+    pairwise_seeds_[static_cast<size_t>(i)].resize(
+        static_cast<size_t>(num_clients - i - 1));
+    shares_of_pairwise_[static_cast<size_t>(i)].resize(
+        static_cast<size_t>(num_clients - i - 1));
+    for (int j = i + 1; j < num_clients; ++j) {
+      const uint64_t seed = rng.NextBelow(kShamirPrime);
+      pairwise_seeds_[static_cast<size_t>(i)][static_cast<size_t>(
+          j - i - 1)] = seed;
+      shares_of_pairwise_[static_cast<size_t>(i)][static_cast<size_t>(
+          j - i - 1)] = ShamirShareSecret(seed, threshold, num_clients,
+                                          rng);
+    }
+  }
+}
+
+uint64_t DoubleMaskingSession::PairwiseSeed(int i, int j) const {
+  BITPUSH_CHECK_LT(i, j);
+  return pairwise_seeds_[static_cast<size_t>(i)]
+                        [static_cast<size_t>(j - i - 1)];
+}
+
+uint64_t DoubleMaskingSession::Submit(int client, uint64_t value) {
+  BITPUSH_CHECK_GE(client, 0);
+  BITPUSH_CHECK_LT(client, num_clients_);
+  BITPUSH_CHECK_LT(value, kShamirPrime);
+  BITPUSH_CHECK(!dropped_[static_cast<size_t>(client)])
+      << "dropped client cannot submit";
+  BITPUSH_CHECK(!submissions_[static_cast<size_t>(client)].has_value())
+      << "client already submitted";
+
+  uint64_t masked = FieldAdd(
+      value, Prg(self_seeds_[static_cast<size_t>(client)]));
+  for (int j = client + 1; j < num_clients_; ++j) {
+    masked = FieldAdd(masked, Prg(PairwiseSeed(client, j)));
+  }
+  for (int j = 0; j < client; ++j) {
+    masked = FieldSub(masked, Prg(PairwiseSeed(j, client)));
+  }
+  submissions_[static_cast<size_t>(client)] = masked;
+  return masked;
+}
+
+void DoubleMaskingSession::MarkDropped(int client) {
+  BITPUSH_CHECK_GE(client, 0);
+  BITPUSH_CHECK_LT(client, num_clients_);
+  BITPUSH_CHECK(!submissions_[static_cast<size_t>(client)].has_value())
+      << "submitted client cannot be marked dropped";
+  dropped_[static_cast<size_t>(client)] = true;
+}
+
+std::optional<uint64_t> DoubleMaskingSession::RecoverSum() {
+  // Anyone who never submitted is a dropout.
+  std::vector<bool> survived(static_cast<size_t>(num_clients_), false);
+  int survivors = 0;
+  for (int i = 0; i < num_clients_; ++i) {
+    if (submissions_[static_cast<size_t>(i)].has_value()) {
+      survived[static_cast<size_t>(i)] = true;
+      ++survivors;
+    }
+  }
+  if (survivors < threshold_) return std::nullopt;
+
+  uint64_t sum = 0;
+  for (int i = 0; i < num_clients_; ++i) {
+    if (survived[static_cast<size_t>(i)]) {
+      sum = FieldAdd(sum, *submissions_[static_cast<size_t>(i)]);
+    }
+  }
+  // Strip survivors' self masks (reconstructed from survivor-held shares).
+  for (int i = 0; i < num_clients_; ++i) {
+    if (!survived[static_cast<size_t>(i)]) continue;
+    const uint64_t self_seed = ReconstructFromSurvivors(
+        shares_of_self_[static_cast<size_t>(i)], survived, threshold_);
+    sum = FieldSub(sum, Prg(self_seed));
+  }
+  // Strip the unmatched pairwise masks left by each dropped client.
+  for (int dropped = 0; dropped < num_clients_; ++dropped) {
+    if (survived[static_cast<size_t>(dropped)]) continue;
+    for (int other = 0; other < num_clients_; ++other) {
+      if (!survived[static_cast<size_t>(other)]) continue;
+      const int low = std::min(dropped, other);
+      const int high = std::max(dropped, other);
+      const uint64_t seed = ReconstructFromSurvivors(
+          shares_of_pairwise_[static_cast<size_t>(low)]
+                             [static_cast<size_t>(high - low - 1)],
+          survived, threshold_);
+      if (dropped < other) {
+        // The survivor contributed -PRG(seed); add it back.
+        sum = FieldAdd(sum, Prg(seed));
+      } else {
+        // The survivor contributed +PRG(seed); remove it.
+        sum = FieldSub(sum, Prg(seed));
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace bitpush

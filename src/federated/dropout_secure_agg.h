@@ -1,0 +1,78 @@
+// Dropout-tolerant secure aggregation (simplified Bonawitz/Segal et al.
+// double masking, the construction Section 3.3 cites for "the server knows
+// the sum of the input values, without revealing anything further").
+//
+// Each client i masks its value over GF(2^61 - 1) with
+//   masked_i = value_i + PRG(b_i) + sum_{j>i} PRG(s_ij) - sum_{j<i} PRG(s_ji)
+// where b_i is a per-client self seed and s_ij = s_ji pairwise seeds. When
+// everyone survives, the pairwise terms cancel in the sum and the server
+// only needs the self masks removed. Both kinds of seeds are Shamir-shared
+// among the cohort with threshold t, so after dropouts the surviving
+// clients' shares let the server reconstruct
+//   * b_i for every survivor (to strip self masks), and
+//   * s_ij for every dropped i (to strip its unmatched pairwise terms)
+// — but never both kinds for the same client, which is what keeps any
+// individual value hidden. This simulation holds all key material in one
+// object and exposes the recovery flow and its failure mode (fewer than t
+// survivors => the sum is unrecoverable).
+
+#ifndef BITPUSH_FEDERATED_DROPOUT_SECURE_AGG_H_
+#define BITPUSH_FEDERATED_DROPOUT_SECURE_AGG_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "federated/shamir.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+class DoubleMaskingSession {
+ public:
+  // Sets up seeds and their Shamir shares for `num_clients` clients with
+  // recovery threshold `threshold` (2 <= threshold <= num_clients).
+  DoubleMaskingSession(int num_clients, int threshold, Rng& rng);
+
+  int num_clients() const { return num_clients_; }
+  int threshold() const { return threshold_; }
+
+  // Client-side: the masked submission for client `i` holding `value`
+  // (< kShamirPrime). Each client submits at most once.
+  uint64_t Submit(int client, uint64_t value);
+
+  // Marks a client as dropped (it will never submit). Submitting and
+  // dropping the same client is an error.
+  void MarkDropped(int client);
+
+  // Server-side recovery: reconstructs and strips masks using the shares
+  // held by surviving clients, returning the sum (mod kShamirPrime) of the
+  // survivors' values — or nullopt when fewer than `threshold` clients
+  // survive and the masks are unrecoverable by design.
+  std::optional<uint64_t> RecoverSum();
+
+  // The server's raw view before recovery (for tests: individually
+  // uniform-looking).
+  const std::vector<std::optional<uint64_t>>& submissions() const {
+    return submissions_;
+  }
+
+ private:
+  uint64_t PairwiseSeed(int i, int j) const;
+
+  int num_clients_;
+  int threshold_;
+  std::vector<uint64_t> self_seeds_;
+  // Upper-triangular pairwise seeds: pairwise_seeds_[i][j-i-1] for j > i.
+  std::vector<std::vector<uint64_t>> pairwise_seeds_;
+  // Shamir shares of every seed, indexed by the share-holder client.
+  // shares_of_self_[i] = shares of b_i; shares_of_pairwise_[i][*] likewise.
+  std::vector<std::vector<ShamirShare>> shares_of_self_;
+  std::vector<std::vector<std::vector<ShamirShare>>> shares_of_pairwise_;
+  std::vector<std::optional<uint64_t>> submissions_;
+  std::vector<bool> dropped_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_DROPOUT_SECURE_AGG_H_

@@ -1,0 +1,51 @@
+#include "federated/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+FleetSimulator::FleetSimulator(const FleetConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  BITPUSH_CHECK_GE(config_.devices, 1);
+  BITPUSH_CHECK_GE(config_.availability_base, 0.0);
+  BITPUSH_CHECK_GE(config_.availability_amplitude, 0.0);
+}
+
+void FleetSimulator::AdvanceHours(double hours) {
+  BITPUSH_CHECK_GE(hours, 0.0);
+  hour_ += hours;
+}
+
+double FleetSimulator::Availability() const {
+  const double cycle = std::sin(2.0 * std::numbers::pi * hour_ / 24.0);
+  return std::clamp(
+      config_.availability_base + config_.availability_amplitude * cycle,
+      0.05, 1.0);
+}
+
+void FleetSimulator::ScaleMetric(double factor) {
+  BITPUSH_CHECK_GT(factor, 0.0);
+  metric_scale_ *= factor;
+}
+
+std::vector<double> FleetSimulator::CollectWindow(int64_t max_cohort) {
+  BITPUSH_CHECK_GE(max_cohort, 0);
+  const double availability = Availability();
+  std::vector<double> readings;
+  for (int64_t device = 0; device < config_.devices; ++device) {
+    if (max_cohort > 0 &&
+        static_cast<int64_t>(readings.size()) >= max_cohort) {
+      break;
+    }
+    if (!rng_.NextBernoulli(availability)) continue;
+    readings.push_back(metric_scale_ *
+                       GenerateMetric(config_.metric, 1, rng_).front());
+  }
+  return readings;
+}
+
+}  // namespace bitpush

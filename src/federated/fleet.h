@@ -1,0 +1,61 @@
+// Fleet simulation over time.
+//
+// Section 4.3's deployment observations concern a fleet monitored over
+// months: device availability varies ("their network connection can be
+// unreliable"), metrics drift or regress, and collection windows run on a
+// schedule. FleetSimulator models a device population with a diurnal
+// availability cycle and an adjustable metric scale, so the windowed
+// monitoring pipeline (federated/monitor.h) can be exercised end to end.
+
+#ifndef BITPUSH_FEDERATED_FLEET_H_
+#define BITPUSH_FEDERATED_FLEET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "federated/telemetry.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct FleetConfig {
+  int64_t devices = 10000;
+  MetricFamily metric = MetricFamily::kLatencyMs;
+  // Availability oscillates as base + amplitude * sin(2*pi*hour/24),
+  // clamped to [0.05, 1].
+  double availability_base = 0.5;
+  double availability_amplitude = 0.3;
+};
+
+class FleetSimulator {
+ public:
+  FleetSimulator(const FleetConfig& config, uint64_t seed);
+
+  // Advances the simulated clock.
+  void AdvanceHours(double hours);
+  double hour() const { return hour_; }
+
+  // Current fraction of the fleet reachable by the coordinator.
+  double Availability() const;
+
+  // Multiplies the metric scale from now on (e.g. 20.0 simulates a
+  // regression inflating the metric 20x).
+  void ScaleMetric(double factor);
+  double metric_scale() const { return metric_scale_; }
+
+  // Collects one window: each device is independently reachable with
+  // probability Availability(); reachable devices contribute one fresh
+  // metric reading (scaled by the current metric scale), capped at
+  // `max_cohort` (0 = no cap).
+  std::vector<double> CollectWindow(int64_t max_cohort);
+
+ private:
+  FleetConfig config_;
+  Rng rng_;
+  double hour_ = 0.0;
+  double metric_scale_ = 1.0;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_FLEET_H_

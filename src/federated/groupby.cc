@@ -1,0 +1,45 @@
+#include "federated/groupby.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+std::vector<SegmentEstimate> RunGroupByMeanQuery(
+    const std::vector<Client>& clients,
+    const std::function<std::string(const Client&)>& segment_of,
+    const FixedPointCodec& codec, const GroupByConfig& config,
+    PrivacyMeter* meter, Rng& rng) {
+  BITPUSH_CHECK(segment_of != nullptr);
+  BITPUSH_CHECK_GE(config.min_segment_size, 2);
+
+  // std::map keeps the output ordered by segment name.
+  std::map<std::string, std::vector<Client>> segments;
+  for (const Client& client : clients) {
+    segments[segment_of(client)].push_back(client);
+  }
+
+  std::vector<SegmentEstimate> results;
+  results.reserve(segments.size());
+  for (const auto& [name, members] : segments) {
+    SegmentEstimate result;
+    result.segment = name;
+    result.clients = static_cast<int64_t>(members.size());
+    if (result.clients < config.min_segment_size) {
+      result.suppressed = true;
+      results.push_back(result);
+      continue;
+    }
+    FederatedQueryConfig query = config.query;
+    query.cohort.min_cohort_size = config.min_segment_size;
+    const FederatedQueryResult outcome =
+        RunFederatedMeanQuery(members, codec, query, meter, rng);
+    result.suppressed = outcome.aborted;
+    result.estimate = outcome.estimate;
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,51 @@
+// Segmented (group-by) aggregation.
+//
+// Section 4.3 discusses selective queries — "restricting eligibility to
+// clients in a particular geography" — which must both wait for enough
+// eligible clients and "enforce a minimum cohort size for privacy". This
+// module runs an independent federated mean query per segment and
+// suppresses segments below the minimum, returning an explicit marker
+// instead of a low-privacy estimate.
+
+#ifndef BITPUSH_FEDERATED_GROUPBY_H_
+#define BITPUSH_FEDERATED_GROUPBY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/privacy_meter.h"
+#include "federated/round.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct GroupByConfig {
+  // Protocol for each segment's query (bits must match the codec).
+  FederatedQueryConfig query;
+  // Segments with fewer clients than this are suppressed. This overrides
+  // query.cohort.min_cohort_size per segment.
+  int64_t min_segment_size = 100;
+};
+
+struct SegmentEstimate {
+  std::string segment;
+  int64_t clients = 0;
+  // True when the segment was below the privacy minimum; `estimate` is
+  // unset and no protocol messages were sent for it.
+  bool suppressed = false;
+  double estimate = 0.0;
+};
+
+// Partitions `clients` by `segment_of` and estimates each segment's mean.
+// Results are ordered by segment name. `meter` may be null.
+std::vector<SegmentEstimate> RunGroupByMeanQuery(
+    const std::vector<Client>& clients,
+    const std::function<std::string(const Client&)>& segment_of,
+    const FixedPointCodec& codec, const GroupByConfig& config,
+    PrivacyMeter* meter, Rng& rng);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_GROUPBY_H_

@@ -1,0 +1,30 @@
+#include "federated/poisoning.h"
+
+#include "util/check.h"
+
+namespace bitpush {
+
+int PoisonedBit(AdversaryMode mode, bool local_randomness, int top_bit_index,
+                int assigned_bit_index, int true_bit, int* reported_index) {
+  BITPUSH_CHECK(reported_index != nullptr);
+  BITPUSH_CHECK(true_bit == 0 || true_bit == 1);
+  *reported_index = assigned_bit_index;
+  switch (mode) {
+    case AdversaryMode::kHonest:
+      return true_bit;
+    case AdversaryMode::kAlwaysOne:
+      return 1;
+    case AdversaryMode::kTopBitOne:
+      if (local_randomness) *reported_index = top_bit_index;
+      return 1;
+    case AdversaryMode::kFlipBit:
+      return 1 - true_bit;
+    case AdversaryMode::kGarbageIndex:
+      if (local_randomness) *reported_index = top_bit_index + 1000;
+      return 1;
+  }
+  BITPUSH_CHECK(false) << "unreachable";
+  return 0;
+}
+
+}  // namespace bitpush

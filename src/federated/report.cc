@@ -1,0 +1,23 @@
+#include "federated/report.h"
+
+namespace bitpush {
+
+void CommunicationStats::MergeFrom(const CommunicationStats& other) {
+  requests_sent += other.requests_sent;
+  reports_received += other.reports_received;
+  private_bits += other.private_bits;
+  payload_bytes += other.payload_bytes;
+}
+
+int64_t RequestPayloadBytes() {
+  // 8B round id + 8B value id + 1B bit index + 8B epsilon.
+  return 25;
+}
+
+int64_t ReportPayloadBytes() {
+  // 8B client id + 1B bit index + 1B bit (the single private bit rides in
+  // the low bit; the rest is protocol overhead).
+  return 10;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,104 @@
+#include "federated/round.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bit_probabilities.h"
+#include "core/bit_pushing.h"
+#include "core/bit_squashing.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
+                                           const FixedPointCodec& codec,
+                                           const FederatedQueryConfig& config,
+                                           PrivacyMeter* meter, Rng& rng) {
+  BITPUSH_CHECK_EQ(config.adaptive.bits, codec.bits());
+  BITPUSH_CHECK_GT(config.adaptive.delta, 0.0);
+  BITPUSH_CHECK_LT(config.adaptive.delta, 1.0);
+
+  FederatedQueryResult result;
+  bool below_minimum = false;
+  const std::vector<int64_t> cohort =
+      SelectCohort(clients, nullptr, config.cohort, rng, &below_minimum);
+  if (below_minimum || cohort.size() < 2) {
+    result.aborted = true;
+    return result;
+  }
+
+  const int64_t n = static_cast<int64_t>(cohort.size());
+  int64_t n1 = static_cast<int64_t>(
+      std::llround(config.adaptive.delta * static_cast<double>(n)));
+  n1 = std::clamp<int64_t>(n1, 1, n - 1);
+  const std::vector<int64_t> cohort1(cohort.begin(), cohort.begin() + n1);
+  const std::vector<int64_t> cohort2(cohort.begin() + n1, cohort.end());
+
+  const AggregationServer server(codec);
+  const RandomizedResponse rr =
+      RandomizedResponse::FromEpsilon(config.adaptive.epsilon);
+
+  // Round 1: input-independent geometric probe.
+  RoundConfig round1_config;
+  round1_config.probabilities =
+      GeometricProbabilities(config.adaptive.bits, config.adaptive.gamma);
+  round1_config.epsilon = config.adaptive.epsilon;
+  round1_config.central_randomness = config.adaptive.central_randomness;
+  round1_config.use_secure_aggregation = config.use_secure_aggregation;
+  round1_config.value_id = config.value_id;
+  round1_config.round_id = 1;
+  result.round1 = server.RunRound(clients, cohort1, round1_config, meter, rng);
+  result.comm.MergeFrom(result.round1.comm);
+
+  // Learn the round-2 allocation.
+  const std::vector<double> round1_means =
+      result.round1.histogram.UnbiasedMeans(rr);
+  const std::vector<bool> round1_keep =
+      ComputeSquashMask(round1_means, result.round1.histogram.totals(), rr,
+                        config.adaptive.squash);
+  std::vector<double> round2_probabilities = AdaptiveProbabilitiesMasked(
+      round1_means, round1_keep, config.adaptive.alpha,
+      round1_config.probabilities);
+  if (config.auto_adjust_dropout && !result.round1.intended_counts.empty()) {
+    round2_probabilities = AdjustProbabilitiesForDropout(
+        round2_probabilities, result.round1.intended_counts,
+        result.round1.histogram.totals());
+  }
+  result.round2_probabilities = round2_probabilities;
+
+  // Round 2 over the remaining cohort.
+  RoundConfig round2_config = round1_config;
+  round2_config.probabilities = round2_probabilities;
+  round2_config.round_id = 2;
+  result.round2 = server.RunRound(clients, cohort2, round2_config, meter, rng);
+  result.comm.MergeFrom(result.round2.comm);
+
+  // Final aggregation, with caching per the protocol config.
+  BitHistogram pooled = result.round1.histogram;
+  pooled.Merge(result.round2.histogram);
+  std::vector<int64_t> final_counts;
+  if (config.adaptive.caching) {
+    result.final_bit_means = pooled.UnbiasedMeans(rr);
+    final_counts = pooled.totals();
+  } else {
+    std::vector<bool> observed;
+    result.final_bit_means =
+        result.round2.histogram.UnbiasedMeans(rr, &observed);
+    final_counts = result.round2.histogram.totals();
+    const std::vector<double> fallback_means =
+        result.round1.histogram.UnbiasedMeans(rr);
+    for (size_t j = 0; j < result.final_bit_means.size(); ++j) {
+      if (!observed[j]) {
+        result.final_bit_means[j] = fallback_means[j];
+        final_counts[j] = result.round1.histogram.totals()[j];
+      }
+    }
+  }
+  result.kept = ComputeSquashMask(result.final_bit_means, final_counts, rr,
+                                  config.adaptive.squash);
+  result.estimate =
+      codec.Decode(RecombineBitMeans(result.final_bit_means, result.kept));
+  return result;
+}
+
+}  // namespace bitpush

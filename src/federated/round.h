@@ -1,0 +1,60 @@
+// End-to-end federated mean query: the adaptive two-round protocol of
+// Algorithm 2 executed over the client/server machinery (cohort selection,
+// dropout, privacy metering, optional secure aggregation, optional dropout
+// auto-adjustment of sampling probabilities).
+//
+// This is the integration point a deployment would call; the functional
+// core in src/core/ is the same math over flat vectors.
+
+#ifndef BITPUSH_FEDERATED_ROUND_H_
+#define BITPUSH_FEDERATED_ROUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/fixed_point.h"
+#include "core/privacy_meter.h"
+#include "federated/client.h"
+#include "federated/cohort.h"
+#include "federated/server.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct FederatedQueryConfig {
+  // Protocol parameters (bits, gamma, alpha, delta, epsilon, caching,
+  // squashing). bits must match the codec.
+  AdaptiveConfig adaptive;
+  CohortPolicy cohort;
+  bool use_secure_aggregation = false;
+  // Rebalance round-2 probabilities using round-1 dropout observations
+  // (Section 4.3, "the bit sampling probabilities were auto-adjusted based
+  // on the dropout rate").
+  bool auto_adjust_dropout = false;
+  int64_t value_id = 0;
+};
+
+struct FederatedQueryResult {
+  // True when the eligible cohort was below the privacy minimum; no
+  // protocol messages were sent.
+  bool aborted = false;
+  // Mean estimate in the value domain (valid when !aborted).
+  double estimate = 0.0;
+  RoundOutcome round1;
+  RoundOutcome round2;
+  std::vector<double> round2_probabilities;
+  std::vector<double> final_bit_means;
+  std::vector<bool> kept;
+  CommunicationStats comm;
+};
+
+// Runs the full two-round query over `clients`. `meter` may be null.
+FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
+                                           const FixedPointCodec& codec,
+                                           const FederatedQueryConfig& config,
+                                           PrivacyMeter* meter, Rng& rng);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_ROUND_H_

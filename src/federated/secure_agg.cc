@@ -1,0 +1,46 @@
+#include "federated/secure_agg.h"
+
+#include "util/check.h"
+
+namespace bitpush {
+
+SecureAggregator::SecureAggregator(int64_t expected_contributors, Rng& rng) {
+  BITPUSH_CHECK_GE(expected_contributors, 1);
+  masks_.resize(static_cast<size_t>(expected_contributors));
+  mask_used_.assign(masks_.size(), false);
+  uint64_t sum = 0;
+  for (size_t i = 0; i + 1 < masks_.size(); ++i) {
+    masks_[i] = rng.NextUint64();
+    sum += masks_[i];
+  }
+  masks_.back() = ~sum + 1;  // two's-complement negation: total is 0 mod 2^64
+  received_.reserve(masks_.size());
+}
+
+uint64_t SecureAggregator::Mask(int64_t contributor_index, uint64_t value) {
+  BITPUSH_CHECK_GE(contributor_index, 0);
+  BITPUSH_CHECK_LT(contributor_index,
+                   static_cast<int64_t>(masks_.size()));
+  const size_t i = static_cast<size_t>(contributor_index);
+  BITPUSH_CHECK(!mask_used_[i]) << "mask slot reused";
+  mask_used_[i] = true;
+  return value + masks_[i];
+}
+
+void SecureAggregator::Submit(uint64_t masked_value) {
+  BITPUSH_CHECK_LT(received_.size(), masks_.size()) << "too many submissions";
+  received_.push_back(masked_value);
+}
+
+bool SecureAggregator::complete() const {
+  return received_.size() == masks_.size();
+}
+
+uint64_t SecureAggregator::Sum() const {
+  BITPUSH_CHECK(complete()) << "dropouts prevent mask cancellation";
+  uint64_t sum = 0;
+  for (const uint64_t v : received_) sum += v;
+  return sum;
+}
+
+}  // namespace bitpush

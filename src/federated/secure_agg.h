@@ -1,0 +1,58 @@
+// Simulated secure aggregation (Section 3.3): "the server knows the sum of
+// the input values, without revealing anything further about the inputs of
+// individual clients".
+//
+// Clients add pairwise-cancelling additive masks over Z_{2^64} before
+// submitting; the server observes only masked values, which are
+// individually uniform, but their modular sum equals the true sum. If any
+// expected contributor drops out, the masks no longer cancel and the sum is
+// unrecoverable — the same failure mode that forces real secure-aggregation
+// deployments to batch a committed cohort (Section 1.1 contrasts this with
+// bit-pushing's tolerance of asynchronous updates).
+
+#ifndef BITPUSH_FEDERATED_SECURE_AGG_H_
+#define BITPUSH_FEDERATED_SECURE_AGG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace bitpush {
+
+class SecureAggregator {
+ public:
+  // Sets up masks for `expected_contributors` clients. Masks sum to zero
+  // modulo 2^64.
+  SecureAggregator(int64_t expected_contributors, Rng& rng);
+
+  // Client-side: returns value + mask_i (mod 2^64) for contributor slot i.
+  // Each slot may be used once.
+  uint64_t Mask(int64_t contributor_index, uint64_t value);
+
+  // Server-side: records a masked submission.
+  void Submit(uint64_t masked_value);
+
+  // True once every expected contributor has submitted.
+  bool complete() const;
+  int64_t submissions() const {
+    return static_cast<int64_t>(received_.size());
+  }
+
+  // The aggregate, valid only when complete(); the caller must check.
+  // Returns the exact sum of the unmasked values (mod 2^64).
+  uint64_t Sum() const;
+
+  // The server's raw view, exposed for tests that verify individual values
+  // are not recoverable.
+  const std::vector<uint64_t>& received() const { return received_; }
+
+ private:
+  std::vector<uint64_t> masks_;
+  std::vector<bool> mask_used_;
+  std::vector<uint64_t> received_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_SECURE_AGG_H_

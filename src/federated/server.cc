@@ -1,0 +1,133 @@
+#include "federated/server.h"
+
+#include <algorithm>
+
+#include "federated/secure_agg.h"
+#include "rng/qmc.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+AggregationServer::AggregationServer(const FixedPointCodec& codec)
+    : codec_(codec) {}
+
+RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
+                                         const std::vector<int64_t>& cohort,
+                                         const RoundConfig& config,
+                                         PrivacyMeter* meter,
+                                         Rng& rng) const {
+  const int bits = codec_.bits();
+  BITPUSH_CHECK_EQ(static_cast<int>(config.probabilities.size()), bits);
+  BITPUSH_CHECK(!cohort.empty());
+  const int64_t n = static_cast<int64_t>(cohort.size());
+
+  RoundOutcome outcome;
+  outcome.histogram = BitHistogram(bits);
+  outcome.contacted = n;
+
+  const std::vector<int> assignment =
+      config.central_randomness
+          ? AssignBitsCentral(n, config.probabilities, rng)
+          : AssignBitsLocal(n, config.probabilities, rng);
+  if (config.central_randomness) {
+    outcome.intended_counts.assign(static_cast<size_t>(bits), 0);
+    for (const int bit : assignment) {
+      ++outcome.intended_counts[static_cast<size_t>(bit)];
+    }
+  }
+
+  // Collect reports (bit index under which a report is tallied depends on
+  // the randomness mode; see RoundConfig).
+  std::vector<BitReport> reports;
+  reports.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const Client& client = clients[static_cast<size_t>(cohort[i])];
+    const BitRequest request{config.round_id, config.value_id,
+                             assignment[static_cast<size_t>(i)],
+                             config.epsilon};
+    ++outcome.comm.requests_sent;
+    outcome.comm.payload_bytes += RequestPayloadBytes();
+    std::optional<BitReport> report = client.HandleRequest(
+        request, codec_, !config.central_randomness, meter, rng);
+    if (!report.has_value()) continue;
+    if (config.central_randomness) {
+      // Defense: tally under the server's assignment, not the claim.
+      report->bit_index = request.bit_index;
+    } else if (report->bit_index < 0 || report->bit_index >= bits ||
+               (report->bit != 0 && report->bit != 1)) {
+      // Under local randomness the index (and bit) are client-supplied;
+      // reject anything outside the protocol's domain.
+      ++outcome.malformed_reports;
+      continue;
+    }
+    ++outcome.comm.reports_received;
+    ++outcome.comm.private_bits;
+    outcome.comm.payload_bytes += ReportPayloadBytes();
+    reports.push_back(*report);
+  }
+  outcome.responded = static_cast<int64_t>(reports.size());
+  outcome.dropout_rate =
+      1.0 - static_cast<double>(outcome.responded) / static_cast<double>(n);
+
+  if (!config.use_secure_aggregation) {
+    for (const BitReport& report : reports) {
+      outcome.histogram.Add(report.bit_index, report.bit);
+    }
+    return outcome;
+  }
+
+  // Secure aggregation: one session per bit group over the clients that
+  // actually responded for that bit; the server learns only (sum, count).
+  std::vector<std::vector<int>> group_bits(static_cast<size_t>(bits));
+  for (const BitReport& report : reports) {
+    group_bits[static_cast<size_t>(report.bit_index)].push_back(report.bit);
+  }
+  for (int j = 0; j < bits; ++j) {
+    const std::vector<int>& group = group_bits[static_cast<size_t>(j)];
+    if (group.empty()) continue;
+    SecureAggregator aggregator(static_cast<int64_t>(group.size()), rng);
+    for (size_t i = 0; i < group.size(); ++i) {
+      aggregator.Submit(aggregator.Mask(static_cast<int64_t>(i),
+                                        static_cast<uint64_t>(group[i])));
+    }
+    BITPUSH_CHECK(aggregator.complete());
+    const uint64_t ones = aggregator.Sum();
+    // Reconstruct the histogram from (sum, count) alone.
+    for (uint64_t k = 0; k < static_cast<uint64_t>(group.size()); ++k) {
+      outcome.histogram.Add(j, k < ones ? 1 : 0);
+    }
+  }
+  return outcome;
+}
+
+double AggregationServer::EstimateMean(const BitHistogram& histogram,
+                                       double epsilon) const {
+  const RandomizedResponse rr = RandomizedResponse::FromEpsilon(epsilon);
+  const std::vector<double> means = histogram.UnbiasedMeans(rr);
+  return codec_.Decode(RecombineBitMeans(means));
+}
+
+std::vector<double> AdjustProbabilitiesForDropout(
+    const std::vector<double>& probabilities,
+    const std::vector<int64_t>& intended_counts,
+    const std::vector<int64_t>& realized_counts) {
+  BITPUSH_CHECK_EQ(probabilities.size(), intended_counts.size());
+  BITPUSH_CHECK_EQ(probabilities.size(), realized_counts.size());
+  std::vector<double> adjusted(probabilities.size());
+  double total = 0.0;
+  for (size_t j = 0; j < probabilities.size(); ++j) {
+    double ratio = 1.0;
+    if (intended_counts[j] > 0) {
+      ratio = static_cast<double>(intended_counts[j]) /
+              std::max<double>(1.0, static_cast<double>(realized_counts[j]));
+      ratio = std::clamp(ratio, 0.5, 2.0);
+    }
+    adjusted[j] = probabilities[j] * ratio;
+    total += adjusted[j];
+  }
+  BITPUSH_CHECK_GT(total, 0.0);
+  for (double& p : adjusted) p /= total;
+  return adjusted;
+}
+
+}  // namespace bitpush

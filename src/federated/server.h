@@ -1,0 +1,83 @@
+// The aggregation server: orchestrates one bit-collection round over a
+// cohort of clients, optionally routing per-bit tallies through simulated
+// secure aggregation, and turns pooled histograms into mean estimates.
+
+#ifndef BITPUSH_FEDERATED_SERVER_H_
+#define BITPUSH_FEDERATED_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bit_pushing.h"
+#include "core/fixed_point.h"
+#include "core/privacy_meter.h"
+#include "federated/client.h"
+#include "federated/report.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+struct RoundConfig {
+  // Per-bit sampling probabilities (length = codec bits, sums to 1).
+  std::vector<double> probabilities;
+  // Randomized-response budget each client applies; <= 0 disables.
+  double epsilon = 0.0;
+  // Server-chosen bit indices (QMC) vs client-chosen. Under central
+  // randomness the server tallies reports under the *assigned* index,
+  // ignoring any index the client claims — the poisoning defense of
+  // Section 5.
+  bool central_randomness = true;
+  // Route per-bit tallies through SecureAggregator so the server only ever
+  // sees sums (Section 3.3).
+  bool use_secure_aggregation = false;
+  // Identifies the value being queried, for privacy metering.
+  int64_t value_id = 0;
+  int64_t round_id = 0;
+};
+
+struct RoundOutcome {
+  BitHistogram histogram;
+  int64_t contacted = 0;
+  int64_t responded = 0;
+  // Reports rejected for carrying an out-of-range bit index (only possible
+  // under local randomness, where the client names the index).
+  int64_t malformed_reports = 0;
+  double dropout_rate = 0.0;
+  CommunicationStats comm;
+  // Intended per-bit report counts from the QMC assignment (empty under
+  // local randomness); compared against realized counts for the dropout
+  // auto-adjustment of Section 4.3.
+  std::vector<int64_t> intended_counts;
+};
+
+class AggregationServer {
+ public:
+  explicit AggregationServer(const FixedPointCodec& codec);
+
+  const FixedPointCodec& codec() const { return codec_; }
+
+  // Runs one round over clients[cohort[*]]. `meter` may be null.
+  RoundOutcome RunRound(const std::vector<Client>& clients,
+                        const std::vector<int64_t>& cohort,
+                        const RoundConfig& config, PrivacyMeter* meter,
+                        Rng& rng) const;
+
+  // Unbiases, recombines, and decodes a pooled histogram into the value
+  // domain. `epsilon` must match what the reports were perturbed with.
+  double EstimateMean(const BitHistogram& histogram, double epsilon) const;
+
+ private:
+  FixedPointCodec codec_;
+};
+
+// Rebalances sampling probabilities after observing dropout: bit j's
+// probability is scaled by intended_j / realized_j (clamped to [1/2, 2] for
+// stability) so under-reported bits receive more assignments next round.
+std::vector<double> AdjustProbabilitiesForDropout(
+    const std::vector<double>& probabilities,
+    const std::vector<int64_t>& intended_counts,
+    const std::vector<int64_t>& realized_counts);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_SERVER_H_

@@ -1,0 +1,102 @@
+#include "federated/session.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+CollectionSession::CollectionSession(const FixedPointCodec& codec,
+                                     const SessionConfig& config)
+    : codec_(codec),
+      config_(config),
+      rr_(RandomizedResponse::FromEpsilon(config.epsilon)),
+      issued_(config.probabilities.size(), 0),
+      histogram_(codec.bits()) {
+  BITPUSH_CHECK_EQ(static_cast<int>(config_.probabilities.size()),
+                   codec_.bits());
+  double total = 0.0;
+  for (const double p : config_.probabilities) {
+    BITPUSH_CHECK_GE(p, 0.0);
+    total += p;
+  }
+  BITPUSH_CHECK(std::abs(total - 1.0) < 1e-9)
+      << "probabilities must sum to 1";
+  BITPUSH_CHECK_GE(config_.target_reports, 0);
+}
+
+bool CollectionSession::IssueAssignment(int64_t client_id,
+                                        BitRequest* request) {
+  BITPUSH_CHECK(request != nullptr);
+  if (state_ != SessionState::kCollecting) return false;
+
+  int bit_index;
+  const auto existing = assigned_bits_.find(client_id);
+  if (existing != assigned_bits_.end()) {
+    bit_index = existing->second;
+  } else {
+    // Largest-deficit streaming allocation: pick the bit whose realized
+    // count lags its target share of (total_issued + 1) the most.
+    const double next_total =
+        static_cast<double>(assigned_bits_.size()) + 1.0;
+    double best_deficit = -1.0;
+    bit_index = 0;
+    for (size_t j = 0; j < config_.probabilities.size(); ++j) {
+      if (config_.probabilities[j] <= 0.0) continue;
+      const double deficit = config_.probabilities[j] * next_total -
+                             static_cast<double>(issued_[j]);
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        bit_index = static_cast<int>(j);
+      }
+    }
+    BITPUSH_CHECK_GE(best_deficit, -1e9) << "no bit has positive probability";
+    ++issued_[static_cast<size_t>(bit_index)];
+    assigned_bits_.emplace(client_id, bit_index);
+  }
+
+  request->round_id = config_.round_id;
+  request->value_id = config_.value_id;
+  request->bit_index = bit_index;
+  request->rr_epsilon = config_.epsilon;
+  return true;
+}
+
+ReportRejection CollectionSession::SubmitReport(const BitReport& report) {
+  if (state_ != SessionState::kCollecting) {
+    ++rejected_;
+    return ReportRejection::kSessionClosed;
+  }
+  const auto assigned = assigned_bits_.find(report.client_id);
+  if (assigned == assigned_bits_.end()) {
+    ++rejected_;
+    return ReportRejection::kUnknownClient;
+  }
+  if (reported_.contains(report.client_id)) {
+    ++rejected_;
+    return ReportRejection::kDuplicate;
+  }
+  if (report.bit_index != assigned->second) {
+    ++rejected_;
+    return ReportRejection::kWrongIndex;
+  }
+  if (report.bit != 0 && report.bit != 1) {
+    ++rejected_;
+    return ReportRejection::kMalformedBit;
+  }
+  reported_.insert(report.client_id);
+  histogram_.Add(report.bit_index, report.bit);
+  ++accepted_;
+  if (config_.target_reports > 0 && accepted_ >= config_.target_reports) {
+    Close();
+  }
+  return ReportRejection::kAccepted;
+}
+
+void CollectionSession::Close() { state_ = SessionState::kClosed; }
+
+double CollectionSession::Estimate() const {
+  return codec_.Decode(RecombineBitMeans(histogram_.UnbiasedMeans(rr_)));
+}
+
+}  // namespace bitpush

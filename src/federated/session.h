@@ -1,0 +1,103 @@
+// Collection-session state machine.
+//
+// A production coordinator does not gather a round synchronously: it opens
+// a session, hands out assignments as devices check in, accepts reports
+// until a deadline or a target count, and then finalizes. This module
+// provides that session object with explicit states and rejection rules
+// (late, duplicate, or malformed reports), bridging the simulator's
+// synchronous rounds and the asynchronous reality of Section 4.3.
+
+#ifndef BITPUSH_FEDERATED_SESSION_H_
+#define BITPUSH_FEDERATED_SESSION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bit_pushing.h"
+#include "core/fixed_point.h"
+#include "federated/report.h"
+#include "ldp/randomized_response.h"
+
+namespace bitpush {
+
+enum class SessionState {
+  kCollecting,  // accepting assignments and reports
+  kClosed,      // finalized; histogram available, reports rejected
+};
+
+// Why a report was rejected (for ops counters).
+enum class ReportRejection {
+  kAccepted,
+  kSessionClosed,
+  kUnknownClient,    // no assignment was issued to this client id
+  kDuplicate,        // client already reported this session
+  kWrongIndex,       // report names a different bit than assigned
+  kMalformedBit,     // bit outside {0, 1}
+};
+
+struct SessionConfig {
+  // Per-bit sampling probabilities (length = codec bits).
+  std::vector<double> probabilities;
+  double epsilon = 0.0;
+  // Finalize automatically once this many reports are accepted (0 = no
+  // target; close manually).
+  int64_t target_reports = 0;
+  int64_t round_id = 0;
+  int64_t value_id = 0;
+};
+
+class CollectionSession {
+ public:
+  CollectionSession(const FixedPointCodec& codec,
+                    const SessionConfig& config);
+
+  SessionState state() const { return state_; }
+
+  // Issues an assignment for a checking-in client. Bits are handed out by
+  // streaming largest-deficit allocation, so realized per-bit counts track
+  // n * p_j within one report at every moment — the online analogue of the
+  // QMC partition. Each client id gets one assignment per session; repeat
+  // calls return the same request. Fails (returns false) once the session
+  // is closed.
+  bool IssueAssignment(int64_t client_id, BitRequest* request);
+
+  // Ingests a report. Returns the acceptance/rejection verdict and updates
+  // the tallies on acceptance. Auto-finalizes when target_reports is
+  // reached.
+  ReportRejection SubmitReport(const BitReport& report);
+
+  // Closes the session; idempotent.
+  void Close();
+
+  int64_t accepted_reports() const { return accepted_; }
+  int64_t rejected_reports() const { return rejected_; }
+  int64_t assignments_issued() const {
+    return static_cast<int64_t>(assigned_bits_.size());
+  }
+
+  // The pooled tallies; valid at any time (running estimate) and final
+  // after Close().
+  const BitHistogram& histogram() const { return histogram_; }
+  // Current mean estimate in the value domain.
+  double Estimate() const;
+
+ private:
+  FixedPointCodec codec_;
+  SessionConfig config_;
+  RandomizedResponse rr_;
+  SessionState state_ = SessionState::kCollecting;
+  // client id -> assigned bit index.
+  std::unordered_map<int64_t, int> assigned_bits_;
+  std::unordered_set<int64_t> reported_;
+  // Per-bit counts of issued assignments, for the deficit allocation.
+  std::vector<int64_t> issued_;
+  BitHistogram histogram_;
+  int64_t accepted_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_SESSION_H_

@@ -1,0 +1,113 @@
+#include "federated/shamir.h"
+
+#include "util/check.h"
+
+namespace bitpush {
+namespace {
+
+uint64_t ReduceMersenne(unsigned __int128 v) {
+  // x mod (2^61 - 1) via the Mersenne identity 2^61 == 1.
+  uint64_t r = static_cast<uint64_t>(v & kShamirPrime) +
+               static_cast<uint64_t>(v >> 61);
+  // One more fold covers the carry, then a conditional subtract.
+  r = (r & kShamirPrime) + (r >> 61);
+  if (r >= kShamirPrime) r -= kShamirPrime;
+  return r;
+}
+
+uint64_t FieldPow(uint64_t base, uint64_t exponent) {
+  uint64_t result = 1;
+  uint64_t acc = base;
+  while (exponent > 0) {
+    if (exponent & 1) result = FieldMul(result, acc);
+    acc = FieldMul(acc, acc);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+uint64_t UniformFieldElement(Rng& rng) { return rng.NextBelow(kShamirPrime); }
+
+}  // namespace
+
+uint64_t FieldAdd(uint64_t a, uint64_t b) {
+  BITPUSH_CHECK_LT(a, kShamirPrime);
+  BITPUSH_CHECK_LT(b, kShamirPrime);
+  uint64_t r = a + b;
+  if (r >= kShamirPrime) r -= kShamirPrime;
+  return r;
+}
+
+uint64_t FieldSub(uint64_t a, uint64_t b) {
+  BITPUSH_CHECK_LT(a, kShamirPrime);
+  BITPUSH_CHECK_LT(b, kShamirPrime);
+  return a >= b ? a - b : a + kShamirPrime - b;
+}
+
+uint64_t FieldMul(uint64_t a, uint64_t b) {
+  BITPUSH_CHECK_LT(a, kShamirPrime);
+  BITPUSH_CHECK_LT(b, kShamirPrime);
+  return ReduceMersenne(static_cast<unsigned __int128>(a) * b);
+}
+
+uint64_t FieldInverse(uint64_t a) {
+  BITPUSH_CHECK_NE(a, 0u);
+  return FieldPow(a, kShamirPrime - 2);  // Fermat
+}
+
+std::vector<ShamirShare> ShamirShareSecret(uint64_t secret, int threshold,
+                                           int num_shares, Rng& rng) {
+  BITPUSH_CHECK_LT(secret, kShamirPrime);
+  BITPUSH_CHECK_GE(threshold, 1);
+  BITPUSH_CHECK_LE(threshold, num_shares);
+  // Random polynomial of degree threshold-1 with constant term = secret.
+  std::vector<uint64_t> coefficients;
+  coefficients.push_back(secret);
+  for (int k = 1; k < threshold; ++k) {
+    coefficients.push_back(UniformFieldElement(rng));
+  }
+  std::vector<ShamirShare> shares;
+  shares.reserve(static_cast<size_t>(num_shares));
+  for (int i = 1; i <= num_shares; ++i) {
+    const uint64_t x = static_cast<uint64_t>(i);
+    // Horner evaluation.
+    uint64_t y = 0;
+    for (size_t k = coefficients.size(); k > 0; --k) {
+      y = FieldAdd(FieldMul(y, x), coefficients[k - 1]);
+    }
+    shares.push_back(ShamirShare{x, y});
+  }
+  return shares;
+}
+
+uint64_t ShamirReconstruct(const std::vector<ShamirShare>& shares,
+                           int threshold) {
+  BITPUSH_CHECK_GE(threshold, 1);
+  BITPUSH_CHECK_GE(static_cast<int>(shares.size()), threshold)
+      << "not enough shares to reconstruct";
+  // Lagrange interpolation at x = 0 over the first `threshold` shares.
+  uint64_t secret = 0;
+  for (int i = 0; i < threshold; ++i) {
+    uint64_t numerator = 1;
+    uint64_t denominator = 1;
+    for (int j = 0; j < threshold; ++j) {
+      if (i == j) continue;
+      BITPUSH_CHECK_NE(shares[static_cast<size_t>(i)].x,
+                       shares[static_cast<size_t>(j)].x)
+          << "duplicate evaluation points";
+      numerator =
+          FieldMul(numerator,
+                   FieldSub(0, shares[static_cast<size_t>(j)].x));
+      denominator =
+          FieldMul(denominator,
+                   FieldSub(shares[static_cast<size_t>(i)].x,
+                            shares[static_cast<size_t>(j)].x));
+    }
+    const uint64_t weight = FieldMul(numerator, FieldInverse(denominator));
+    secret = FieldAdd(
+        secret, FieldMul(shares[static_cast<size_t>(i)].y, weight));
+  }
+  return secret;
+}
+
+}  // namespace bitpush

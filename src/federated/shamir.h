@@ -1,0 +1,47 @@
+// Shamir secret sharing over GF(2^61 - 1).
+//
+// Substrate for the dropout-tolerant secure aggregation of
+// federated/dropout_secure_agg.h (the Bonawitz/Segal et al. construction
+// cited in Section 3.3): mask seeds are t-of-n shared among the cohort so
+// the server can unmask around dropped clients without any single party
+// learning a seed.
+
+#ifndef BITPUSH_FEDERATED_SHAMIR_H_
+#define BITPUSH_FEDERATED_SHAMIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace bitpush {
+
+// The Mersenne prime 2^61 - 1; field elements are in [0, kShamirPrime).
+inline constexpr uint64_t kShamirPrime = (uint64_t{1} << 61) - 1;
+
+// Field arithmetic (exposed for tests).
+uint64_t FieldAdd(uint64_t a, uint64_t b);
+uint64_t FieldSub(uint64_t a, uint64_t b);
+uint64_t FieldMul(uint64_t a, uint64_t b);
+// Multiplicative inverse; `a` must be nonzero.
+uint64_t FieldInverse(uint64_t a);
+
+struct ShamirShare {
+  uint64_t x = 0;  // evaluation point, nonzero
+  uint64_t y = 0;  // polynomial value
+};
+
+// Splits `secret` (< kShamirPrime) into `num_shares` shares at evaluation
+// points 1..num_shares such that any `threshold` of them reconstruct it
+// and fewer reveal nothing. Requires 1 <= threshold <= num_shares.
+std::vector<ShamirShare> ShamirShareSecret(uint64_t secret, int threshold,
+                                           int num_shares, Rng& rng);
+
+// Reconstructs the secret from exactly `threshold` (or more) shares with
+// distinct evaluation points, via Lagrange interpolation at 0.
+uint64_t ShamirReconstruct(const std::vector<ShamirShare>& shares,
+                           int threshold);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_SHAMIR_H_

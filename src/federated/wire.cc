@@ -1,0 +1,193 @@
+#include "federated/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bitpush {
+namespace {
+
+void PutUint64(uint64_t value, std::vector<uint8_t>* out) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void PutUint32(uint32_t value, std::vector<uint8_t>* out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void PutDouble(double value, std::vector<uint8_t>* out) {
+  PutUint64(std::bit_cast<uint64_t>(value), out);
+}
+
+bool GetUint64(const std::vector<uint8_t>& buffer, size_t* offset,
+               uint64_t* out) {
+  if (buffer.size() - *offset < 8) return false;
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(buffer[*offset + static_cast<size_t>(i)])
+             << (8 * i);
+  }
+  *offset += 8;
+  *out = value;
+  return true;
+}
+
+bool GetUint32(const std::vector<uint8_t>& buffer, size_t* offset,
+               uint32_t* out) {
+  if (buffer.size() - *offset < 4) return false;
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(buffer[*offset + static_cast<size_t>(i)])
+             << (8 * i);
+  }
+  *offset += 4;
+  *out = value;
+  return true;
+}
+
+bool GetByte(const std::vector<uint8_t>& buffer, size_t* offset,
+             uint8_t* out) {
+  if (buffer.size() - *offset < 1) return false;
+  *out = buffer[*offset];
+  *offset += 1;
+  return true;
+}
+
+}  // namespace
+
+void EncodeBitRequest(const BitRequest& request, std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  BITPUSH_CHECK_GE(request.bit_index, 0);
+  BITPUSH_CHECK_LT(request.bit_index, 256);
+  PutUint64(static_cast<uint64_t>(request.round_id), out);
+  PutUint64(static_cast<uint64_t>(request.value_id), out);
+  out->push_back(static_cast<uint8_t>(request.bit_index));
+  PutDouble(request.rr_epsilon, out);
+}
+
+bool DecodeBitRequest(const std::vector<uint8_t>& buffer, size_t* offset,
+                      BitRequest* out) {
+  BITPUSH_CHECK(offset != nullptr);
+  BITPUSH_CHECK(out != nullptr);
+  if (*offset > buffer.size() ||
+      buffer.size() - *offset < kBitRequestWireSize) {
+    return false;
+  }
+  size_t cursor = *offset;
+  uint64_t round_id = 0;
+  uint64_t value_id = 0;
+  uint8_t bit_index = 0;
+  uint64_t epsilon_bits = 0;
+  if (!GetUint64(buffer, &cursor, &round_id) ||
+      !GetUint64(buffer, &cursor, &value_id) ||
+      !GetByte(buffer, &cursor, &bit_index) ||
+      !GetUint64(buffer, &cursor, &epsilon_bits)) {
+    return false;
+  }
+  out->round_id = static_cast<int64_t>(round_id);
+  out->value_id = static_cast<int64_t>(value_id);
+  out->bit_index = bit_index;
+  out->rr_epsilon = std::bit_cast<double>(epsilon_bits);
+  *offset = cursor;
+  return true;
+}
+
+void EncodeBitReport(const BitReport& report, std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  BITPUSH_CHECK(report.bit == 0 || report.bit == 1);
+  BITPUSH_CHECK_GE(report.bit_index, 0);
+  BITPUSH_CHECK_LT(report.bit_index, 256);
+  PutUint64(static_cast<uint64_t>(report.client_id), out);
+  out->push_back(static_cast<uint8_t>(report.bit_index));
+  out->push_back(static_cast<uint8_t>(report.bit));
+}
+
+bool DecodeBitReport(const std::vector<uint8_t>& buffer, size_t* offset,
+                     BitReport* out) {
+  BITPUSH_CHECK(offset != nullptr);
+  BITPUSH_CHECK(out != nullptr);
+  if (*offset > buffer.size() ||
+      buffer.size() - *offset < kBitReportWireSize) {
+    return false;
+  }
+  size_t cursor = *offset;
+  uint64_t client_id = 0;
+  uint8_t bit_index = 0;
+  uint8_t bit = 0;
+  if (!GetUint64(buffer, &cursor, &client_id) ||
+      !GetByte(buffer, &cursor, &bit_index) ||
+      !GetByte(buffer, &cursor, &bit)) {
+    return false;
+  }
+  if (bit > 1) return false;  // malformed: the private payload is one bit
+  out->client_id = static_cast<int64_t>(client_id);
+  out->bit_index = bit_index;
+  out->bit = bit;
+  *offset = cursor;
+  return true;
+}
+
+void EncodeRequestBatch(const std::vector<BitRequest>& requests,
+                        std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  PutUint32(static_cast<uint32_t>(requests.size()), out);
+  for (const BitRequest& request : requests) {
+    EncodeBitRequest(request, out);
+  }
+}
+
+bool DecodeRequestBatch(const std::vector<uint8_t>& buffer,
+                        std::vector<BitRequest>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  size_t offset = 0;
+  uint32_t count = 0;
+  if (!GetUint32(buffer, &offset, &count)) return false;
+  if (buffer.size() - offset <
+      static_cast<size_t>(count) * kBitRequestWireSize) {
+    return false;
+  }
+  std::vector<BitRequest> requests;
+  requests.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BitRequest request;
+    if (!DecodeBitRequest(buffer, &offset, &request)) return false;
+    requests.push_back(request);
+  }
+  *out = std::move(requests);
+  return true;
+}
+
+void EncodeReportBatch(const std::vector<BitReport>& reports,
+                       std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  PutUint32(static_cast<uint32_t>(reports.size()), out);
+  for (const BitReport& report : reports) EncodeBitReport(report, out);
+}
+
+bool DecodeReportBatch(const std::vector<uint8_t>& buffer,
+                       std::vector<BitReport>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  size_t offset = 0;
+  uint32_t count = 0;
+  if (!GetUint32(buffer, &offset, &count)) return false;
+  if (buffer.size() - offset <
+      static_cast<size_t>(count) * kBitReportWireSize) {
+    return false;
+  }
+  std::vector<BitReport> reports;
+  reports.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BitReport report;
+    if (!DecodeBitReport(buffer, &offset, &report)) return false;
+    reports.push_back(report);
+  }
+  *out = std::move(reports);
+  return true;
+}
+
+}  // namespace bitpush

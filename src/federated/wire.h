@@ -1,0 +1,50 @@
+// Wire format for protocol messages.
+//
+// The deployment discussion (Section 5, "Communication costs") notes that
+// the single private bit rides in a small packet alongside headers and the
+// sampled bit index. This module defines that packet: fixed-width
+// little-endian encoding with explicit bounds-checked decoding, so the
+// transport layer of an integration has a concrete, testable contract.
+
+#ifndef BITPUSH_FEDERATED_WIRE_H_
+#define BITPUSH_FEDERATED_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "federated/report.h"
+
+namespace bitpush {
+
+// Serialized sizes (bytes).
+inline constexpr size_t kBitRequestWireSize = 8 + 8 + 1 + 8;
+inline constexpr size_t kBitReportWireSize = 8 + 1 + 1;
+
+// Appends the message to `out`.
+void EncodeBitRequest(const BitRequest& request, std::vector<uint8_t>* out);
+void EncodeBitReport(const BitReport& report, std::vector<uint8_t>* out);
+
+// Decodes one message starting at `offset`; on success advances `*offset`
+// past the message and returns true. Returns false (leaving `*offset` and
+// `*out` untouched) on truncated input or malformed fields (bit values
+// outside {0, 1}, negative bit indices).
+bool DecodeBitRequest(const std::vector<uint8_t>& buffer, size_t* offset,
+                      BitRequest* out);
+bool DecodeBitReport(const std::vector<uint8_t>& buffer, size_t* offset,
+                     BitReport* out);
+
+// Batch framing: a 4-byte count followed by that many messages. Decoding
+// rejects counts that would overrun the buffer.
+void EncodeReportBatch(const std::vector<BitReport>& reports,
+                       std::vector<uint8_t>* out);
+bool DecodeReportBatch(const std::vector<uint8_t>& buffer,
+                       std::vector<BitReport>* out);
+void EncodeRequestBatch(const std::vector<BitRequest>& requests,
+                        std::vector<uint8_t>* out);
+bool DecodeRequestBatch(const std::vector<uint8_t>& buffer,
+                        std::vector<BitRequest>* out);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_WIRE_H_

@@ -1,0 +1,33 @@
+#include "ldp/ding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+DingMechanism::DingMechanism(double epsilon, double low, double high)
+    : epsilon_(epsilon),
+      low_(low),
+      high_(high),
+      exp_eps_(std::exp(epsilon)) {
+  BITPUSH_CHECK_GT(epsilon, 0.0);
+  BITPUSH_CHECK_LT(low, high);
+}
+
+double DingMechanism::ReportProbability(double x) const {
+  const double scaled = (std::clamp(x, low_, high_) - low_) / (high_ - low_);
+  return 1.0 / (exp_eps_ + 1.0) +
+         scaled * (exp_eps_ - 1.0) / (exp_eps_ + 1.0);
+}
+
+double DingMechanism::Privatize(double x, Rng& rng) const {
+  const double report =
+      rng.NextBernoulli(ReportProbability(x)) ? 1.0 : 0.0;
+  const double unbiased_scaled =
+      (report * (exp_eps_ + 1.0) - 1.0) / (exp_eps_ - 1.0);
+  return low_ + unbiased_scaled * (high_ - low_);
+}
+
+}  // namespace bitpush

@@ -1,0 +1,41 @@
+// The 1-bit mean-estimation mechanism of Ding, Kulkarni & Yekhanin
+// (NeurIPS 2017) — the mechanism behind Windows telemetry collection,
+// cited by the paper as [10] ("Similar ideas have been deployed for
+// Windows app usage-data collection"). For x in [0, m] the client reports
+// one bit drawn as
+//
+//   P[report = 1] = 1/(e^eps + 1) + (x/m) * (e^eps - 1)/(e^eps + 1),
+//
+// which is eps-LDP by construction; the server's unbiased per-report
+// estimate is m * (report * (e^eps + 1) - 1) / (e^eps - 1).
+
+#ifndef BITPUSH_LDP_DING_H_
+#define BITPUSH_LDP_DING_H_
+
+#include <string>
+
+#include "ldp/mechanism.h"
+
+namespace bitpush {
+
+class DingMechanism : public ScalarMechanism {
+ public:
+  // `epsilon` must be > 0; values are clamped to [low, high].
+  DingMechanism(double epsilon, double low, double high);
+
+  double Privatize(double x, Rng& rng) const override;
+  std::string name() const override { return "ding"; }
+
+  // Probability of reporting 1 for input x (exposed for the LDP test).
+  double ReportProbability(double x) const;
+
+ private:
+  double epsilon_;
+  double low_;
+  double high_;
+  double exp_eps_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_DING_H_

@@ -1,0 +1,24 @@
+#include "ldp/dithering.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+SubtractiveDithering::SubtractiveDithering(double epsilon, double low,
+                                           double high)
+    : rr_(RandomizedResponse::FromEpsilon(epsilon)), low_(low), high_(high) {
+  BITPUSH_CHECK_LT(low, high);
+}
+
+double SubtractiveDithering::Privatize(double x, Rng& rng) const {
+  const double scaled = (std::clamp(x, low_, high_) - low_) / (high_ - low_);
+  const double h = rng.NextDouble();  // shared randomness, known to server
+  const int bit = scaled >= h ? 1 : 0;
+  const double unbiased_bit = rr_.Unbias(rr_.Apply(bit, rng));
+  const double estimate = unbiased_bit + h - 0.5;
+  return low_ + estimate * (high_ - low_);
+}
+
+}  // namespace bitpush

@@ -1,0 +1,37 @@
+// Subtractive dithering (Ben-Basat, Mitzenmacher & Vargaftik 2020), the
+// strongest one-bit baseline in the paper (Section 2): for input x scaled to
+// [0, 1] the client samples shared randomness h ~ U[0, 1) and sends
+// b = 1{x >= h}; the server, which knows h, estimates x as b + h - 0.5.
+// To compare under LDP the output bit is wrapped in randomized response and
+// unbiased before the dither offset is applied (Section 2: "we apply
+// randomized response to the input-dependent output b to get an LDP
+// guarantee").
+
+#ifndef BITPUSH_LDP_DITHERING_H_
+#define BITPUSH_LDP_DITHERING_H_
+
+#include <string>
+
+#include "ldp/mechanism.h"
+#include "ldp/randomized_response.h"
+
+namespace bitpush {
+
+class SubtractiveDithering : public ScalarMechanism {
+ public:
+  // Values are clamped to [low, high]. epsilon <= 0 runs the plain
+  // (non-private) dithering protocol.
+  SubtractiveDithering(double epsilon, double low, double high);
+
+  double Privatize(double x, Rng& rng) const override;
+  std::string name() const override { return "dithering"; }
+
+ private:
+  RandomizedResponse rr_;
+  double low_;
+  double high_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_DITHERING_H_

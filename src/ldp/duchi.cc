@@ -1,0 +1,26 @@
+#include "ldp/duchi.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+DuchiMechanism::DuchiMechanism(double epsilon, double low, double high)
+    : rr_(RandomizedResponse::FromEpsilon(epsilon)), low_(low), high_(high) {
+  BITPUSH_CHECK_LT(low, high);
+}
+
+double DuchiMechanism::Privatize(double x, Rng& rng) const {
+  const double scaled =
+      (std::clamp(x, low_, high_) - low_) / (high_ - low_);
+  const int bit = rng.NextBernoulli(scaled) ? 1 : 0;
+  const double unbiased = rr_.Unbias(rr_.Apply(bit, rng));
+  return low_ + unbiased * (high_ - low_);
+}
+
+std::string DuchiMechanism::name() const {
+  return rr_.enabled() ? "duchi" : "randomized_rounding";
+}
+
+}  // namespace bitpush

@@ -1,0 +1,33 @@
+// Duchi-style one-bit mean estimation (Section 2): the input is pre-scaled
+// to [0, 1], randomized-rounded to a single bit (report 1 with probability
+// equal to the scaled value), optionally passed through randomized response
+// for an epsilon-LDP guarantee, then unbiased and rescaled at the server.
+
+#ifndef BITPUSH_LDP_DUCHI_H_
+#define BITPUSH_LDP_DUCHI_H_
+
+#include <string>
+
+#include "ldp/mechanism.h"
+#include "ldp/randomized_response.h"
+
+namespace bitpush {
+
+class DuchiMechanism : public ScalarMechanism {
+ public:
+  // Values are clamped to [low, high] before scaling. epsilon <= 0 disables
+  // the randomized-response stage (pure randomized rounding).
+  DuchiMechanism(double epsilon, double low, double high);
+
+  double Privatize(double x, Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  RandomizedResponse rr_;
+  double low_;
+  double high_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_DUCHI_H_

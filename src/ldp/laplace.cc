@@ -1,0 +1,20 @@
+#include "ldp/laplace.h"
+
+#include <algorithm>
+
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double low, double high)
+    : low_(low), high_(high), scale_((high - low) / epsilon) {
+  BITPUSH_CHECK_GT(epsilon, 0.0);
+  BITPUSH_CHECK_LT(low, high);
+}
+
+double LaplaceMechanism::Privatize(double x, Rng& rng) const {
+  return std::clamp(x, low_, high_) + SampleLaplace(rng, 0.0, scale_);
+}
+
+}  // namespace bitpush

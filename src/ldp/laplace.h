@@ -1,0 +1,34 @@
+// The Laplace mechanism baseline: each client reports its (clamped) value
+// plus Laplace((high - low) / eps) noise. The paper omits it from the plots
+// because its error is uniformly 2-3x worse than the other baselines
+// (Section 4); we include it so that claim is reproducible.
+
+#ifndef BITPUSH_LDP_LAPLACE_H_
+#define BITPUSH_LDP_LAPLACE_H_
+
+#include <string>
+
+#include "ldp/mechanism.h"
+
+namespace bitpush {
+
+class LaplaceMechanism : public ScalarMechanism {
+ public:
+  // `epsilon` must be > 0; values are clamped to [low, high], which fixes
+  // the sensitivity at high - low.
+  LaplaceMechanism(double epsilon, double low, double high);
+
+  double Privatize(double x, Rng& rng) const override;
+  std::string name() const override { return "laplace"; }
+
+  double scale() const { return scale_; }
+
+ private:
+  double low_;
+  double high_;
+  double scale_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_LAPLACE_H_

@@ -1,0 +1,16 @@
+#include "ldp/mechanism.h"
+
+#include "stats/welford.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+double ScalarMechanism::EstimateMean(const std::vector<double>& values,
+                                     Rng& rng) const {
+  BITPUSH_CHECK(!values.empty());
+  Welford acc;
+  for (const double x : values) acc.Add(Privatize(x, rng));
+  return acc.mean();
+}
+
+}  // namespace bitpush

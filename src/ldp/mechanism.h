@@ -1,0 +1,33 @@
+// Common interface for the value-level baselines the paper compares against
+// (Section 2 and Section 4): each client privatizes its scalar, the server
+// averages the unbiased reports.
+
+#ifndef BITPUSH_LDP_MECHANISM_H_
+#define BITPUSH_LDP_MECHANISM_H_
+
+#include <string>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace bitpush {
+
+class ScalarMechanism {
+ public:
+  virtual ~ScalarMechanism() = default;
+
+  // Produces this client's report for input `x`. Reports are constructed so
+  // that E[Privatize(x)] = clamp(x, low, high); the server-side mean
+  // estimator is simply the average of reports.
+  virtual double Privatize(double x, Rng& rng) const = 0;
+
+  // Human-readable label for experiment output.
+  virtual std::string name() const = 0;
+
+  // Averages Privatize over all values: the baseline mean estimator.
+  double EstimateMean(const std::vector<double>& values, Rng& rng) const;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_MECHANISM_H_

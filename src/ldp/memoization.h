@@ -1,0 +1,61 @@
+// Memoized (permanent) randomized response for longitudinal collection.
+//
+// Plain randomized response composes: querying the same private bit every
+// day at epsilon leaks k*epsilon after k rounds. RAPPOR's fix (Erlingsson
+// et al., cited in Section 1 of the paper) is memoization: the client
+// derives a *permanent* noisy copy of the bit once — deterministically
+// from a client-held secret, so it never changes — and applies only
+// fresh *instantaneous* noise per round. Total disclosure about the true
+// bit is then bounded by the permanent epsilon regardless of how many
+// rounds run, while per-round reports still satisfy instantaneous-epsilon
+// LDP against the collector.
+//
+// The server unbiases with the composed truth probability
+// p_eff = p1*p2 + (1-p1)(1-p2).
+
+#ifndef BITPUSH_LDP_MEMOIZATION_H_
+#define BITPUSH_LDP_MEMOIZATION_H_
+
+#include <cstdint>
+
+#include "ldp/randomized_response.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+
+class MemoizedResponder {
+ public:
+  // `permanent_epsilon` bounds lifetime disclosure per (value, bit);
+  // `instantaneous_epsilon` is the per-round layer (<= 0 disables it —
+  // then repeated reports are identical). `client_secret` must be private
+  // to the client and stable across rounds.
+  MemoizedResponder(double permanent_epsilon, double instantaneous_epsilon,
+                    uint64_t client_secret);
+
+  // The per-round report for the true bit of (value_id, bit_index). The
+  // permanent layer is derived deterministically; the instantaneous layer
+  // draws from `rng`.
+  int Report(int64_t value_id, int bit_index, int true_bit, Rng& rng) const;
+
+  // The permanent noisy bit itself (what an adversary could learn at most,
+  // ever). Exposed for tests and privacy audits.
+  int PermanentBit(int64_t value_id, int bit_index, int true_bit) const;
+
+  // Composed probability that a report equals the true bit.
+  double EffectiveTruthProbability() const;
+  // Unbiases a mean of memoized reports back to the true bit mean.
+  double Unbias(double reported_mean) const;
+
+  // Lifetime disclosure bound about the true bit (the permanent epsilon),
+  // independent of the number of rounds.
+  double LongitudinalEpsilonBound() const;
+
+ private:
+  RandomizedResponse permanent_;
+  RandomizedResponse instantaneous_;
+  uint64_t client_secret_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_MEMOIZATION_H_

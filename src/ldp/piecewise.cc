@@ -1,0 +1,43 @@
+#include "ldp/piecewise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+PiecewiseMechanism::PiecewiseMechanism(double epsilon, double low, double high)
+    : epsilon_(epsilon), low_(low), high_(high) {
+  BITPUSH_CHECK_GT(epsilon, 0.0);
+  BITPUSH_CHECK_LT(low, high);
+  const double half = std::exp(epsilon_ / 2.0);
+  c_ = (half + 1.0) / (half - 1.0);
+  p_center_ = half / (half + 1.0);
+}
+
+double PiecewiseMechanism::Privatize(double x, Rng& rng) const {
+  // Scale to t in [-1, 1].
+  const double t =
+      2.0 * (std::clamp(x, low_, high_) - low_) / (high_ - low_) - 1.0;
+  // High-probability central interval [l, r] with r - l = C - 1.
+  const double l = (c_ + 1.0) / 2.0 * t - (c_ - 1.0) / 2.0;
+  const double r = l + c_ - 1.0;
+
+  double report;
+  if (rng.NextBernoulli(p_center_)) {
+    report = SampleUniform(rng, l, r);
+  } else {
+    // Uniform over [-C, l) U (r, C]; the two side intervals have total
+    // length (l + C) + (C - r) = C + 1.
+    const double left_length = l + c_;
+    const double right_length = c_ - r;
+    const double u = rng.NextDouble() * (left_length + right_length);
+    report = u < left_length ? -c_ + u : r + (u - left_length);
+  }
+  // Scale back to the value domain.
+  return low_ + (report + 1.0) / 2.0 * (high_ - low_);
+}
+
+}  // namespace bitpush

@@ -1,0 +1,37 @@
+// The piecewise mechanism of Wang et al. (ICDE 2019), the "piecewise"
+// baseline of Sections 2 and 4.2. The input is scaled to [-1, 1]; the output
+// is drawn from a piecewise-constant density on [-C, C] concentrated around
+// the input, where C = (exp(eps/2) + 1) / (exp(eps/2) - 1). The report is
+// already an unbiased estimate of the scaled input.
+
+#ifndef BITPUSH_LDP_PIECEWISE_H_
+#define BITPUSH_LDP_PIECEWISE_H_
+
+#include <string>
+
+#include "ldp/mechanism.h"
+
+namespace bitpush {
+
+class PiecewiseMechanism : public ScalarMechanism {
+ public:
+  // `epsilon` must be > 0; values are clamped to [low, high].
+  PiecewiseMechanism(double epsilon, double low, double high);
+
+  double Privatize(double x, Rng& rng) const override;
+  std::string name() const override { return "piecewise"; }
+
+  // Half-width of the output domain for the scaled input.
+  double output_bound() const { return c_; }
+
+ private:
+  double epsilon_;
+  double low_;
+  double high_;
+  double c_;         // (e^{eps/2}+1)/(e^{eps/2}-1)
+  double p_center_;  // probability of sampling inside [l(t), r(t)]
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_PIECEWISE_H_

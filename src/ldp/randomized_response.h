@@ -1,0 +1,53 @@
+// Binary randomized response (Warner 1965), the building block that gives
+// bit-pushing its epsilon-LDP guarantee (Section 3.3): a private bit y is
+// reported truthfully with probability p = exp(eps) / (1 + exp(eps)) and
+// flipped otherwise; the server unbiases a report r as (r - (1-p)) / (2p-1).
+
+#ifndef BITPUSH_LDP_RANDOMIZED_RESPONSE_H_
+#define BITPUSH_LDP_RANDOMIZED_RESPONSE_H_
+
+#include "rng/rng.h"
+
+namespace bitpush {
+
+class RandomizedResponse {
+ public:
+  // Creates an epsilon-LDP randomized response; `epsilon` must be > 0.
+  explicit RandomizedResponse(double epsilon);
+
+  // A pass-through instance (p = 1, no noise, Unbias is the identity).
+  // Used when the protocol runs without a DP guarantee.
+  static RandomizedResponse Disabled();
+
+  // Creates from epsilon, treating epsilon <= 0 as Disabled(). This matches
+  // the convention used by the protocol configs ("epsilon = 0 turns DP
+  // off").
+  static RandomizedResponse FromEpsilon(double epsilon);
+
+  // Perturbs one bit (bit must be 0 or 1).
+  int Apply(int bit, Rng& rng) const;
+
+  // Unbiases a reported bit — or, by linearity, a mean of reported bits.
+  double Unbias(double reported) const;
+
+  bool enabled() const { return enabled_; }
+  double epsilon() const { return epsilon_; }
+  // Probability of reporting the bit truthfully.
+  double truth_probability() const { return p_; }
+
+  // Variance of one unbiased report around the true bit:
+  // p(1-p)/(2p-1)^2 = exp(eps)/(exp(eps)-1)^2, independent of the bit value
+  // (Section 3.3). Zero when disabled.
+  double ReportVariance() const;
+
+ private:
+  RandomizedResponse(double epsilon, double p, bool enabled);
+
+  double epsilon_;
+  double p_;
+  bool enabled_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_RANDOMIZED_RESPONSE_H_

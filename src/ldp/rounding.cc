@@ -1,0 +1,37 @@
+#include "ldp/rounding.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+DeterministicRounding::DeterministicRounding(double epsilon, double low,
+                                             double high)
+    : rr_(RandomizedResponse::FromEpsilon(epsilon)), low_(low), high_(high) {
+  BITPUSH_CHECK_LT(low, high);
+}
+
+double DeterministicRounding::Privatize(double x, Rng& rng) const {
+  const double midpoint = (low_ + high_) / 2.0;
+  const int bit = std::clamp(x, low_, high_) >= midpoint ? 1 : 0;
+  const double unbiased = rr_.Unbias(rr_.Apply(bit, rng));
+  // The RR layer is unbiased for the *bit*; the rounding itself is not
+  // unbiased for x — that is the point of this baseline.
+  return low_ + unbiased * (high_ - low_);
+}
+
+NonSubtractiveDithering::NonSubtractiveDithering(double epsilon, double low,
+                                                 double high)
+    : rr_(RandomizedResponse::FromEpsilon(epsilon)), low_(low), high_(high) {
+  BITPUSH_CHECK_LT(low, high);
+}
+
+double NonSubtractiveDithering::Privatize(double x, Rng& rng) const {
+  const double scaled = (std::clamp(x, low_, high_) - low_) / (high_ - low_);
+  const int bit = scaled >= rng.NextDouble() ? 1 : 0;
+  const double unbiased = rr_.Unbias(rr_.Apply(bit, rng));
+  return low_ + unbiased * (high_ - low_);
+}
+
+}  // namespace bitpush

@@ -1,0 +1,54 @@
+// The other one-bit value encodings of Ben-Basat et al. (2020), besides
+// subtractive dithering. Footnote 3 of the paper: "When we evaluated in our
+// setting several approaches that were described in [3], subtractive
+// dithering was a clear frontrunner." These two reproduce that comparison:
+//
+//   * DeterministicRounding — report 1{x >= midpoint}; the estimate is L or
+//     H. Zero shared randomness, but *biased* for any input that is not an
+//     endpoint.
+//   * NonSubtractiveDithering — report b = 1{x_scaled >= h} for shared
+//     h ~ U[0,1), estimate b (without subtracting the dither). Unbiased,
+//     but per-report variance x(1-x) — up to 3x subtractive dithering's
+//     constant 1/12, and maximal exactly in the middle of the range.
+
+#ifndef BITPUSH_LDP_ROUNDING_H_
+#define BITPUSH_LDP_ROUNDING_H_
+
+#include <string>
+
+#include "ldp/mechanism.h"
+#include "ldp/randomized_response.h"
+
+namespace bitpush {
+
+class DeterministicRounding : public ScalarMechanism {
+ public:
+  // Values clamp to [low, high]; epsilon <= 0 disables randomized
+  // response.
+  DeterministicRounding(double epsilon, double low, double high);
+
+  double Privatize(double x, Rng& rng) const override;
+  std::string name() const override { return "deterministic_rounding"; }
+
+ private:
+  RandomizedResponse rr_;
+  double low_;
+  double high_;
+};
+
+class NonSubtractiveDithering : public ScalarMechanism {
+ public:
+  NonSubtractiveDithering(double epsilon, double low, double high);
+
+  double Privatize(double x, Rng& rng) const override;
+  std::string name() const override { return "nonsubtractive_dithering"; }
+
+ private:
+  RandomizedResponse rr_;
+  double low_;
+  double high_;
+};
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_LDP_ROUNDING_H_

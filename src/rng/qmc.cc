@@ -1,0 +1,76 @@
+#include "rng/qmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+std::vector<int64_t> ProportionalGroupSizes(
+    int64_t n, const std::vector<double>& probabilities) {
+  BITPUSH_CHECK_GE(n, 0);
+  BITPUSH_CHECK(!probabilities.empty());
+  double total = 0.0;
+  for (const double p : probabilities) {
+    BITPUSH_CHECK_GE(p, 0.0);
+    total += p;
+  }
+  BITPUSH_CHECK(std::abs(total - 1.0) < 1e-9)
+      << "probabilities must sum to 1, got " << total;
+
+  const size_t k = probabilities.size();
+  std::vector<int64_t> sizes(k);
+  std::vector<double> remainders(k);
+  int64_t allocated = 0;
+  for (size_t j = 0; j < k; ++j) {
+    const double exact = static_cast<double>(n) * probabilities[j];
+    sizes[j] = static_cast<int64_t>(std::floor(exact));
+    remainders[j] = exact - static_cast<double>(sizes[j]);
+    allocated += sizes[j];
+  }
+  // Distribute the leftover slots by descending remainder (ties -> lower j).
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  int64_t leftover = n - allocated;
+  BITPUSH_CHECK_GE(leftover, 0);
+  for (size_t i = 0; leftover > 0; i = (i + 1) % k, --leftover) {
+    ++sizes[order[i]];
+  }
+  return sizes;
+}
+
+std::vector<int> AssignBitsCentral(int64_t n,
+                                   const std::vector<double>& probabilities,
+                                   Rng& rng) {
+  const std::vector<int64_t> sizes = ProportionalGroupSizes(n, probabilities);
+  std::vector<int> assignment;
+  assignment.reserve(static_cast<size_t>(n));
+  for (size_t j = 0; j < sizes.size(); ++j) {
+    assignment.insert(assignment.end(), static_cast<size_t>(sizes[j]),
+                      static_cast<int>(j));
+  }
+  // Fisher-Yates: decorrelate bit index from client id.
+  for (size_t i = assignment.size(); i > 1; --i) {
+    const size_t swap_with = static_cast<size_t>(rng.NextBelow(i));
+    std::swap(assignment[i - 1], assignment[swap_with]);
+  }
+  return assignment;
+}
+
+std::vector<int> AssignBitsLocal(int64_t n,
+                                 const std::vector<double>& probabilities,
+                                 Rng& rng) {
+  BITPUSH_CHECK_GE(n, 0);
+  const DiscreteSampler sampler(probabilities);
+  std::vector<int> assignment(static_cast<size_t>(n));
+  for (int& bit : assignment) bit = static_cast<int>(sampler.Sample(rng));
+  return assignment;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,50 @@
+// Quasi-Monte-Carlo client-to-bit assignment (central randomness).
+//
+// The paper's default sampling mode has the *server* select which bit each
+// client reports: "the server randomly selects a p_j fraction of clients to
+// report back on bit j. This reduces variance in the number of reports of
+// each bit" (Section 3.1). We realize this with deterministic proportional
+// allocation: group sizes are fixed to the largest-remainder rounding of
+// n * p_j (so the per-bit report counts have no sampling variance at all),
+// and a seeded shuffle decides which concrete clients land in each group
+// (so membership is uncorrelated with client identity).
+//
+// This central mode is also the defense against bit-choice poisoning
+// (Section 5): a malicious client cannot elect to report the top bit.
+
+#ifndef BITPUSH_RNG_QMC_H_
+#define BITPUSH_RNG_QMC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace bitpush {
+
+// Rounds n * p_j to integer group sizes that sum exactly to n, using the
+// largest-remainder method. `probabilities` must be non-negative and sum to
+// 1 (within 1e-9); n must be >= 0. Any bit with p_j > 0 is guaranteed at
+// least its floor; remainders are distributed by descending fractional part
+// with ties broken by lower index.
+std::vector<int64_t> ProportionalGroupSizes(
+    int64_t n, const std::vector<double>& probabilities);
+
+// Assigns each client in [0, n) a bit index, with exactly
+// ProportionalGroupSizes(n, probabilities)[j] clients on bit j, permuted by
+// a Fisher-Yates shuffle driven by `rng`. Returns the per-client bit index.
+std::vector<int> AssignBitsCentral(int64_t n,
+                                   const std::vector<double>& probabilities,
+                                   Rng& rng);
+
+// Local-randomness alternative: each client independently samples its bit
+// from `probabilities`. Per-bit report counts are then Binomial(n, p_j),
+// which is the higher-variance mode the paper advises against; provided for
+// the poisoning and variance ablations.
+std::vector<int> AssignBitsLocal(int64_t n,
+                                 const std::vector<double>& probabilities,
+                                 Rng& rng);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_RNG_QMC_H_

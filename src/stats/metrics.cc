@@ -1,0 +1,55 @@
+#include "stats/metrics.h"
+
+#include <cmath>
+
+#include "stats/welford.h"
+#include "util/check.h"
+
+namespace bitpush {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  Welford acc;
+  for (const double v : values) acc.Add(v);
+  return acc.mean();
+}
+
+double PopulationVariance(const std::vector<double>& values) {
+  Welford acc;
+  for (const double v : values) acc.Add(v);
+  return acc.population_variance();
+}
+
+double Rmse(const std::vector<double>& estimates, double truth) {
+  BITPUSH_CHECK(!estimates.empty());
+  double sum_sq = 0.0;
+  for (const double e : estimates) {
+    const double d = e - truth;
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(estimates.size()));
+}
+
+ErrorStats ComputeErrorStats(const std::vector<double>& estimates,
+                             double truth) {
+  BITPUSH_CHECK(!estimates.empty());
+  ErrorStats stats;
+  stats.truth = truth;
+  stats.repetitions = static_cast<int64_t>(estimates.size());
+  stats.mean_estimate = Mean(estimates);
+  stats.bias = stats.mean_estimate - truth;
+  stats.rmse = Rmse(estimates, truth);
+  const double denom = std::abs(truth);
+  stats.nrmse = denom > 0.0 ? stats.rmse / denom : 0.0;
+
+  // Standard error of the normalized absolute error across repetitions.
+  if (denom > 0.0 && estimates.size() > 1) {
+    Welford abs_err;
+    for (const double e : estimates) abs_err.Add(std::abs(e - truth) / denom);
+    stats.stderr_nrmse = std::sqrt(abs_err.sample_variance() /
+                                   static_cast<double>(estimates.size()));
+  }
+  return stats;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,46 @@
+// Error metrics used throughout the evaluation.
+//
+// The paper's headline metric is the normalized root-mean-squared error
+// (NRMSE): "we compare the true (empirical) value of the mean mu to the
+// estimate, and compute the mean of the squared difference over 100
+// independent repetitions, then divide by the true mean mu for
+// normalization" (Section 4). Error bars are the standard error over the
+// repetitions.
+
+#ifndef BITPUSH_STATS_METRICS_H_
+#define BITPUSH_STATS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bitpush {
+
+// Summary of estimation error over repeated runs against a fixed truth.
+struct ErrorStats {
+  double truth = 0.0;
+  int64_t repetitions = 0;
+  double mean_estimate = 0.0;
+  double bias = 0.0;   // mean_estimate - truth
+  double rmse = 0.0;   // sqrt(mean squared error)
+  double nrmse = 0.0;  // rmse / |truth| (0 when truth == 0)
+  // Standard error of the per-repetition absolute normalized error,
+  // matching the paper's error bars.
+  double stderr_nrmse = 0.0;
+};
+
+// Computes ErrorStats from the raw per-repetition estimates.
+ErrorStats ComputeErrorStats(const std::vector<double>& estimates,
+                             double truth);
+
+// Root mean squared error of `estimates` around `truth`.
+double Rmse(const std::vector<double>& estimates, double truth);
+
+// Mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+// Population variance of a vector (0 for fewer than one element).
+double PopulationVariance(const std::vector<double>& values);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_STATS_METRICS_H_

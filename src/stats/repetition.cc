@@ -1,0 +1,28 @@
+#include "stats/repetition.h"
+
+#include "util/check.h"
+
+namespace bitpush {
+
+std::vector<double> CollectRepetitions(
+    int64_t repetitions, uint64_t base_seed,
+    const std::function<double(Rng&)>& estimator) {
+  BITPUSH_CHECK_GT(repetitions, 0);
+  Rng base(base_seed);
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<size_t>(repetitions));
+  for (int64_t r = 0; r < repetitions; ++r) {
+    Rng run = base.Fork();
+    estimates.push_back(estimator(run));
+  }
+  return estimates;
+}
+
+ErrorStats RunRepetitions(int64_t repetitions, uint64_t base_seed,
+                          double truth,
+                          const std::function<double(Rng&)>& estimator) {
+  return ComputeErrorStats(
+      CollectRepetitions(repetitions, base_seed, estimator), truth);
+}
+
+}  // namespace bitpush

@@ -1,0 +1,34 @@
+// Repetition harness for the accuracy experiments.
+//
+// Every figure in the paper averages over independent repetitions (100 by
+// default). RunRepetitions forks a fresh Rng per repetition from a base seed
+// so (a) repetitions are independent and (b) the whole sweep is reproducible
+// from one seed.
+
+#ifndef BITPUSH_STATS_REPETITION_H_
+#define BITPUSH_STATS_REPETITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rng/rng.h"
+#include "stats/metrics.h"
+
+namespace bitpush {
+
+// Runs `estimator` `repetitions` times, each with an independent Rng, and
+// summarizes the error against `truth`.
+ErrorStats RunRepetitions(int64_t repetitions, uint64_t base_seed,
+                          double truth,
+                          const std::function<double(Rng&)>& estimator);
+
+// As above but returns the raw estimates (for callers that need the full
+// distribution, e.g. the bit-mean histogram of Figure 4b).
+std::vector<double> CollectRepetitions(
+    int64_t repetitions, uint64_t base_seed,
+    const std::function<double(Rng&)>& estimator);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_STATS_REPETITION_H_

@@ -1,0 +1,27 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bitpush {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "BITPUSH_CHECK failed at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckFailureStream::CheckFailureStream(const char* file, int line,
+                                       const char* condition)
+    : file_(file), line_(line) {
+  stream_ << condition << " ";
+}
+
+CheckFailureStream::~CheckFailureStream() {
+  CheckFailed(file_, line_, stream_.str());
+}
+
+}  // namespace internal
+}  // namespace bitpush

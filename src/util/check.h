@@ -1,0 +1,60 @@
+// Invariant-checking macros.
+//
+// The library does not use exceptions (see DESIGN.md); violated invariants
+// are programming errors and abort the process with a location and message.
+// BITPUSH_CHECK is always on (including release builds) because the cost of
+// the checks is negligible next to the sampling loops they guard.
+
+#ifndef BITPUSH_UTIL_CHECK_H_
+#define BITPUSH_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace bitpush {
+namespace internal {
+
+// Aborts the process after printing `message` with its source location.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& message);
+
+// Accumulates a failure message via operator<< and aborts on destruction.
+// Used as the right-hand side of the BITPUSH_CHECK macros so call sites can
+// stream extra context: BITPUSH_CHECK(x > 0) << "x=" << x;
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailureStream();
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace bitpush
+
+#define BITPUSH_CHECK(condition)                                       \
+  if (condition) {                                                     \
+  } else /* NOLINT */                                                  \
+    ::bitpush::internal::CheckFailureStream(__FILE__, __LINE__,        \
+                                            #condition)
+
+#define BITPUSH_CHECK_EQ(a, b) BITPUSH_CHECK((a) == (b))
+#define BITPUSH_CHECK_NE(a, b) BITPUSH_CHECK((a) != (b))
+#define BITPUSH_CHECK_LT(a, b) BITPUSH_CHECK((a) < (b))
+#define BITPUSH_CHECK_LE(a, b) BITPUSH_CHECK((a) <= (b))
+#define BITPUSH_CHECK_GT(a, b) BITPUSH_CHECK((a) > (b))
+#define BITPUSH_CHECK_GE(a, b) BITPUSH_CHECK((a) >= (b))
+
+#endif  // BITPUSH_UTIL_CHECK_H_

@@ -1,0 +1,79 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bit_squashing.h"
+
+namespace bitpush {
+namespace {
+
+TEST(SquashPolicyTest, Constructors) {
+  EXPECT_FALSE(SquashPolicy::Off().enabled());
+  const SquashPolicy absolute = SquashPolicy::Absolute(0.05);
+  EXPECT_TRUE(absolute.enabled());
+  EXPECT_EQ(absolute.mode, SquashPolicy::Mode::kAbsolute);
+  EXPECT_DOUBLE_EQ(absolute.value, 0.05);
+  const SquashPolicy multiple = SquashPolicy::NoiseMultiple(2.0);
+  EXPECT_EQ(multiple.mode, SquashPolicy::Mode::kNoiseMultiple);
+}
+
+TEST(ComputeSquashMaskTest, OffKeepsEverythingIncludingUnobserved) {
+  const std::vector<bool> keep = ComputeSquashMask(
+      {0.0, -0.5, 2.0}, {0, 10, 10}, RandomizedResponse::Disabled(),
+      SquashPolicy::Off());
+  EXPECT_EQ(keep, (std::vector<bool>{true, true, true}));
+}
+
+TEST(ComputeSquashMaskTest, AbsoluteThreshold) {
+  const std::vector<double> means = {0.5, 0.04, 0.06, -0.2};
+  const std::vector<int64_t> counts = {10, 10, 10, 10};
+  const std::vector<bool> keep =
+      ComputeSquashMask(means, counts, RandomizedResponse::Disabled(),
+                        SquashPolicy::Absolute(0.05));
+  EXPECT_TRUE(keep[0]);
+  EXPECT_FALSE(keep[1]);   // below threshold
+  EXPECT_TRUE(keep[2]);    // above threshold
+  EXPECT_FALSE(keep[3]);   // negative noisy mean squashed
+}
+
+TEST(ComputeSquashMaskTest, UnobservedBitsSquashedWhenEnabled) {
+  const std::vector<bool> keep = ComputeSquashMask(
+      {0.9}, {0}, RandomizedResponse::Disabled(),
+      SquashPolicy::Absolute(0.01));
+  EXPECT_FALSE(keep[0]);
+}
+
+TEST(ComputeSquashMaskTest, NoiseMultipleScalesWithCount) {
+  // Same mean, very different report counts: the noise std of the mean is
+  // sqrt(rr_var / count), so the low-count bit has a higher threshold and
+  // gets squashed while the high-count bit survives.
+  const RandomizedResponse rr(1.0);
+  const double mean = 0.1;
+  const std::vector<bool> keep = ComputeSquashMask(
+      {mean, mean}, {25, 250000}, rr, SquashPolicy::NoiseMultiple(1.0));
+  // rr variance at eps=1 is ~0.92; threshold at count 25 is ~0.19 > 0.1,
+  // at count 250000 is ~0.0019 < 0.1.
+  EXPECT_FALSE(keep[0]);
+  EXPECT_TRUE(keep[1]);
+}
+
+TEST(ComputeSquashMaskTest, NoiseMultipleWithDisabledRrKeepsPositiveBits) {
+  // No DP noise -> threshold 0 -> only strictly negative means squash.
+  const std::vector<bool> keep = ComputeSquashMask(
+      {0.001, 0.0, -0.001}, {10, 10, 10}, RandomizedResponse::Disabled(),
+      SquashPolicy::NoiseMultiple(2.0));
+  EXPECT_TRUE(keep[0]);
+  EXPECT_TRUE(keep[1]);
+  EXPECT_FALSE(keep[2]);
+}
+
+TEST(ComputeSquashMaskDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(ComputeSquashMask({0.5}, {1, 2},
+                                 RandomizedResponse::Disabled(),
+                                 SquashPolicy::Off()),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

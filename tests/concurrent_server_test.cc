@@ -1,0 +1,88 @@
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "federated/concurrent_server.h"
+
+namespace bitpush {
+namespace {
+
+TEST(ConcurrentAggregatorTest, SingleThreadMatchesPlainHistogram) {
+  ConcurrentAggregator aggregator(4);
+  BitHistogram expected(4);
+  for (int i = 0; i < 100; ++i) {
+    aggregator.Add(i % 4, i % 2);
+    expected.Add(i % 4, i % 2);
+  }
+  const BitHistogram snapshot = aggregator.Snapshot();
+  EXPECT_EQ(snapshot.totals(), expected.totals());
+  EXPECT_EQ(snapshot.one_counts(), expected.one_counts());
+}
+
+TEST(ConcurrentAggregatorTest, ParallelAddsLoseNothing) {
+  ConcurrentAggregator aggregator(8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&aggregator, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        aggregator.Add((t + i) % 8, (t ^ i) & 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(aggregator.TotalReports(), kThreads * kPerThread);
+}
+
+TEST(ConcurrentAggregatorTest, ParallelBatchMergesLoseNothing) {
+  ConcurrentAggregator aggregator(4);
+  constexpr int kThreads = 6;
+  constexpr int kBatches = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&aggregator] {
+      for (int batch = 0; batch < kBatches; ++batch) {
+        BitHistogram local(4);
+        for (int i = 0; i < 100; ++i) local.Add(i % 4, 1);
+        aggregator.Merge(local);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(aggregator.TotalReports(), kThreads * kBatches * 100);
+  const BitHistogram snapshot = aggregator.Snapshot();
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(snapshot.ones(j), snapshot.total(j));  // all ones
+  }
+}
+
+TEST(ConcurrentAggregatorTest, SnapshotIsIndependentCopy) {
+  ConcurrentAggregator aggregator(2);
+  aggregator.Add(0, 1);
+  BitHistogram snapshot = aggregator.Snapshot();
+  aggregator.Add(1, 1);
+  EXPECT_EQ(snapshot.TotalReports(), 1);
+  EXPECT_EQ(aggregator.TotalReports(), 2);
+}
+
+TEST(ConcurrentAggregatorTest, ConcurrentSnapshotsDuringIngestion) {
+  ConcurrentAggregator aggregator(4);
+  std::thread writer([&aggregator] {
+    for (int i = 0; i < 50000; ++i) aggregator.Add(i % 4, 1);
+  });
+  // Snapshots taken mid-ingestion must always be internally consistent:
+  // ones == totals since every report is a 1.
+  for (int probe = 0; probe < 50; ++probe) {
+    const BitHistogram snapshot = aggregator.Snapshot();
+    int64_t ones = 0;
+    for (int j = 0; j < 4; ++j) ones += snapshot.ones(j);
+    EXPECT_EQ(ones, snapshot.TotalReports());
+  }
+  writer.join();
+  EXPECT_EQ(aggregator.TotalReports(), 50000);
+}
+
+}  // namespace
+}  // namespace bitpush

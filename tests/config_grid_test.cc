@@ -1,0 +1,108 @@
+// A combinatorial sweep over protocol configuration dimensions — caching x
+// b_send x DP x randomness mode x squashing — asserting the invariants
+// that must hold in *every* cell: the protocol runs, the estimate is
+// finite and (without DP) inside the codeword domain, the privacy
+// discipline (reports == clients * b_send) holds, and the estimate lands
+// within a generous band of the truth.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "core/fixed_point.h"
+#include "data/census.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+struct GridCase {
+  bool caching;
+  int bits_per_client;
+  double epsilon;
+  bool central;
+  bool squash;
+};
+
+std::string GridLabel(const ::testing::TestParamInfo<GridCase>& info) {
+  const GridCase& c = info.param;
+  std::string label = c.caching ? "cache" : "nocache";
+  label += "_bsend" + std::to_string(c.bits_per_client);
+  label += c.epsilon > 0 ? "_dp" : "_nodp";
+  label += c.central ? "_central" : "_local";
+  label += c.squash ? "_squash" : "_nosquash";
+  return label;
+}
+
+class ProtocolGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ProtocolGridTest, InvariantsHoldInEveryConfiguration) {
+  const GridCase& grid = GetParam();
+  Rng data_rng(1);
+  const Dataset ages = CensusAges(6000, data_rng);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  const std::vector<uint64_t> codewords = codec.EncodeAll(ages.values());
+
+  AdaptiveConfig config;
+  config.bits = 10;
+  config.caching = grid.caching;
+  config.bits_per_client = grid.bits_per_client;
+  config.epsilon = grid.epsilon;
+  config.central_randomness = grid.central;
+  if (grid.squash) config.squash = SquashPolicy::Absolute(0.05);
+
+  Rng rng(2);
+  const AdaptiveResult result =
+      RunAdaptiveBitPushing(codewords, config, rng);
+
+  // Disclosure discipline: exactly bits_per_client reports per client.
+  EXPECT_EQ(result.round1.histogram.TotalReports() +
+                result.round2.histogram.TotalReports(),
+            static_cast<int64_t>(codewords.size()) *
+                grid.bits_per_client);
+
+  // The estimate is finite; without DP it stays in the codeword domain.
+  EXPECT_TRUE(std::isfinite(result.estimate_codeword));
+  if (grid.epsilon <= 0.0) {
+    EXPECT_GE(result.estimate_codeword, 0.0);
+    EXPECT_LE(result.estimate_codeword,
+              static_cast<double>(codec.max_codeword()));
+  }
+
+  // Probabilities are proper distributions.
+  double total = 0.0;
+  for (const double p : result.round2_probabilities) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // Accuracy sanity: within 50% of the truth in every cell (the tight
+  // bounds are asserted per-configuration elsewhere).
+  const double estimate = codec.Decode(result.estimate_codeword);
+  EXPECT_NEAR(estimate, ages.truth().mean, 0.5 * ages.truth().mean)
+      << GridLabel({GetParam(), 0});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, ProtocolGridTest,
+    ::testing::Values(
+        GridCase{true, 1, 0.0, true, false},
+        GridCase{false, 1, 0.0, true, false},
+        GridCase{true, 2, 0.0, true, false},
+        GridCase{false, 4, 0.0, true, false},
+        GridCase{true, 1, 0.0, false, false},
+        GridCase{false, 1, 0.0, false, false},
+        GridCase{true, 1, 2.0, true, false},
+        GridCase{true, 1, 2.0, true, true},
+        GridCase{false, 1, 2.0, true, true},
+        GridCase{true, 2, 2.0, false, true},
+        GridCase{true, 4, 1.0, true, true},
+        GridCase{false, 2, 1.0, false, false}),
+    GridLabel);
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,65 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace bitpush {
+namespace {
+
+TEST(GroundTruthTest, ExactStatistics) {
+  const GroundTruth truth = ComputeGroundTruth({2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                                7.0, 9.0});
+  EXPECT_DOUBLE_EQ(truth.mean, 5.0);
+  EXPECT_DOUBLE_EQ(truth.variance, 4.0);
+  EXPECT_DOUBLE_EQ(truth.min, 2.0);
+  EXPECT_DOUBLE_EQ(truth.max, 9.0);
+  EXPECT_EQ(truth.count, 8);
+}
+
+TEST(GroundTruthTest, EmptyInput) {
+  const GroundTruth truth = ComputeGroundTruth({});
+  EXPECT_EQ(truth.count, 0);
+  EXPECT_DOUBLE_EQ(truth.mean, 0.0);
+  EXPECT_DOUBLE_EQ(truth.variance, 0.0);
+}
+
+TEST(DatasetTest, StoresNameAndValues) {
+  const Dataset data("ages", {1.0, 2.0, 3.0});
+  EXPECT_EQ(data.name(), "ages");
+  EXPECT_EQ(data.size(), 3);
+  EXPECT_FALSE(data.empty());
+  EXPECT_EQ(data.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(data.truth().mean, 2.0);
+}
+
+TEST(DatasetTest, DefaultIsEmpty) {
+  const Dataset data;
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.size(), 0);
+}
+
+TEST(DatasetTest, ClippedClampsAndRecomputesTruth) {
+  const Dataset data("metric", {1.0, 5.0, 100.0, -3.0});
+  const Dataset clipped = data.Clipped(0.0, 10.0);
+  EXPECT_EQ(clipped.values(), (std::vector<double>{1.0, 5.0, 10.0, 0.0}));
+  EXPECT_DOUBLE_EQ(clipped.truth().max, 10.0);
+  EXPECT_DOUBLE_EQ(clipped.truth().min, 0.0);
+  EXPECT_DOUBLE_EQ(clipped.truth().mean, 4.0);
+  EXPECT_EQ(clipped.name(), "metric/clipped");
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(data.truth().max, 100.0);
+}
+
+TEST(DatasetTest, ClippingReducesOutlierSensitivity) {
+  // Section 4.3: clipping tames the mean of outlier-contaminated data.
+  std::vector<double> values(999, 1.0);
+  values.push_back(1e6);
+  const Dataset raw("raw", std::move(values));
+  const Dataset clipped = raw.Clipped(0.0, 255.0);
+  EXPECT_GT(raw.truth().mean, 100.0);
+  EXPECT_LT(clipped.truth().mean, 2.0);
+}
+
+}  // namespace
+}  // namespace bitpush

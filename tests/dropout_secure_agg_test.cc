@@ -1,0 +1,127 @@
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "federated/dropout_secure_agg.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+TEST(DoubleMaskingTest, FullParticipationRecoversExactSum) {
+  Rng rng(1);
+  DoubleMaskingSession session(6, 3, rng);
+  const std::vector<uint64_t> values = {10, 0, 7, 3, 1, 100};
+  uint64_t expected = 0;
+  for (int i = 0; i < 6; ++i) {
+    session.Submit(i, values[static_cast<size_t>(i)]);
+    expected += values[static_cast<size_t>(i)];
+  }
+  const std::optional<uint64_t> sum = session.RecoverSum();
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(*sum, expected);
+}
+
+TEST(DoubleMaskingTest, SurvivesDropouts) {
+  Rng rng(2);
+  DoubleMaskingSession session(8, 4, rng);
+  uint64_t expected = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (i == 2 || i == 5 || i == 7) {
+      session.MarkDropped(i);
+      continue;
+    }
+    const uint64_t value = static_cast<uint64_t>(10 * (i + 1));
+    session.Submit(i, value);
+    expected += value;
+  }
+  const std::optional<uint64_t> sum = session.RecoverSum();
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(*sum, expected);  // sum over SURVIVORS only
+}
+
+TEST(DoubleMaskingTest, UnmarkedNonSubmittersCountAsDropouts) {
+  Rng rng(3);
+  DoubleMaskingSession session(5, 3, rng);
+  session.Submit(0, 1);
+  session.Submit(1, 2);
+  session.Submit(4, 4);
+  // Clients 2 and 3 silently never submit.
+  const std::optional<uint64_t> sum = session.RecoverSum();
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(*sum, 7u);
+}
+
+TEST(DoubleMaskingTest, TooFewSurvivorsIsUnrecoverableByDesign) {
+  Rng rng(4);
+  DoubleMaskingSession session(6, 4, rng);
+  session.Submit(0, 5);
+  session.Submit(1, 5);
+  session.Submit(2, 5);  // only 3 survivors < threshold 4
+  EXPECT_FALSE(session.RecoverSum().has_value());
+}
+
+TEST(DoubleMaskingTest, SubmissionsHideValues) {
+  Rng rng(5);
+  DoubleMaskingSession session(4, 2, rng);
+  // All clients submit tiny values; the masked submissions must look
+  // nothing like them and must all be distinct.
+  std::set<uint64_t> masked;
+  for (int i = 0; i < 4; ++i) {
+    masked.insert(session.Submit(i, static_cast<uint64_t>(i % 2)));
+  }
+  EXPECT_EQ(masked.size(), 4u);
+  for (const uint64_t m : masked) EXPECT_GT(m, 1000u);
+}
+
+TEST(DoubleMaskingTest, BitCountAggregationEndToEnd) {
+  // The intended integration: per-bit one-counts aggregated without the
+  // server seeing individual bits, tolerating dropouts.
+  Rng rng(6);
+  const int n = 20;
+  DoubleMaskingSession session(n, 10, rng);
+  uint64_t expected_ones = 0;
+  for (int i = 0; i < n; ++i) {
+    if (i % 7 == 3) {
+      session.MarkDropped(i);
+      continue;
+    }
+    const uint64_t bit = static_cast<uint64_t>((i * 13) % 2);
+    session.Submit(i, bit);
+    expected_ones += bit;
+  }
+  const std::optional<uint64_t> sum = session.RecoverSum();
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(*sum, expected_ones);
+}
+
+TEST(DoubleMaskingTest, WrapAroundSumsStayInField) {
+  Rng rng(7);
+  DoubleMaskingSession session(3, 2, rng);
+  const uint64_t big = kShamirPrime - 5;
+  session.Submit(0, big);
+  session.Submit(1, 10);
+  session.Submit(2, 0);
+  const std::optional<uint64_t> sum = session.RecoverSum();
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(*sum, 5u);  // (p - 5 + 10) mod p
+}
+
+TEST(DoubleMaskingDeathTest, ProtocolMisuseAborts) {
+  Rng rng(8);
+  DoubleMaskingSession session(3, 2, rng);
+  session.Submit(0, 1);
+  EXPECT_DEATH(session.Submit(0, 1), "already submitted");
+  EXPECT_DEATH(session.MarkDropped(0), "submitted client");
+  session.MarkDropped(1);
+  EXPECT_DEATH(session.Submit(1, 1), "dropped client");
+  EXPECT_DEATH(session.Submit(2, kShamirPrime), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(DoubleMaskingSession(3, 1, rng), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(DoubleMaskingSession(3, 4, rng), "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,120 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "federated/groupby.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+// Clients in segment "low" hold values near 20, "high" near 80; a tiny
+// segment "rare" must be suppressed.
+std::vector<Client> SegmentedPopulation(int64_t per_segment) {
+  std::vector<Client> clients;
+  int64_t id = 0;
+  for (int64_t i = 0; i < per_segment; ++i) {
+    clients.emplace_back(id++, std::vector<double>{20.0 + (i % 5)},
+                         ClientConfig{});
+  }
+  for (int64_t i = 0; i < per_segment; ++i) {
+    clients.emplace_back(id++, std::vector<double>{80.0 + (i % 5)},
+                         ClientConfig{});
+  }
+  for (int64_t i = 0; i < 10; ++i) {
+    clients.emplace_back(id++, std::vector<double>{50.0}, ClientConfig{});
+  }
+  return clients;
+}
+
+std::string SegmentOf(const Client& client) {
+  const double v = client.values().front();
+  if (v < 40.0) return "low";
+  if (v > 60.0) return "high";
+  return "rare";
+}
+
+GroupByConfig TestConfig() {
+  GroupByConfig config;
+  config.query.adaptive.bits = 7;
+  config.min_segment_size = 100;
+  return config;
+}
+
+TEST(GroupByTest, EstimatesPerSegmentAndSuppressesSmallOnes) {
+  const std::vector<Client> clients = SegmentedPopulation(2000);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  Rng rng(1);
+  const std::vector<SegmentEstimate> results = RunGroupByMeanQuery(
+      clients, SegmentOf, codec, TestConfig(), nullptr, rng);
+  ASSERT_EQ(results.size(), 3u);
+  // Ordered by name: high, low, rare.
+  EXPECT_EQ(results[0].segment, "high");
+  EXPECT_FALSE(results[0].suppressed);
+  EXPECT_NEAR(results[0].estimate, 82.0, 4.0);
+  EXPECT_EQ(results[0].clients, 2000);
+
+  EXPECT_EQ(results[1].segment, "low");
+  EXPECT_FALSE(results[1].suppressed);
+  EXPECT_NEAR(results[1].estimate, 22.0, 4.0);
+
+  EXPECT_EQ(results[2].segment, "rare");
+  EXPECT_TRUE(results[2].suppressed);
+  EXPECT_EQ(results[2].clients, 10);
+}
+
+TEST(GroupByTest, SuppressedSegmentsSendNoMessages) {
+  const std::vector<Client> clients = SegmentedPopulation(50);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  PrivacyMeter meter{MeterPolicy{}};
+  Rng rng(2);
+  // min_segment_size 100 > 50: everything suppressed, no bits disclosed.
+  const std::vector<SegmentEstimate> results = RunGroupByMeanQuery(
+      clients, SegmentOf, codec, TestConfig(), &meter, rng);
+  for (const SegmentEstimate& result : results) {
+    EXPECT_TRUE(result.suppressed);
+  }
+  EXPECT_EQ(meter.total_bits(), 0);
+}
+
+TEST(GroupByTest, MeterSpansSegments) {
+  const std::vector<Client> clients = SegmentedPopulation(500);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  PrivacyMeter meter{MeterPolicy{}};
+  Rng rng(3);
+  RunGroupByMeanQuery(clients, SegmentOf, codec, TestConfig(), &meter,
+                      rng);
+  // Two live segments x 500 clients, one bit each; "rare" suppressed.
+  EXPECT_EQ(meter.total_bits(), 1000);
+}
+
+TEST(GroupByTest, SingleSegmentMatchesPlainQuery) {
+  const std::vector<Client> clients =
+      MakePopulation(std::vector<double>(3000, 42.0), ClientConfig{});
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  Rng rng(4);
+  const std::vector<SegmentEstimate> results = RunGroupByMeanQuery(
+      clients, [](const Client&) { return std::string("all"); }, codec,
+      TestConfig(), nullptr, rng);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].suppressed);
+  EXPECT_DOUBLE_EQ(results[0].estimate, 42.0);  // constant data is exact
+}
+
+TEST(GroupByDeathTest, InvalidConfigAborts) {
+  const std::vector<Client> clients = SegmentedPopulation(10);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  Rng rng(5);
+  GroupByConfig config = TestConfig();
+  config.min_segment_size = 1;
+  EXPECT_DEATH(RunGroupByMeanQuery(clients, SegmentOf, codec, config,
+                                   nullptr, rng),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(RunGroupByMeanQuery(clients, nullptr, codec, TestConfig(),
+                                   nullptr, rng),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,179 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/histogram_estimation.h"
+#include "data/census.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+#include "stats/quantiles.h"
+
+namespace bitpush {
+namespace {
+
+TEST(UniformEdgesTest, EvenSpacing) {
+  const std::vector<double> edges = UniformEdges(0.0, 100.0, 4);
+  EXPECT_EQ(edges, (std::vector<double>{0.0, 25.0, 50.0, 75.0, 100.0}));
+}
+
+TEST(UniformEdgesDeathTest, InvalidInputsAbort) {
+  EXPECT_DEATH(UniformEdges(5.0, 5.0, 4), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(UniformEdges(0.0, 1.0, 0), "BITPUSH_CHECK failed");
+}
+
+TEST(HistogramTest, FractionsSumToRoughlyOne) {
+  Rng data_rng(1);
+  const Dataset data = UniformData(40000, 0.0, 100.0, data_rng);
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 100.0, 10);
+  Rng rng(2);
+  const HistogramResult result =
+      EstimateHistogram(data.values(), config, rng);
+  double total = 0.0;
+  for (const double f : result.fractions) total += f;
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(HistogramTest, UniformDataGivesUniformBuckets) {
+  Rng data_rng(3);
+  const Dataset data = UniformData(50000, 0.0, 100.0, data_rng);
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 100.0, 5);
+  Rng rng(4);
+  const HistogramResult result =
+      EstimateHistogram(data.values(), config, rng);
+  for (const double f : result.fractions) EXPECT_NEAR(f, 0.2, 0.02);
+}
+
+TEST(HistogramTest, EachClientContributesOneBit) {
+  Rng data_rng(5);
+  const Dataset data = UniformData(999, 0.0, 10.0, data_rng);
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 10.0, 3);
+  Rng rng(6);
+  const HistogramResult result =
+      EstimateHistogram(data.values(), config, rng);
+  int64_t total = 0;
+  for (const int64_t c : result.counts) total += c;
+  EXPECT_EQ(total, 999);
+  // QMC assignment: equal probing of every bucket.
+  for (const int64_t c : result.counts) EXPECT_EQ(c, 333);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBuckets) {
+  const std::vector<double> values = {-100.0, 1000.0, 5.0};
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 10.0, 2);
+  Rng rng(7);
+  // With only 3 clients the estimate is coarse, but no crash and all
+  // reports land in valid buckets.
+  const HistogramResult result = EstimateHistogram(values, config, rng);
+  EXPECT_EQ(result.fractions.size(), 2u);
+}
+
+TEST(HistogramTest, MedianOfCensusAges) {
+  Rng data_rng(8);
+  const Dataset ages = CensusAges(100000, data_rng);
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 91.0, 91);  // one bucket per year
+  Rng rng(9);
+  const HistogramResult result =
+      EstimateHistogram(ages.values(), config, rng);
+  const double estimated_median = result.Quantile(config.edges, 0.5);
+  const double exact_median = Quantile(ages.values(), 0.5);
+  EXPECT_NEAR(estimated_median, exact_median, 3.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotone) {
+  Rng data_rng(10);
+  const Dataset ages = CensusAges(50000, data_rng);
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 91.0, 30);
+  Rng rng(11);
+  const HistogramResult result =
+      EstimateHistogram(ages.values(), config, rng);
+  double previous = -1.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double value = result.Quantile(config.edges, q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(HistogramTest, MedianRobustToOutliersUnlikeMean) {
+  // The Section 4.3 motivation: a 0/1 metric with huge rare outliers. The
+  // histogram median stays near the typical values; the raw mean does not.
+  Rng data_rng(12);
+  const Dataset data = BinaryWithOutliersData(50000, 0.002, 1e6, data_rng);
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 10.0, 10);
+  Rng rng(13);
+  const HistogramResult result =
+      EstimateHistogram(data.values(), config, rng);
+  const double median = result.Quantile(config.edges, 0.5);
+  EXPECT_LT(median, 2.0);
+  EXPECT_GT(data.truth().mean, 5.0);  // the mean is wrecked by outliers
+}
+
+TEST(HistogramTest, DpNoiseStillGivesUsableMedian) {
+  Rng data_rng(14);
+  const Dataset ages = CensusAges(200000, data_rng);
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 91.0, 13);
+  config.epsilon = 1.0;
+  Rng rng(15);
+  const HistogramResult result =
+      EstimateHistogram(ages.values(), config, rng);
+  const double estimated_median = result.Quantile(config.edges, 0.5);
+  const double exact_median = Quantile(ages.values(), 0.5);
+  EXPECT_NEAR(estimated_median, exact_median, 7.5);
+}
+
+TEST(HistogramTest, DpFractionsAreUnbiased) {
+  Rng data_rng(16);
+  const Dataset data = UniformData(100000, 0.0, 100.0, data_rng);
+  HistogramConfig config;
+  config.edges = UniformEdges(0.0, 100.0, 4);
+  config.epsilon = 2.0;
+  // Average the noisy fractions over repetitions: must converge to 0.25.
+  std::vector<double> sums(4, 0.0);
+  const int reps = 40;
+  Rng rng(17);
+  for (int rep = 0; rep < reps; ++rep) {
+    const HistogramResult result =
+        EstimateHistogram(data.values(), config, rng);
+    for (size_t b = 0; b < sums.size(); ++b) {
+      sums[b] += result.fractions[b];
+    }
+  }
+  for (const double s : sums) EXPECT_NEAR(s / reps, 0.25, 0.02);
+}
+
+TEST(HistogramDeathTest, InvalidConfigAborts) {
+  Rng rng(1);
+  HistogramConfig config;
+  config.edges = {1.0};
+  EXPECT_DEATH(EstimateHistogram({1.0}, config, rng),
+               "BITPUSH_CHECK failed");
+  config.edges = {1.0, 1.0};
+  EXPECT_DEATH(EstimateHistogram({1.0}, config, rng),
+               "edges must be strictly increasing");
+  config.edges = {0.0, 1.0};
+  EXPECT_DEATH(EstimateHistogram({}, config, rng), "BITPUSH_CHECK failed");
+}
+
+TEST(HistogramDeathTest, QuantileValidation) {
+  HistogramResult result;
+  result.fractions = {0.5, 0.5};
+  EXPECT_DEATH(result.Quantile({0.0, 1.0}, 0.5), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(result.Quantile({0.0, 1.0, 2.0}, 1.5),
+               "BITPUSH_CHECK failed");
+  HistogramResult empty;
+  empty.fractions = {0.0, 0.0};
+  EXPECT_DEATH(empty.Quantile({0.0, 1.0, 2.0}, 0.5),
+               "histogram carries no mass");
+}
+
+}  // namespace
+}  // namespace bitpush

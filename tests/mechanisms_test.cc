@@ -1,0 +1,239 @@
+// Tests for the value-level baselines: Duchi randomized rounding, the
+// piecewise mechanism, the Laplace mechanism, and subtractive dithering.
+// The central property for all of them is unbiasedness of the per-client
+// report, which makes the population average a consistent mean estimator.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ldp/ding.h"
+#include "ldp/dithering.h"
+#include "ldp/duchi.h"
+#include "ldp/laplace.h"
+#include "ldp/piecewise.h"
+#include "rng/rng.h"
+#include "stats/welford.h"
+
+namespace bitpush {
+namespace {
+
+// Mean of many privatized reports for a fixed input x.
+double ReportMean(const ScalarMechanism& mechanism, double x, int n,
+                  uint64_t seed) {
+  Rng rng(seed);
+  Welford acc;
+  for (int i = 0; i < n; ++i) acc.Add(mechanism.Privatize(x, rng));
+  return acc.mean();
+}
+
+struct UnbiasednessCase {
+  const char* label;
+  std::shared_ptr<ScalarMechanism> mechanism;
+  double tolerance;
+};
+
+class MechanismUnbiasednessTest
+    : public ::testing::TestWithParam<UnbiasednessCase> {};
+
+TEST_P(MechanismUnbiasednessTest, ReportsAreUnbiased) {
+  const UnbiasednessCase& test_case = GetParam();
+  for (const double x : {0.0, 17.0, 100.0, 200.0, 255.0}) {
+    EXPECT_NEAR(ReportMean(*test_case.mechanism, x, 300000, 42), x,
+                test_case.tolerance)
+        << test_case.label << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, MechanismUnbiasednessTest,
+    ::testing::Values(
+        UnbiasednessCase{"duchi_eps1",
+                         std::make_shared<DuchiMechanism>(1.0, 0.0, 255.0),
+                         3.0},
+        UnbiasednessCase{"duchi_nodp",
+                         std::make_shared<DuchiMechanism>(0.0, 0.0, 255.0),
+                         1.5},
+        UnbiasednessCase{"piecewise_eps1",
+                         std::make_shared<PiecewiseMechanism>(1.0, 0.0,
+                                                              255.0),
+                         3.0},
+        UnbiasednessCase{"laplace_eps1",
+                         std::make_shared<LaplaceMechanism>(1.0, 0.0, 255.0),
+                         3.0},
+        UnbiasednessCase{"dithering_nodp",
+                         std::make_shared<SubtractiveDithering>(0.0, 0.0,
+                                                                255.0),
+                         1.0},
+        UnbiasednessCase{"dithering_eps1",
+                         std::make_shared<SubtractiveDithering>(1.0, 0.0,
+                                                                255.0),
+                         3.0},
+        UnbiasednessCase{"ding_eps1",
+                         std::make_shared<DingMechanism>(1.0, 0.0, 255.0),
+                         3.0}),
+    [](const ::testing::TestParamInfo<UnbiasednessCase>& info) {
+      return info.param.label;
+    });
+
+TEST(DuchiTest, NameReflectsPrivacy) {
+  EXPECT_EQ(DuchiMechanism(1.0, 0.0, 1.0).name(), "duchi");
+  EXPECT_EQ(DuchiMechanism(0.0, 0.0, 1.0).name(), "randomized_rounding");
+}
+
+TEST(DuchiTest, OutputsAreScaledBits) {
+  // Without RR, a Duchi report is either low or high.
+  const DuchiMechanism mechanism(0.0, 10.0, 20.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = mechanism.Privatize(14.0, rng);
+    EXPECT_TRUE(r == 10.0 || r == 20.0) << r;
+  }
+}
+
+TEST(DuchiTest, ClampsOutOfRangeInputs) {
+  const DuchiMechanism mechanism(0.0, 0.0, 10.0);
+  Rng rng(2);
+  // x far above the range behaves like x = high.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(mechanism.Privatize(1e9, rng), 10.0);
+    EXPECT_DOUBLE_EQ(mechanism.Privatize(-1e9, rng), 0.0);
+  }
+}
+
+TEST(PiecewiseTest, OutputBoundedByC) {
+  const PiecewiseMechanism mechanism(1.0, 0.0, 1.0);
+  const double c = mechanism.output_bound();
+  EXPECT_GT(c, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double scaled =
+        2.0 * mechanism.Privatize(rng.NextDouble(), rng) - 1.0;
+    EXPECT_GE(scaled, -c - 1e-9);
+    EXPECT_LE(scaled, c + 1e-9);
+  }
+}
+
+TEST(PiecewiseTest, ConcentratesAroundInputForLargeEpsilon) {
+  const PiecewiseMechanism mechanism(6.0, 0.0, 1.0);
+  Rng rng(4);
+  Welford acc;
+  for (int i = 0; i < 20000; ++i) {
+    acc.Add(std::abs(mechanism.Privatize(0.5, rng) - 0.5));
+  }
+  // At eps=6 most mass is in the narrow central interval.
+  EXPECT_LT(acc.mean(), 0.2);
+}
+
+TEST(PiecewiseTest, VarianceShrinksWithEpsilon) {
+  Rng rng(5);
+  auto variance_at = [&rng](double eps) {
+    const PiecewiseMechanism mechanism(eps, 0.0, 1.0);
+    Welford acc;
+    for (int i = 0; i < 50000; ++i) acc.Add(mechanism.Privatize(0.5, rng));
+    return acc.population_variance();
+  };
+  EXPECT_GT(variance_at(0.5), variance_at(2.0));
+  EXPECT_GT(variance_at(2.0), variance_at(5.0));
+}
+
+TEST(LaplaceTest, ScaleMatchesSensitivityOverEpsilon) {
+  const LaplaceMechanism mechanism(2.0, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(mechanism.scale(), 50.0);
+}
+
+TEST(LaplaceTest, EmpiricalVarianceIsTwoScaleSquared) {
+  const LaplaceMechanism mechanism(1.0, 0.0, 10.0);
+  Rng rng(6);
+  Welford acc;
+  for (int i = 0; i < 200000; ++i) acc.Add(mechanism.Privatize(5.0, rng));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.2);
+  EXPECT_NEAR(acc.population_variance(), 2.0 * 10.0 * 10.0, 15.0);
+}
+
+TEST(DitheringTest, WithoutNoiseErrorBoundedByRange) {
+  // |b + h - 0.5 - x| <= 0.5 in scaled space for subtractive dithering.
+  const SubtractiveDithering mechanism(0.0, 0.0, 1.0);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_LE(std::abs(mechanism.Privatize(x, rng) - x), 0.5 + 1e-12);
+  }
+}
+
+TEST(DitheringTest, PerfectForExtremeInputsWithoutNoise) {
+  // x = 1 always yields b = 1 -> estimate = h + 0.5, mean 1; the error is
+  // purely the dither, bounded by 0.5.
+  const SubtractiveDithering mechanism(0.0, 0.0, 1.0);
+  Rng rng(8);
+  Welford acc;
+  for (int i = 0; i < 100000; ++i) acc.Add(mechanism.Privatize(1.0, rng));
+  EXPECT_NEAR(acc.mean(), 1.0, 0.005);
+}
+
+TEST(DitheringTest, EstimateMeanOnPopulation) {
+  Rng rng(9);
+  const Dataset data = UniformData(50000, 0.0, 200.0, rng);
+  const SubtractiveDithering mechanism(0.0, 0.0, 255.0);
+  const double estimate = mechanism.EstimateMean(data.values(), rng);
+  EXPECT_NEAR(estimate, data.truth().mean, 1.5);
+}
+
+TEST(DingTest, ReportProbabilityIsEpsLdp) {
+  // The likelihood ratio between any two inputs' report distributions is
+  // bounded by e^eps, with equality at the endpoints.
+  for (const double eps : {0.5, 1.0, 2.0}) {
+    const DingMechanism mechanism(eps, 0.0, 1.0);
+    const double p0 = mechanism.ReportProbability(0.0);
+    const double p1 = mechanism.ReportProbability(1.0);
+    EXPECT_NEAR(p1 / p0, std::exp(eps), 1e-9);
+    EXPECT_NEAR((1.0 - p0) / (1.0 - p1), std::exp(eps), 1e-9);
+  }
+}
+
+TEST(DingTest, ReportProbabilityLinearInInput) {
+  const DingMechanism mechanism(1.0, 0.0, 100.0);
+  const double p0 = mechanism.ReportProbability(0.0);
+  const double p50 = mechanism.ReportProbability(50.0);
+  const double p100 = mechanism.ReportProbability(100.0);
+  EXPECT_NEAR(p50, (p0 + p100) / 2.0, 1e-12);
+}
+
+TEST(MechanismTest, LooseBoundsInflateBaselineError) {
+  // The motivation for adaptive bit-pushing (Section 2): variance of
+  // range-scaled methods grows with (H - L)^2. Same data, two bounds.
+  Rng rng(10);
+  const Dataset data = UniformData(20000, 0.0, 100.0, rng);
+  auto rmse_with_bound = [&](double high) {
+    const SubtractiveDithering mechanism(0.0, 0.0, high);
+    Welford acc;
+    Rng local(11);
+    for (int rep = 0; rep < 30; ++rep) {
+      const double est = mechanism.EstimateMean(data.values(), local);
+      acc.Add((est - data.truth().mean) * (est - data.truth().mean));
+    }
+    return std::sqrt(acc.mean());
+  };
+  const double tight = rmse_with_bound(128.0);
+  const double loose = rmse_with_bound(65536.0);
+  EXPECT_GT(loose, 20.0 * tight);
+}
+
+TEST(MechanismDeathTest, InvalidRangesAbort) {
+  EXPECT_DEATH(DuchiMechanism(1.0, 5.0, 5.0), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(PiecewiseMechanism(0.0, 0.0, 1.0), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(LaplaceMechanism(-1.0, 0.0, 1.0), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(SubtractiveDithering(1.0, 2.0, 1.0), "BITPUSH_CHECK failed");
+}
+
+TEST(MechanismDeathTest, EstimateMeanRequiresClients) {
+  const DuchiMechanism mechanism(1.0, 0.0, 1.0);
+  Rng rng(1);
+  EXPECT_DEATH(mechanism.EstimateMean({}, rng), "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

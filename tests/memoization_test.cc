@@ -1,0 +1,112 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ldp/memoization.h"
+#include "rng/rng.h"
+#include "stats/welford.h"
+
+namespace bitpush {
+namespace {
+
+TEST(MemoizationTest, PermanentBitIsStableAcrossRounds) {
+  const MemoizedResponder responder(1.0, 0.5, /*client_secret=*/12345);
+  const int first = responder.PermanentBit(7, 3, 1);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_EQ(responder.PermanentBit(7, 3, 1), first);
+  }
+}
+
+TEST(MemoizationTest, PermanentBitsDifferAcrossValuesBitsAndClients) {
+  // Distinct tuples must draw independent permanent noise: with 200 tuples
+  // at eps=1 (flip prob ~0.27), some permanent bits disagree with truth
+  // and with each other.
+  const MemoizedResponder responder(1.0, 0.5, 99);
+  int flipped = 0;
+  for (int64_t value_id = 0; value_id < 100; ++value_id) {
+    flipped += responder.PermanentBit(value_id, 0, 1) == 0;
+    flipped += responder.PermanentBit(value_id, 1, 1) == 0;
+  }
+  EXPECT_GT(flipped, 20);
+  EXPECT_LT(flipped, 90);
+  // A different client secret gives a different permanent pattern.
+  const MemoizedResponder other(1.0, 0.5, 100);
+  int disagreements = 0;
+  for (int64_t value_id = 0; value_id < 100; ++value_id) {
+    if (responder.PermanentBit(value_id, 0, 1) !=
+        other.PermanentBit(value_id, 0, 1)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 5);
+}
+
+TEST(MemoizationTest, RepeatedQueriesConvergeToPermanentBitNotTruth) {
+  // The longitudinal privacy property: averaging one client's reports over
+  // many rounds reveals the *permanent* bit, never more about the truth.
+  const MemoizedResponder responder(1.0, 1.0, 7);
+  const int permanent = responder.PermanentBit(1, 0, /*true_bit=*/1);
+  Rng rng(1);
+  Welford acc;
+  for (int round = 0; round < 200000; ++round) {
+    acc.Add(static_cast<double>(responder.Report(1, 0, 1, rng)));
+  }
+  const RandomizedResponse instantaneous(1.0);
+  const double expected =
+      permanent == 1 ? instantaneous.truth_probability()
+                     : 1.0 - instantaneous.truth_probability();
+  EXPECT_NEAR(acc.mean(), expected, 0.01);
+}
+
+TEST(MemoizationTest, PopulationEstimateIsUnbiased) {
+  // Across many clients the permanent noise averages out and the composed
+  // unbiasing recovers the true bit mean.
+  const double true_mean = 0.3;
+  Rng rng(2);
+  Welford acc;
+  for (int client = 0; client < 200000; ++client) {
+    const MemoizedResponder responder(1.0, 1.0,
+                                      static_cast<uint64_t>(client));
+    const int true_bit = rng.NextBernoulli(true_mean) ? 1 : 0;
+    acc.Add(static_cast<double>(responder.Report(0, 0, true_bit, rng)));
+  }
+  const MemoizedResponder reference(1.0, 1.0, 0);
+  EXPECT_NEAR(reference.Unbias(acc.mean()), true_mean, 0.02);
+}
+
+TEST(MemoizationTest, EffectiveTruthProbabilityComposes) {
+  const MemoizedResponder responder(1.0, 2.0, 3);
+  const RandomizedResponse p1(1.0);
+  const RandomizedResponse p2(2.0);
+  const double expected =
+      p1.truth_probability() * p2.truth_probability() +
+      (1.0 - p1.truth_probability()) * (1.0 - p2.truth_probability());
+  EXPECT_NEAR(responder.EffectiveTruthProbability(), expected, 1e-12);
+  // Composition is strictly noisier than either layer alone.
+  EXPECT_LT(responder.EffectiveTruthProbability(),
+            p1.truth_probability());
+  EXPECT_LT(responder.EffectiveTruthProbability(),
+            p2.truth_probability());
+}
+
+TEST(MemoizationTest, NoInstantaneousLayerMeansIdenticalReports) {
+  const MemoizedResponder responder(1.0, 0.0, 5);
+  Rng rng(3);
+  const int first = responder.Report(2, 4, 1, rng);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_EQ(responder.Report(2, 4, 1, rng), first);
+  }
+}
+
+TEST(MemoizationTest, LongitudinalBoundIsThePermanentEpsilon) {
+  const MemoizedResponder responder(0.7, 3.0, 5);
+  EXPECT_DOUBLE_EQ(responder.LongitudinalEpsilonBound(), 0.7);
+}
+
+TEST(MemoizationDeathTest, PermanentLayerRequired) {
+  EXPECT_DEATH(MemoizedResponder(0.0, 1.0, 1),
+               "memoization without a permanent layer");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,95 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "federated/monitor.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+MonitorConfig Config(int bits) {
+  MonitorConfig config;
+  config.protocol.bits = bits;
+  return config;
+}
+
+TEST(MetricMonitorTest, StableMetricNeverFlags) {
+  Rng rng(1);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MetricMonitor monitor(codec, Config(10));
+  for (int window = 0; window < 6; ++window) {
+    const Dataset data = NormalData(8000, 300.0, 30.0, rng);
+    const WindowSummary summary = monitor.IngestWindow(data.values(), rng);
+    EXPECT_FALSE(summary.skipped);
+    EXPECT_FALSE(summary.bound_flagged);
+    EXPECT_NEAR(summary.estimate, 300.0, 30.0);
+  }
+  EXPECT_EQ(monitor.windows_flagged(), 0);
+  EXPECT_EQ(monitor.history().size(), 6u);
+}
+
+TEST(MetricMonitorTest, MagnitudeJumpRaisesBoundFlag) {
+  Rng rng(2);
+  const FixedPointCodec codec = FixedPointCodec::Integer(14);
+  MetricMonitor monitor(codec, Config(14));
+  monitor.IngestWindow(NormalData(8000, 200.0, 20.0, rng).values(), rng);
+  const WindowSummary shifted = monitor.IngestWindow(
+      NormalData(8000, 8000.0, 200.0, rng).values(), rng);
+  EXPECT_TRUE(shifted.bound_flagged);
+  EXPECT_GT(shifted.b_max, monitor.history().front().b_max);
+}
+
+TEST(MetricMonitorTest, SmallWindowSkippedForPrivacy) {
+  Rng rng(3);
+  const FixedPointCodec codec = FixedPointCodec::Integer(8);
+  MonitorConfig config = Config(8);
+  config.min_window_size = 1000;
+  MetricMonitor monitor(codec, config);
+  const WindowSummary summary =
+      monitor.IngestWindow(std::vector<double>(50, 10.0), rng);
+  EXPECT_TRUE(summary.skipped);
+  EXPECT_EQ(summary.clients, 50);
+  // A skipped window leaves the bound monitor untouched.
+  const WindowSummary next = monitor.IngestWindow(
+      NormalData(5000, 100.0, 10.0, rng).values(), rng);
+  EXPECT_FALSE(next.skipped);
+  EXPECT_FALSE(next.bound_flagged);  // first real window never flags
+}
+
+TEST(MetricMonitorTest, DriftFlagOnEstimateShift) {
+  Rng rng(4);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MonitorConfig config = Config(10);
+  config.drift_threshold = 0.5;  // 50% relative change
+  MetricMonitor monitor(codec, config);
+  monitor.IngestWindow(NormalData(8000, 200.0, 20.0, rng).values(), rng);
+  monitor.IngestWindow(NormalData(8000, 205.0, 20.0, rng).values(), rng);
+  const WindowSummary drifted = monitor.IngestWindow(
+      NormalData(8000, 600.0, 20.0, rng).values(), rng);
+  EXPECT_TRUE(drifted.drift_flagged);
+  EXPECT_GE(monitor.windows_flagged(), 1);
+}
+
+TEST(MetricMonitorTest, DriftDisabledByDefault) {
+  Rng rng(5);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MetricMonitor monitor(codec, Config(10));
+  monitor.IngestWindow(NormalData(8000, 100.0, 10.0, rng).values(), rng);
+  const WindowSummary jumped = monitor.IngestWindow(
+      NormalData(8000, 900.0, 10.0, rng).values(), rng);
+  EXPECT_FALSE(jumped.drift_flagged);
+}
+
+TEST(MetricMonitorDeathTest, ConfigValidation) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(8);
+  MonitorConfig mismatched = Config(10);
+  EXPECT_DEATH(MetricMonitor(codec, mismatched), "BITPUSH_CHECK failed");
+  MonitorConfig tiny = Config(8);
+  tiny.min_window_size = 1;
+  EXPECT_DEATH(MetricMonitor(codec, tiny), "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

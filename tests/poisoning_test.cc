@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "federated/poisoning.h"
+
+namespace bitpush {
+namespace {
+
+TEST(PoisoningTest, HonestPassesThrough) {
+  int index = -1;
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kHonest, false, 7, 3, 1, &index), 1);
+  EXPECT_EQ(index, 3);
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kHonest, true, 7, 2, 0, &index), 0);
+  EXPECT_EQ(index, 2);
+}
+
+TEST(PoisoningTest, AlwaysOneIgnoresTruth) {
+  int index = -1;
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kAlwaysOne, false, 7, 3, 0, &index),
+            1);
+  EXPECT_EQ(index, 3);
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kAlwaysOne, true, 7, 3, 0, &index),
+            1);
+  EXPECT_EQ(index, 3);
+}
+
+TEST(PoisoningTest, TopBitHijackOnlyUnderLocalRandomness) {
+  int index = -1;
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kTopBitOne, true, 7, 2, 0, &index),
+            1);
+  EXPECT_EQ(index, 7);
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kTopBitOne, false, 7, 2, 0, &index),
+            1);
+  EXPECT_EQ(index, 2);  // central randomness pins the index
+}
+
+TEST(PoisoningTest, FlipBitComplements) {
+  int index = -1;
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kFlipBit, false, 7, 0, 0, &index), 1);
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kFlipBit, false, 7, 0, 1, &index), 0);
+}
+
+TEST(PoisoningTest, GarbageIndexOnlyUnderLocalRandomness) {
+  int index = -1;
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kGarbageIndex, true, 7, 2, 0,
+                        &index),
+            1);
+  EXPECT_GT(index, 7);  // out of protocol range
+  EXPECT_EQ(PoisonedBit(AdversaryMode::kGarbageIndex, false, 7, 2, 0,
+                        &index),
+            1);
+  EXPECT_EQ(index, 2);  // central randomness pins the index
+}
+
+TEST(PoisoningDeathTest, InvalidArgumentsAbort) {
+  int index = -1;
+  EXPECT_DEATH(PoisonedBit(AdversaryMode::kHonest, false, 7, 0, 2, &index),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(PoisonedBit(AdversaryMode::kHonest, false, 7, 0, 1, nullptr),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/privacy_meter.h"
+
+namespace bitpush {
+namespace {
+
+TEST(PrivacyMeterTest, DefaultPolicyAllowsOneBitPerValue) {
+  PrivacyMeter meter{MeterPolicy{}};
+  EXPECT_TRUE(meter.TryChargeBit(1, 100, 0.0));
+  // Second bit about the same value: denied (the paper's worst-case
+  // guarantee).
+  EXPECT_FALSE(meter.TryChargeBit(1, 100, 0.0));
+  // A different value of the same client is fine.
+  EXPECT_TRUE(meter.TryChargeBit(1, 101, 0.0));
+  // Another client's same value id is independent.
+  EXPECT_TRUE(meter.TryChargeBit(2, 100, 0.0));
+  EXPECT_EQ(meter.total_bits(), 3);
+  EXPECT_EQ(meter.denied_charges(), 1);
+}
+
+TEST(PrivacyMeterTest, PerValueCapAboveOne) {
+  MeterPolicy policy;
+  policy.max_bits_per_value = 3;
+  PrivacyMeter meter(policy);
+  EXPECT_TRUE(meter.TryChargeBit(1, 5, 0.0));
+  EXPECT_TRUE(meter.TryChargeBit(1, 5, 0.0));
+  EXPECT_TRUE(meter.TryChargeBit(1, 5, 0.0));
+  EXPECT_FALSE(meter.TryChargeBit(1, 5, 0.0));
+  EXPECT_EQ(meter.ValueBits(1, 5), 3);
+}
+
+TEST(PrivacyMeterTest, PerClientBitCap) {
+  MeterPolicy policy;
+  policy.max_bits_per_value = 10;
+  policy.max_bits_per_client = 2;
+  PrivacyMeter meter(policy);
+  EXPECT_TRUE(meter.TryChargeBit(7, 1, 0.0));
+  EXPECT_TRUE(meter.TryChargeBit(7, 2, 0.0));
+  EXPECT_FALSE(meter.TryChargeBit(7, 3, 0.0));
+  EXPECT_EQ(meter.ClientBits(7), 2);
+  // Other clients unaffected.
+  EXPECT_TRUE(meter.TryChargeBit(8, 1, 0.0));
+}
+
+TEST(PrivacyMeterTest, EpsilonBudgetComposesAcrossCharges) {
+  MeterPolicy policy;
+  policy.max_bits_per_value = 10;
+  policy.max_bits_per_client = 10;
+  policy.max_epsilon_per_client = 2.5;
+  PrivacyMeter meter(policy);
+  EXPECT_TRUE(meter.TryChargeBit(1, 1, 1.0));
+  EXPECT_TRUE(meter.TryChargeBit(1, 2, 1.0));
+  // Third unit charge would push to 3.0 > 2.5.
+  EXPECT_FALSE(meter.TryChargeBit(1, 3, 1.0));
+  // A smaller charge still fits.
+  EXPECT_TRUE(meter.TryChargeBit(1, 3, 0.5));
+  EXPECT_DOUBLE_EQ(meter.ClientEpsilon(1), 2.5);
+}
+
+TEST(PrivacyMeterTest, DeniedChargeLeavesStateUntouched) {
+  PrivacyMeter meter{MeterPolicy{}};
+  EXPECT_TRUE(meter.TryChargeBit(1, 1, 0.3));
+  const int64_t bits_before = meter.total_bits();
+  const double eps_before = meter.ClientEpsilon(1);
+  EXPECT_FALSE(meter.TryChargeBit(1, 1, 0.3));
+  EXPECT_EQ(meter.total_bits(), bits_before);
+  EXPECT_DOUBLE_EQ(meter.ClientEpsilon(1), eps_before);
+}
+
+TEST(PrivacyMeterTest, UnknownClientsReadAsZero) {
+  const PrivacyMeter meter{MeterPolicy{}};
+  EXPECT_EQ(meter.ClientBits(99), 0);
+  EXPECT_DOUBLE_EQ(meter.ClientEpsilon(99), 0.0);
+  EXPECT_EQ(meter.ValueBits(99, 1), 0);
+}
+
+TEST(PrivacyMeterDeathTest, InvalidPolicyOrChargeAborts) {
+  MeterPolicy bad;
+  bad.max_bits_per_value = 0;
+  EXPECT_DEATH(PrivacyMeter{bad}, "BITPUSH_CHECK failed");
+  PrivacyMeter meter{MeterPolicy{}};
+  EXPECT_DEATH(meter.TryChargeBit(1, 1, -0.1), "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,60 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dp/privacy_params.h"
+
+namespace bitpush {
+namespace {
+
+TEST(PrivacyBudgetTest, EnabledOnlyWithPositiveEpsilon) {
+  EXPECT_FALSE(PrivacyBudget{}.enabled());
+  EXPECT_FALSE((PrivacyBudget{0.0, 0.1}).enabled());
+  EXPECT_TRUE((PrivacyBudget{0.5, 0.0}).enabled());
+}
+
+TEST(PrivacyBudgetTest, SequentialCompositionAdds) {
+  const PrivacyBudget a{1.0, 1e-6};
+  const PrivacyBudget b{0.5, 1e-7};
+  const PrivacyBudget c = Compose(a, b);
+  EXPECT_DOUBLE_EQ(c.epsilon, 1.5);
+  EXPECT_DOUBLE_EQ(c.delta, 1.1e-6);
+}
+
+TEST(PrivacyBudgetTest, ComposeWithZeroIsIdentity) {
+  const PrivacyBudget a{2.0, 1e-5};
+  const PrivacyBudget c = Compose(a, PrivacyBudget{});
+  EXPECT_DOUBLE_EQ(c.epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(c.delta, 1e-5);
+}
+
+TEST(RandomizedResponseVarianceTest, MatchesClosedForm) {
+  for (const double eps : {0.1, 1.0, 2.0, 5.0}) {
+    const double e = std::exp(eps);
+    EXPECT_NEAR(RandomizedResponseVariance(eps), e / ((e - 1) * (e - 1)),
+                1e-12);
+  }
+}
+
+TEST(RandomizedResponseVarianceTest, SmallEpsilonScalesAsInverseSquare) {
+  // Section 3.3: for small eps the variance behaves like 1/eps^2.
+  const double v1 = RandomizedResponseVariance(0.01);
+  const double v2 = RandomizedResponseVariance(0.02);
+  EXPECT_NEAR(v1 / v2, 4.0, 0.1);
+}
+
+TEST(RandomizedResponseVarianceTest, MonotoneDecreasingInEpsilon) {
+  double previous = RandomizedResponseVariance(0.05);
+  for (double eps = 0.1; eps <= 5.0; eps += 0.1) {
+    const double current = RandomizedResponseVariance(eps);
+    EXPECT_LT(current, previous);
+    previous = current;
+  }
+}
+
+TEST(RandomizedResponseVarianceDeathTest, RequiresPositiveEpsilon) {
+  EXPECT_DEATH(RandomizedResponseVariance(0.0), "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

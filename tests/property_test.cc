@@ -1,0 +1,348 @@
+// Cross-module property tests: invariants that must hold across wide
+// parameter sweeps, exercised with parameterized gtest suites.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "core/bit_probabilities.h"
+#include "core/bit_pushing.h"
+#include "core/bit_squashing.h"
+#include "core/fixed_point.h"
+#include "core/planner.h"
+#include "data/census.h"
+#include "data/synthetic.h"
+#include "ldp/randomized_response.h"
+#include "rng/distributions.h"
+#include "rng/qmc.h"
+#include "rng/rng.h"
+#include "stats/metrics.h"
+#include "stats/repetition.h"
+
+namespace bitpush {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Codec round-trip across every supported bit width.
+
+class CodecWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecWidthTest, IntegerRoundTripIsExact) {
+  const int bits = GetParam();
+  const FixedPointCodec codec = FixedPointCodec::Integer(bits);
+  Rng rng(static_cast<uint64_t>(bits));
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t v = rng.NextBelow(codec.max_codeword() + 1);
+    EXPECT_EQ(codec.Encode(static_cast<double>(v)), v);
+    EXPECT_DOUBLE_EQ(codec.Decode(static_cast<double>(v)),
+                     static_cast<double>(v));
+  }
+}
+
+TEST_P(CodecWidthTest, RangeRoundTripWithinHalfResolution) {
+  const int bits = GetParam();
+  const FixedPointCodec codec(bits, -3.5, 17.25);
+  Rng rng(static_cast<uint64_t>(bits) + 100);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = SampleUniform(rng, -3.5, 17.25);
+    const double decoded =
+        codec.Decode(static_cast<double>(codec.Encode(x)));
+    EXPECT_NEAR(decoded, x, codec.resolution() / 2.0 + 1e-9);
+  }
+}
+
+TEST_P(CodecWidthTest, BitDecompositionIsLinear) {
+  const int bits = GetParam();
+  const FixedPointCodec codec = FixedPointCodec::Integer(bits);
+  Rng rng(static_cast<uint64_t>(bits) + 200);
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint64_t v = rng.NextBelow(codec.max_codeword() + 1);
+    double recombined = 0.0;
+    for (int j = 0; j < bits; ++j) {
+      recombined += std::exp2(j) * FixedPointCodec::Bit(v, j);
+    }
+    EXPECT_DOUBLE_EQ(recombined, static_cast<double>(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CodecWidthTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 52));
+
+// ---------------------------------------------------------------------------
+// Randomized response identities across the epsilon range.
+
+class RrEpsilonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RrEpsilonTest, UnbiasingIdentityHoldsEmpirically) {
+  const double epsilon = GetParam();
+  const RandomizedResponse rr(epsilon);
+  Rng rng(7);
+  for (const int bit : {0, 1}) {
+    double sum = 0.0;
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i) {
+      sum += rr.Unbias(static_cast<double>(rr.Apply(bit, rng)));
+    }
+    // Standard error of the unbiased mean.
+    const double se = std::sqrt(rr.ReportVariance() / trials);
+    EXPECT_NEAR(sum / trials, static_cast<double>(bit), 5.0 * se + 1e-9)
+        << "eps=" << epsilon << " bit=" << bit;
+  }
+}
+
+TEST_P(RrEpsilonTest, LikelihoodRatioIsExactlyExpEpsilon) {
+  const double epsilon = GetParam();
+  const RandomizedResponse rr(epsilon);
+  const double p = rr.truth_probability();
+  EXPECT_NEAR(std::log(p / (1.0 - p)), epsilon, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, RrEpsilonTest,
+                         ::testing::Values(0.05, 0.1, 0.5, 1.0, 2.0, 4.0,
+                                           8.0));
+
+// ---------------------------------------------------------------------------
+// QMC allocation invariants under random allocations.
+
+class QmcSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QmcSeedTest, GroupSizesExactAndWithinOneOfProportional) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> p(1 + rng.NextBelow(20));
+  for (double& x : p) x = rng.NextDouble() + 1e-3;
+  NormalizeProbabilities(p);
+  const int64_t n = 1 + static_cast<int64_t>(rng.NextBelow(50000));
+  const std::vector<int64_t> sizes = ProportionalGroupSizes(n, p);
+  int64_t total = 0;
+  for (size_t j = 0; j < p.size(); ++j) {
+    const double exact = static_cast<double>(n) * p[j];
+    EXPECT_GE(static_cast<double>(sizes[j]), std::floor(exact) - 1e-9);
+    EXPECT_LE(static_cast<double>(sizes[j]), std::ceil(exact) + 1e-9);
+    total += sizes[j];
+  }
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmcSeedTest, ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+// Protocol invariants across workloads.
+
+struct WorkloadCase {
+  const char* label;
+  // Builds a dataset of the given size.
+  Dataset (*make)(int64_t n, Rng& rng);
+};
+
+Dataset MakeUniformWorkload(int64_t n, Rng& rng) {
+  return UniformData(n, 0.0, 250.0, rng);
+}
+Dataset MakeNormalWorkload(int64_t n, Rng& rng) {
+  return NormalData(n, 120.0, 40.0, rng);
+}
+Dataset MakeExponentialWorkload(int64_t n, Rng& rng) {
+  return ExponentialData(n, 60.0, rng);
+}
+Dataset MakeCensusWorkload(int64_t n, Rng& rng) {
+  return CensusAges(n, rng);
+}
+Dataset MakeConstantWorkload(int64_t n, Rng& rng) {
+  (void)rng;
+  return ConstantData(n, 97.0);
+}
+Dataset MakeBimodalWorkload(int64_t n, Rng& rng) {
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    values.push_back(rng.NextBernoulli(0.5) ? 10.0 : 200.0);
+  }
+  return Dataset("bimodal", std::move(values));
+}
+
+class WorkloadPropertyTest : public ::testing::TestWithParam<WorkloadCase> {
+ protected:
+  static constexpr int kBits = 8;
+  static constexpr int64_t kClients = 4000;
+};
+
+TEST_P(WorkloadPropertyTest, EstimateStaysInCodewordDomainWithoutDp) {
+  // Without DP noise, every bit mean is in [0, 1], so the recombined
+  // estimate must lie in [0, 2^b - 1] regardless of workload/allocation.
+  Rng rng(11);
+  const Dataset data = GetParam().make(kClients, rng);
+  const FixedPointCodec codec = FixedPointCodec::Integer(kBits);
+  const std::vector<uint64_t> codewords =
+      codec.EncodeAll(data.Clipped(0.0, 255.0).values());
+  for (const double gamma : {0.0, 0.5, 1.0}) {
+    BitPushingConfig config;
+    config.probabilities = GeometricProbabilities(kBits, gamma);
+    const BitPushingResult result =
+        RunBasicBitPushing(codewords, config, rng);
+    EXPECT_GE(result.estimate_codeword, 0.0);
+    EXPECT_LE(result.estimate_codeword,
+              static_cast<double>(codec.max_codeword()));
+  }
+}
+
+TEST_P(WorkloadPropertyTest, BasicAndAdaptiveAgreeWithTruth) {
+  Rng rng(13);
+  const Dataset raw = GetParam().make(kClients, rng);
+  const Dataset data = raw.Clipped(0.0, 255.0);
+  const FixedPointCodec codec = FixedPointCodec::Integer(kBits);
+  const std::vector<uint64_t> codewords = codec.EncodeAll(data.values());
+  const double truth = data.truth().mean;
+
+  AdaptiveConfig adaptive;
+  adaptive.bits = kBits;
+  const ErrorStats stats = RunRepetitions(50, 17, truth, [&](Rng& run) {
+    return codec.Decode(
+        RunAdaptiveBitPushing(codewords, adaptive, run).estimate_codeword);
+  });
+  // 4000 clients on an 8-bit domain: comfortably within 10% of truth
+  // (constant data is exact; scale by truth or resolution).
+  const double slack = std::max(0.1 * std::abs(truth), 2.0);
+  EXPECT_LT(std::abs(stats.bias) + stats.rmse, slack + 1e-9)
+      << GetParam().label;
+}
+
+TEST_P(WorkloadPropertyTest, VarianceBoundIsAnUpperEnvelope) {
+  Rng rng(19);
+  const Dataset data = GetParam().make(kClients, rng).Clipped(0.0, 255.0);
+  const FixedPointCodec codec = FixedPointCodec::Integer(kBits);
+  const std::vector<uint64_t> codewords = codec.EncodeAll(data.values());
+  BitPushingConfig config;
+  config.probabilities = GeometricProbabilities(kBits, 1.0);
+
+  Rng probe(23);
+  const double bound =
+      RunBasicBitPushing(codewords, config, probe).variance_bound;
+  const std::vector<double> estimates =
+      CollectRepetitions(300, 29, [&](Rng& run) {
+        return RunBasicBitPushing(codewords, config, run)
+            .estimate_codeword;
+      });
+  // Without-replacement sampling only shrinks variance, so the plug-in
+  // bound (evaluated at estimated means) must cover the empirical value
+  // up to estimation noise.
+  EXPECT_LT(PopulationVariance(estimates), 1.5 * bound + 1e-9)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WorkloadPropertyTest,
+    ::testing::Values(WorkloadCase{"uniform", MakeUniformWorkload},
+                      WorkloadCase{"normal", MakeNormalWorkload},
+                      WorkloadCase{"exponential", MakeExponentialWorkload},
+                      WorkloadCase{"census", MakeCensusWorkload},
+                      WorkloadCase{"constant", MakeConstantWorkload},
+                      WorkloadCase{"bimodal", MakeBimodalWorkload}),
+    [](const ::testing::TestParamInfo<WorkloadCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// ---------------------------------------------------------------------------
+// Structural invariants.
+
+TEST(HistogramMergeProperty, MergeEqualsConcatenatedAdds) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int bits = 1 + static_cast<int>(rng.NextBelow(16));
+    BitHistogram merged(bits);
+    BitHistogram left(bits);
+    BitHistogram right(bits);
+    BitHistogram all(bits);
+    const int64_t reports = 1 + static_cast<int64_t>(rng.NextBelow(500));
+    for (int64_t i = 0; i < reports; ++i) {
+      const int bit_index = static_cast<int>(rng.NextBelow(
+          static_cast<uint64_t>(bits)));
+      const int bit = rng.NextBit();
+      all.Add(bit_index, bit);
+      (rng.NextBernoulli(0.5) ? left : right).Add(bit_index, bit);
+    }
+    merged.Merge(left);
+    merged.Merge(right);
+    EXPECT_EQ(merged.totals(), all.totals());
+    EXPECT_EQ(merged.one_counts(), all.one_counts());
+  }
+}
+
+TEST(RecombineProperty, LinearInBitMeans) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t bits = 1 + rng.NextBelow(20);
+    std::vector<double> a(bits);
+    std::vector<double> b(bits);
+    std::vector<double> sum(bits);
+    for (size_t j = 0; j < bits; ++j) {
+      a[j] = rng.NextDouble();
+      b[j] = rng.NextDouble();
+      sum[j] = a[j] + b[j];
+    }
+    EXPECT_NEAR(RecombineBitMeans(sum),
+                RecombineBitMeans(a) + RecombineBitMeans(b), 1e-6);
+  }
+}
+
+TEST(SquashMonotoneProperty, HigherThresholdSquashesSuperset) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t bits = 1 + rng.NextBelow(16);
+    std::vector<double> means(bits);
+    std::vector<int64_t> counts(bits);
+    for (size_t j = 0; j < bits; ++j) {
+      means[j] = 2.0 * rng.NextDouble() - 0.5;  // includes noisy <0, >1
+      counts[j] = static_cast<int64_t>(rng.NextBelow(100));
+    }
+    const RandomizedResponse rr(1.0);
+    const std::vector<bool> low = ComputeSquashMask(
+        means, counts, rr, SquashPolicy::Absolute(0.05));
+    const std::vector<bool> high = ComputeSquashMask(
+        means, counts, rr, SquashPolicy::Absolute(0.2));
+    for (size_t j = 0; j < bits; ++j) {
+      // Anything squashed at the low threshold stays squashed at the high
+      // one.
+      if (!low[j]) {
+        EXPECT_FALSE(high[j]);
+      }
+    }
+  }
+}
+
+TEST(PlannerMonotoneProperty, StricterSettingsNeedMoreClients) {
+  const std::vector<double> p = GeometricProbabilities(8, 1.0);
+  int64_t previous = 0;
+  // Monotone in the accuracy target.
+  for (const double target : {0.5, 0.2, 0.1, 0.05, 0.02, 0.01}) {
+    const int64_t required =
+        PlanForStdError(p, {}, 0.0, target).required_clients;
+    EXPECT_GE(required, previous);
+    previous = required;
+  }
+  // Monotone in epsilon (smaller epsilon -> more noise -> more clients).
+  previous = 0;
+  for (const double epsilon : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+    const int64_t required =
+        PlanForStdError(p, {}, epsilon, 1.0).required_clients;
+    EXPECT_GE(required, previous);
+    previous = required;
+  }
+}
+
+TEST(GeometricAllocationProperty, MassOrderedByBitSignificance) {
+  Rng rng(43);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int bits = 2 + static_cast<int>(rng.NextBelow(30));
+    const double gamma = rng.NextDouble() * 2.0;
+    const std::vector<double> p = GeometricProbabilities(bits, gamma);
+    for (size_t j = 1; j < p.size(); ++j) {
+      EXPECT_GE(p[j], p[j - 1] - 1e-15);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,97 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/proportion.h"
+#include "data/census.h"
+#include "rng/rng.h"
+#include "stats/welford.h"
+
+namespace bitpush {
+namespace {
+
+TEST(ProportionTest, ExactWithoutNoise) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  Rng rng(1);
+  const ProportionResult result = EstimateProportion(
+      values, [](double v) { return v >= 3.0; }, 0.0, rng);
+  EXPECT_DOUBLE_EQ(result.fraction, 0.5);
+  EXPECT_DOUBLE_EQ(result.count, 2.0);
+  EXPECT_EQ(result.reports, 4);
+}
+
+TEST(ProportionTest, CensusMinorsShare) {
+  Rng rng(2);
+  const Dataset ages = CensusAges(100000, rng);
+  int64_t exact = 0;
+  for (const double age : ages.values()) exact += age < 18.0;
+  const double exact_fraction =
+      static_cast<double>(exact) / static_cast<double>(ages.size());
+  const ProportionResult result = EstimateRangeProportion(
+      ages.values(), 0.0, 17.0, 0.0, rng);
+  EXPECT_DOUBLE_EQ(result.fraction, exact_fraction);  // noise-free: exact
+}
+
+TEST(ProportionTest, DpEstimateIsUnbiased) {
+  Rng rng(3);
+  const Dataset ages = CensusAges(20000, rng);
+  int64_t exact = 0;
+  for (const double age : ages.values()) exact += age >= 65.0;
+  const double truth =
+      static_cast<double>(exact) / static_cast<double>(ages.size());
+  Welford acc;
+  for (int rep = 0; rep < 200; ++rep) {
+    acc.Add(EstimateRangeProportion(ages.values(), 65.0, 200.0, 1.0, rng)
+                .fraction);
+  }
+  EXPECT_NEAR(acc.mean(), truth, 0.01);
+  // The plug-in standard error should match the empirical spread.
+  Rng probe(4);
+  const ProportionResult one =
+      EstimateRangeProportion(ages.values(), 65.0, 200.0, 1.0, probe);
+  EXPECT_NEAR(acc.population_stddev() / one.stderr_fraction, 1.0, 0.3);
+}
+
+TEST(ProportionTest, DpCanProduceOutOfRangeFractionButClampsPointEstimate) {
+  // Predicate true for nobody + DP noise: the unbiased estimate hovers
+  // around 0 and can dip negative; the clamped estimate never does.
+  const std::vector<double> values(500, 1.0);
+  Rng rng(5);
+  bool saw_negative = false;
+  for (int rep = 0; rep < 100; ++rep) {
+    const ProportionResult result = EstimateProportion(
+        values, [](double) { return false; }, 0.5, rng);
+    saw_negative |= result.fraction < 0.0;
+    EXPECT_GE(result.clamped_fraction, 0.0);
+    EXPECT_LE(result.clamped_fraction, 1.0);
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(ProportionTest, StdErrorShrinksWithN) {
+  Rng rng(6);
+  const Dataset small = CensusAges(1000, rng);
+  const Dataset large = CensusAges(100000, rng);
+  const double se_small =
+      EstimateRangeProportion(small.values(), 0.0, 30.0, 0.0, rng)
+          .stderr_fraction;
+  const double se_large =
+      EstimateRangeProportion(large.values(), 0.0, 30.0, 0.0, rng)
+          .stderr_fraction;
+  EXPECT_NEAR(se_small / se_large, 10.0, 1.5);
+}
+
+TEST(ProportionDeathTest, InvalidInputsAbort) {
+  Rng rng(7);
+  EXPECT_DEATH(EstimateProportion({}, [](double) { return true; }, 0.0,
+                                  rng),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(EstimateProportion({1.0}, nullptr, 0.0, rng),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(EstimateRangeProportion({1.0}, 2.0, 1.0, 0.0, rng),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,129 @@
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bit_probabilities.h"
+#include "rng/qmc.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+std::vector<int64_t> CountAssignments(const std::vector<int>& assignment,
+                                      size_t bits) {
+  std::vector<int64_t> counts(bits, 0);
+  for (const int bit : assignment) ++counts[static_cast<size_t>(bit)];
+  return counts;
+}
+
+TEST(ProportionalGroupSizesTest, ExactWhenDivisible) {
+  const std::vector<int64_t> sizes =
+      ProportionalGroupSizes(100, {0.5, 0.3, 0.2});
+  EXPECT_EQ(sizes, (std::vector<int64_t>{50, 30, 20}));
+}
+
+TEST(ProportionalGroupSizesTest, SumsToNWithRemainders) {
+  const std::vector<double> p = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  for (int64_t n : {1, 2, 7, 100, 9999}) {
+    const std::vector<int64_t> sizes = ProportionalGroupSizes(n, p);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), int64_t{0}), n);
+    for (const int64_t s : sizes) {
+      EXPECT_GE(s, n / 3);
+      EXPECT_LE(s, n / 3 + 1);
+    }
+  }
+}
+
+TEST(ProportionalGroupSizesTest, ZeroProbabilityGetsZero) {
+  const std::vector<int64_t> sizes =
+      ProportionalGroupSizes(1000, {0.0, 1.0});
+  EXPECT_EQ(sizes[0], 0);
+  EXPECT_EQ(sizes[1], 1000);
+}
+
+TEST(ProportionalGroupSizesTest, NeverDeviatesByMoreThanOne) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> p(8);
+    for (double& x : p) x = rng.NextDouble() + 0.01;
+    NormalizeProbabilities(p);
+    const int64_t n = 1 + static_cast<int64_t>(rng.NextBelow(100000));
+    const std::vector<int64_t> sizes = ProportionalGroupSizes(n, p);
+    int64_t total = 0;
+    for (size_t j = 0; j < p.size(); ++j) {
+      const double exact = static_cast<double>(n) * p[j];
+      EXPECT_GE(static_cast<double>(sizes[j]), std::floor(exact) - 1e-9);
+      EXPECT_LE(static_cast<double>(sizes[j]), std::ceil(exact) + 1e-9);
+      total += sizes[j];
+    }
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(ProportionalGroupSizesDeathTest, RejectsUnnormalizedInput) {
+  EXPECT_DEATH(ProportionalGroupSizes(10, {0.5, 0.6}),
+               "probabilities must sum to 1");
+  EXPECT_DEATH(ProportionalGroupSizes(10, {1.5, -0.5}),
+               "BITPUSH_CHECK failed");
+}
+
+TEST(AssignBitsCentralTest, CountsAreExactlyProportional) {
+  Rng rng(1);
+  const std::vector<double> p = {0.5, 0.25, 0.25};
+  const std::vector<int> assignment = AssignBitsCentral(1000, p, rng);
+  EXPECT_EQ(CountAssignments(assignment, 3),
+            (std::vector<int64_t>{500, 250, 250}));
+}
+
+TEST(AssignBitsCentralTest, ShuffleDecorrelatesClientIdFromBit) {
+  Rng rng(2);
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<int> assignment = AssignBitsCentral(10000, p, rng);
+  // Without the shuffle the first half would all be bit 0. With it, the
+  // first half should contain roughly half each.
+  int64_t first_half_zeros = 0;
+  for (size_t i = 0; i < 5000; ++i) first_half_zeros += assignment[i] == 0;
+  EXPECT_GT(first_half_zeros, 2250);
+  EXPECT_LT(first_half_zeros, 2750);
+}
+
+TEST(AssignBitsCentralTest, DeterministicGivenSeed) {
+  const std::vector<double> p = {0.7, 0.3};
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(AssignBitsCentral(500, p, a), AssignBitsCentral(500, p, b));
+}
+
+TEST(AssignBitsLocalTest, CountsAreBinomial) {
+  Rng rng(3);
+  const std::vector<double> p = {0.5, 0.5};
+  const int trials = 200;
+  const int64_t n = 1000;
+  // Central assignment has zero variance in group sizes; local must show
+  // binomial-scale variance (n/4 = 250 here).
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<int64_t> counts =
+        CountAssignments(AssignBitsLocal(n, p, rng), 2);
+    EXPECT_EQ(counts[0] + counts[1], n);
+    sum += static_cast<double>(counts[0]);
+    sum_sq += static_cast<double>(counts[0]) * static_cast<double>(counts[0]);
+  }
+  const double mean = sum / trials;
+  const double variance = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 500.0, 10.0);
+  EXPECT_GT(variance, 100.0);  // far from the QMC's exact 0
+}
+
+TEST(AssignBitsTest, EmptyPopulation) {
+  Rng rng(4);
+  EXPECT_TRUE(AssignBitsCentral(0, {1.0}, rng).empty());
+  EXPECT_TRUE(AssignBitsLocal(0, {1.0}, rng).empty());
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,123 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ldp/randomized_response.h"
+#include "rng/rng.h"
+#include "stats/welford.h"
+
+namespace bitpush {
+namespace {
+
+TEST(RandomizedResponseTest, TruthProbabilityFormula) {
+  const RandomizedResponse rr(1.0);
+  EXPECT_NEAR(rr.truth_probability(), std::exp(1.0) / (1.0 + std::exp(1.0)),
+              1e-12);
+  EXPECT_TRUE(rr.enabled());
+  EXPECT_DOUBLE_EQ(rr.epsilon(), 1.0);
+}
+
+TEST(RandomizedResponseTest, HighEpsilonRarelyFlips) {
+  const RandomizedResponse rr(10.0);
+  Rng rng(1);
+  int flips = 0;
+  for (int i = 0; i < 10000; ++i) flips += rr.Apply(1, rng) == 0;
+  EXPECT_LT(flips, 10);  // flip probability ~4.5e-5
+}
+
+TEST(RandomizedResponseTest, DisabledIsIdentity) {
+  const RandomizedResponse rr = RandomizedResponse::Disabled();
+  Rng rng(2);
+  EXPECT_FALSE(rr.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rr.Apply(0, rng), 0);
+    EXPECT_EQ(rr.Apply(1, rng), 1);
+  }
+  EXPECT_DOUBLE_EQ(rr.Unbias(0.37), 0.37);
+  EXPECT_DOUBLE_EQ(rr.ReportVariance(), 0.0);
+}
+
+TEST(RandomizedResponseTest, FromEpsilonConvention) {
+  EXPECT_FALSE(RandomizedResponse::FromEpsilon(0.0).enabled());
+  EXPECT_FALSE(RandomizedResponse::FromEpsilon(-1.0).enabled());
+  EXPECT_TRUE(RandomizedResponse::FromEpsilon(0.5).enabled());
+}
+
+TEST(RandomizedResponseTest, FlipFrequencyMatchesP) {
+  const RandomizedResponse rr(1.0);
+  Rng rng(3);
+  const int n = 200000;
+  int kept = 0;
+  for (int i = 0; i < n; ++i) kept += rr.Apply(1, rng);
+  EXPECT_NEAR(static_cast<double>(kept) / n, rr.truth_probability(), 0.005);
+}
+
+TEST(RandomizedResponseTest, UnbiasedOverManyReports) {
+  // The unbiased mean of perturbed reports converges to the true bit mean.
+  const RandomizedResponse rr(0.5);
+  Rng rng(4);
+  const double true_mean = 0.3;
+  const int n = 400000;
+  Welford acc;
+  for (int i = 0; i < n; ++i) {
+    const int bit = rng.NextBernoulli(true_mean) ? 1 : 0;
+    acc.Add(static_cast<double>(rr.Apply(bit, rng)));
+  }
+  EXPECT_NEAR(rr.Unbias(acc.mean()), true_mean, 0.01);
+}
+
+TEST(RandomizedResponseTest, UnbiasIdentityOnFixedPoints) {
+  // E[report | bit=1] = p, and Unbias(p) must be exactly 1; likewise 0.
+  for (const double eps : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const RandomizedResponse rr(eps);
+    const double p = rr.truth_probability();
+    EXPECT_NEAR(rr.Unbias(p), 1.0, 1e-12);
+    EXPECT_NEAR(rr.Unbias(1.0 - p), 0.0, 1e-12);
+  }
+}
+
+TEST(RandomizedResponseTest, ReportVarianceFormula) {
+  // Section 3.3: the variance of the unbiased estimator is
+  // exp(eps) / (exp(eps) - 1)^2.
+  for (const double eps : {0.25, 1.0, 2.0, 3.0}) {
+    const RandomizedResponse rr(eps);
+    const double expected =
+        std::exp(eps) / ((std::exp(eps) - 1.0) * (std::exp(eps) - 1.0));
+    EXPECT_NEAR(rr.ReportVariance(), expected, 1e-12) << "eps=" << eps;
+  }
+}
+
+TEST(RandomizedResponseTest, EmpiricalVarianceMatchesFormula) {
+  const double eps = 1.0;
+  const RandomizedResponse rr(eps);
+  Rng rng(5);
+  Welford acc;
+  const int true_bit = 1;
+  for (int i = 0; i < 400000; ++i) {
+    acc.Add(rr.Unbias(static_cast<double>(rr.Apply(true_bit, rng))));
+  }
+  EXPECT_NEAR(acc.mean(), 1.0, 0.01);
+  EXPECT_NEAR(acc.population_variance(), rr.ReportVariance(),
+              rr.ReportVariance() * 0.05);
+}
+
+TEST(RandomizedResponseTest, LdpLikelihoodRatioBounded) {
+  // The defining LDP property: P[output=o | bit] / P[output=o | 1-bit]
+  // equals exp(eps) exactly for binary randomized response.
+  for (const double eps : {0.5, 1.0, 2.0}) {
+    const RandomizedResponse rr(eps);
+    const double p = rr.truth_probability();
+    EXPECT_NEAR(p / (1.0 - p), std::exp(eps), 1e-9);
+  }
+}
+
+TEST(RandomizedResponseDeathTest, InvalidInputsAbort) {
+  EXPECT_DEATH(RandomizedResponse(0.0), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(RandomizedResponse(-1.0), "BITPUSH_CHECK failed");
+  const RandomizedResponse rr(1.0);
+  Rng rng(1);
+  EXPECT_DEATH(rr.Apply(2, rng), "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,55 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/distributions.h"
+#include "stats/repetition.h"
+
+namespace bitpush {
+namespace {
+
+TEST(RepetitionTest, CollectsRequestedCount) {
+  const std::vector<double> estimates =
+      CollectRepetitions(25, 1, [](Rng& rng) { return rng.NextDouble(); });
+  EXPECT_EQ(estimates.size(), 25u);
+}
+
+TEST(RepetitionTest, ReproducibleFromSeed) {
+  const auto estimator = [](Rng& rng) { return SampleNormal(rng, 0, 1); };
+  EXPECT_EQ(CollectRepetitions(10, 7, estimator),
+            CollectRepetitions(10, 7, estimator));
+}
+
+TEST(RepetitionTest, RepetitionsAreIndependent) {
+  const std::vector<double> estimates =
+      CollectRepetitions(50, 3, [](Rng& rng) { return rng.NextDouble(); });
+  // All draws distinct with overwhelming probability.
+  for (size_t i = 1; i < estimates.size(); ++i) {
+    EXPECT_NE(estimates[i], estimates[i - 1]);
+  }
+}
+
+TEST(RepetitionTest, DifferentSeedsDiffer) {
+  const auto estimator = [](Rng& rng) { return rng.NextDouble(); };
+  EXPECT_NE(CollectRepetitions(5, 1, estimator),
+            CollectRepetitions(5, 2, estimator));
+}
+
+TEST(RepetitionTest, RunRepetitionsSummarizes) {
+  // Estimator returns truth + alternating unit error.
+  int64_t call = 0;
+  const ErrorStats stats = RunRepetitions(
+      100, 11, 10.0, [&call](Rng&) { return 10.0 + (call++ % 2 ? 1 : -1); });
+  EXPECT_EQ(stats.repetitions, 100);
+  EXPECT_DOUBLE_EQ(stats.rmse, 1.0);
+  EXPECT_DOUBLE_EQ(stats.nrmse, 0.1);
+  EXPECT_DOUBLE_EQ(stats.bias, 0.0);
+}
+
+TEST(RepetitionDeathTest, ZeroRepetitionsAbort) {
+  EXPECT_DEATH(CollectRepetitions(0, 1, [](Rng&) { return 0.0; }),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,101 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/census.h"
+#include "ldp/dithering.h"
+#include "ldp/rounding.h"
+#include "rng/rng.h"
+#include "stats/welford.h"
+
+namespace bitpush {
+namespace {
+
+double ReportMean(const ScalarMechanism& mechanism, double x, int trials,
+                  uint64_t seed) {
+  Rng rng(seed);
+  Welford acc;
+  for (int i = 0; i < trials; ++i) acc.Add(mechanism.Privatize(x, rng));
+  return acc.mean();
+}
+
+TEST(DeterministicRoundingTest, SnapsToEndpoints) {
+  const DeterministicRounding mechanism(0.0, 0.0, 100.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(mechanism.Privatize(10.0, rng), 0.0);
+  EXPECT_DOUBLE_EQ(mechanism.Privatize(90.0, rng), 100.0);
+  EXPECT_DOUBLE_EQ(mechanism.Privatize(50.0, rng), 100.0);  // >= midpoint
+}
+
+TEST(DeterministicRoundingTest, IsBiasedForInteriorInputs) {
+  // The defining weakness: E[report | x = 30] = 0, not 30.
+  const DeterministicRounding mechanism(0.0, 0.0, 100.0);
+  EXPECT_NEAR(ReportMean(mechanism, 30.0, 20000, 2), 0.0, 1.0);
+  EXPECT_NEAR(ReportMean(mechanism, 70.0, 20000, 2), 100.0, 1.0);
+}
+
+TEST(DeterministicRoundingTest, RrLayerIsUnbiasedForTheBit) {
+  // With RR the *bit* is unbiased, so the estimate converges to the
+  // rounded endpoint, not to x.
+  const DeterministicRounding mechanism(1.0, 0.0, 100.0);
+  EXPECT_NEAR(ReportMean(mechanism, 70.0, 300000, 3), 100.0, 2.0);
+}
+
+TEST(NonSubtractiveDitheringTest, IsUnbiased) {
+  const NonSubtractiveDithering mechanism(0.0, 0.0, 100.0);
+  for (const double x : {0.0, 20.0, 50.0, 80.0, 100.0}) {
+    EXPECT_NEAR(ReportMean(mechanism, x, 300000, 4), x, 0.5) << x;
+  }
+}
+
+TEST(NonSubtractiveDitheringTest, HigherVarianceThanSubtractive) {
+  // Per-report variance: nonsubtractive x(1-x) (scaled), subtractive 1/12.
+  // At mid-range x = 0.5 the ratio is 3.
+  Rng rng(5);
+  const NonSubtractiveDithering nonsub(0.0, 0.0, 1.0);
+  const SubtractiveDithering sub(0.0, 0.0, 1.0);
+  Welford nonsub_acc;
+  Welford sub_acc;
+  for (int i = 0; i < 300000; ++i) {
+    nonsub_acc.Add(nonsub.Privatize(0.5, rng));
+    sub_acc.Add(sub.Privatize(0.5, rng));
+  }
+  EXPECT_NEAR(nonsub_acc.population_variance(), 0.25, 0.01);
+  EXPECT_NEAR(sub_acc.population_variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(OneBitFamilyTest, SubtractiveDitheringIsTheFrontrunner) {
+  // Footnote 3's evaluation: on census ages with a tight 7-bit bound,
+  // subtractive dithering beats both rounding baselines on RMSE.
+  Rng data_rng(6);
+  const Dataset ages = CensusAges(20000, data_rng);
+  auto rmse_of = [&](const ScalarMechanism& mechanism) {
+    Welford acc;
+    Rng rng(7);
+    for (int rep = 0; rep < 25; ++rep) {
+      const double estimate = mechanism.EstimateMean(ages.values(), rng);
+      acc.Add((estimate - ages.truth().mean) *
+              (estimate - ages.truth().mean));
+    }
+    return std::sqrt(acc.mean());
+  };
+  const double subtractive = rmse_of(SubtractiveDithering(0.0, 0.0, 127.0));
+  const double nonsubtractive =
+      rmse_of(NonSubtractiveDithering(0.0, 0.0, 127.0));
+  const double deterministic =
+      rmse_of(DeterministicRounding(0.0, 0.0, 127.0));
+  EXPECT_LT(subtractive, nonsubtractive);
+  EXPECT_LT(subtractive, deterministic);
+  // Deterministic rounding's bias dominates everything.
+  EXPECT_GT(deterministic, 5.0 * subtractive);
+}
+
+TEST(RoundingDeathTest, InvalidRangesAbort) {
+  EXPECT_DEATH(DeterministicRounding(0.0, 1.0, 1.0),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(NonSubtractiveDithering(0.0, 2.0, 1.0),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,103 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dp/sample_threshold.h"
+#include "rng/rng.h"
+#include "stats/welford.h"
+
+namespace bitpush {
+namespace {
+
+TEST(SampleThresholdForBudgetTest, ThresholdGrowsWithStricterDelta) {
+  const auto loose = SampleThresholdForBudget(1.0, 1e-3, 0.5);
+  const auto strict = SampleThresholdForBudget(1.0, 1e-9, 0.5);
+  EXPECT_GT(strict.threshold, loose.threshold);
+}
+
+TEST(SampleThresholdForBudgetTest, ThresholdGrowsWithSmallerEpsilon) {
+  const auto loose = SampleThresholdForBudget(2.0, 1e-6, 0.5);
+  const auto strict = SampleThresholdForBudget(0.2, 1e-6, 0.5);
+  EXPECT_GT(strict.threshold, loose.threshold);
+}
+
+TEST(SampleThresholdForBudgetTest, ReasonableMagnitude) {
+  // eps=1, delta=1e-6, rate=0.5 should need a threshold of tens, not
+  // thousands (Section 4.3: "a negligible amount of noise").
+  const auto config = SampleThresholdForBudget(1.0, 1e-6, 0.5);
+  EXPECT_GT(config.threshold, 5);
+  EXPECT_LT(config.threshold, 100);
+  EXPECT_DOUBLE_EQ(config.sampling_rate, 0.5);
+}
+
+TEST(SampleAndThresholdTest, FullRateNoThresholdIsLossless) {
+  Rng rng(1);
+  const std::vector<int64_t> counts = {100, 0, 7, 55};
+  const SampleThresholdConfig config{1.0, 0};
+  EXPECT_EQ(SampleAndThreshold(counts, config, rng), counts);
+}
+
+TEST(SampleAndThresholdTest, SamplingIsUnbiasedBeforeThreshold) {
+  Rng rng(2);
+  const std::vector<int64_t> counts = {10000};
+  const SampleThresholdConfig config{0.3, 0};
+  Welford acc;
+  for (int rep = 0; rep < 300; ++rep) {
+    acc.Add(UnbiasSampledCounts(SampleAndThreshold(counts, config, rng),
+                                config.sampling_rate)[0]);
+  }
+  EXPECT_NEAR(acc.mean(), 10000.0, 30.0);
+}
+
+TEST(SampleAndThresholdTest, SmallCountsAreZeroed) {
+  Rng rng(3);
+  const SampleThresholdConfig config{1.0, 10};
+  const std::vector<int64_t> out =
+      SampleAndThreshold({5, 9, 10, 200}, config, rng);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 10);
+  EXPECT_EQ(out[3], 200);
+}
+
+TEST(SampleAndThresholdTest, LargeCountsSurviveThresholding) {
+  // The deployment claim: thresholding barely perturbs large bit counts.
+  Rng rng(4);
+  const auto config = SampleThresholdForBudget(1.0, 1e-6, 0.5);
+  const std::vector<int64_t> counts = {50000, 30000};
+  const std::vector<double> unbiased = UnbiasSampledCounts(
+      SampleAndThreshold(counts, config, rng), config.sampling_rate);
+  EXPECT_NEAR(unbiased[0], 50000.0, 1000.0);
+  EXPECT_NEAR(unbiased[1], 30000.0, 1000.0);
+}
+
+TEST(SampleAndThresholdTest, ZeroCountStaysZero) {
+  Rng rng(5);
+  const SampleThresholdConfig config{0.5, 3};
+  const std::vector<int64_t> out = SampleAndThreshold({0}, config, rng);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(UnbiasSampledCountsTest, DividesByRate) {
+  const std::vector<double> out = UnbiasSampledCounts({10, 0, 5}, 0.25);
+  EXPECT_DOUBLE_EQ(out[0], 40.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 20.0);
+}
+
+TEST(SampleThresholdDeathTest, InvalidParamsAbort) {
+  EXPECT_DEATH(SampleThresholdForBudget(0.0, 1e-6, 0.5),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(SampleThresholdForBudget(1.0, 0.0, 0.5),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(SampleThresholdForBudget(1.0, 1e-6, 1.5),
+               "BITPUSH_CHECK failed");
+  Rng rng(1);
+  EXPECT_DEATH(SampleAndThreshold({-1}, SampleThresholdConfig{0.5, 0}, rng),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(UnbiasSampledCounts({1}, 0.0), "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,165 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bit_probabilities.h"
+#include "data/census.h"
+#include "federated/session.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+SessionConfig Config(int bits) {
+  SessionConfig config;
+  config.probabilities = GeometricProbabilities(bits, 0.5);
+  return config;
+}
+
+TEST(SessionTest, AssignmentsFollowDeficitAllocation) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(3);
+  SessionConfig config;
+  config.probabilities = {0.5, 0.25, 0.25};
+  CollectionSession session(codec, config);
+  std::vector<int64_t> counts(3, 0);
+  for (int64_t client = 0; client < 1000; ++client) {
+    BitRequest request;
+    ASSERT_TRUE(session.IssueAssignment(client, &request));
+    ++counts[static_cast<size_t>(request.bit_index)];
+  }
+  // Streaming deficit allocation tracks n * p_j exactly at n = 1000.
+  EXPECT_EQ(counts[0], 500);
+  EXPECT_EQ(counts[1], 250);
+  EXPECT_EQ(counts[2], 250);
+  EXPECT_EQ(session.assignments_issued(), 1000);
+}
+
+TEST(SessionTest, ProportionsHoldAtEveryPrefix) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(2);
+  SessionConfig config;
+  config.probabilities = {0.75, 0.25};
+  CollectionSession session(codec, config);
+  int64_t count0 = 0;
+  for (int64_t client = 1; client <= 200; ++client) {
+    BitRequest request;
+    session.IssueAssignment(client, &request);
+    if (request.bit_index == 0) ++count0;
+    // Realized share within one report of the target at every moment.
+    EXPECT_NEAR(static_cast<double>(count0),
+                0.75 * static_cast<double>(client), 1.0)
+        << "after " << client;
+  }
+}
+
+TEST(SessionTest, RepeatAssignmentIsStable) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  CollectionSession session(codec, Config(4));
+  BitRequest first;
+  BitRequest second;
+  ASSERT_TRUE(session.IssueAssignment(7, &first));
+  ASSERT_TRUE(session.IssueAssignment(7, &second));
+  EXPECT_EQ(first.bit_index, second.bit_index);
+  EXPECT_EQ(session.assignments_issued(), 1);
+}
+
+TEST(SessionTest, AcceptsExactlyOneReportPerClient) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  CollectionSession session(codec, Config(4));
+  BitRequest request;
+  session.IssueAssignment(1, &request);
+  const BitReport report{1, request.bit_index, 1};
+  EXPECT_EQ(session.SubmitReport(report), ReportRejection::kAccepted);
+  EXPECT_EQ(session.SubmitReport(report), ReportRejection::kDuplicate);
+  EXPECT_EQ(session.accepted_reports(), 1);
+  EXPECT_EQ(session.rejected_reports(), 1);
+}
+
+TEST(SessionTest, RejectsUnknownWrongIndexAndMalformed) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  CollectionSession session(codec, Config(4));
+  BitRequest request;
+  session.IssueAssignment(1, &request);
+
+  EXPECT_EQ(session.SubmitReport(BitReport{99, request.bit_index, 1}),
+            ReportRejection::kUnknownClient);
+  EXPECT_EQ(session.SubmitReport(
+                BitReport{1, (request.bit_index + 1) % 4, 1}),
+            ReportRejection::kWrongIndex);
+  EXPECT_EQ(session.SubmitReport(BitReport{1, request.bit_index, 2}),
+            ReportRejection::kMalformedBit);
+  EXPECT_EQ(session.accepted_reports(), 0);
+  EXPECT_EQ(session.rejected_reports(), 3);
+}
+
+TEST(SessionTest, AutoClosesAtTargetAndRejectsLateReports) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  SessionConfig config = Config(4);
+  config.target_reports = 2;
+  CollectionSession session(codec, config);
+  BitRequest r1;
+  BitRequest r2;
+  BitRequest r3;
+  session.IssueAssignment(1, &r1);
+  session.IssueAssignment(2, &r2);
+  session.IssueAssignment(3, &r3);
+  EXPECT_EQ(session.SubmitReport(BitReport{1, r1.bit_index, 0}),
+            ReportRejection::kAccepted);
+  EXPECT_EQ(session.state(), SessionState::kCollecting);
+  EXPECT_EQ(session.SubmitReport(BitReport{2, r2.bit_index, 1}),
+            ReportRejection::kAccepted);
+  EXPECT_EQ(session.state(), SessionState::kClosed);
+  // Late report and late assignment both rejected.
+  EXPECT_EQ(session.SubmitReport(BitReport{3, r3.bit_index, 1}),
+            ReportRejection::kSessionClosed);
+  BitRequest late;
+  EXPECT_FALSE(session.IssueAssignment(4, &late));
+}
+
+TEST(SessionTest, EndToEndEstimateMatchesTruth) {
+  Rng rng(1);
+  const Dataset ages = CensusAges(20000, rng);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  CollectionSession session(codec, Config(7));
+  for (int64_t id = 0; id < ages.size(); ++id) {
+    BitRequest request;
+    ASSERT_TRUE(session.IssueAssignment(id, &request));
+    const uint64_t codeword =
+        codec.Encode(ages.values()[static_cast<size_t>(id)]);
+    session.SubmitReport(BitReport{
+        id, request.bit_index,
+        FixedPointCodec::Bit(codeword, request.bit_index)});
+  }
+  session.Close();
+  EXPECT_NEAR(session.Estimate(), ages.truth().mean,
+              0.1 * ages.truth().mean);
+}
+
+TEST(SessionTest, RunningEstimateAvailableMidCollection) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  SessionConfig config;
+  config.probabilities = UniformProbabilities(4);
+  CollectionSession session(codec, config);
+  for (int64_t id = 0; id < 400; ++id) {
+    BitRequest request;
+    session.IssueAssignment(id, &request);
+    session.SubmitReport(BitReport{
+        id, request.bit_index,
+        FixedPointCodec::Bit(9, request.bit_index)});  // constant 9
+  }
+  EXPECT_NEAR(session.Estimate(), 9.0, 1e-9);
+  EXPECT_EQ(session.state(), SessionState::kCollecting);
+}
+
+TEST(SessionDeathTest, InvalidConfigAborts) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  SessionConfig bad;
+  bad.probabilities = {0.5, 0.6, 0.1, 0.1};
+  EXPECT_DEATH(CollectionSession(codec, bad),
+               "probabilities must sum to 1");
+  SessionConfig mismatched = Config(5);
+  EXPECT_DEATH(CollectionSession(codec, mismatched),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,114 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "federated/shamir.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+TEST(FieldArithmeticTest, AddSubInverse) {
+  EXPECT_EQ(FieldAdd(kShamirPrime - 1, 1), 0u);
+  EXPECT_EQ(FieldSub(0, 1), kShamirPrime - 1);
+  EXPECT_EQ(FieldAdd(5, 7), 12u);
+  EXPECT_EQ(FieldSub(FieldAdd(123, 456), 456), 123u);
+}
+
+TEST(FieldArithmeticTest, MulMatchesSmallCases) {
+  EXPECT_EQ(FieldMul(3, 4), 12u);
+  EXPECT_EQ(FieldMul(kShamirPrime - 1, kShamirPrime - 1), 1u);  // (-1)^2
+  EXPECT_EQ(FieldMul(0, 12345), 0u);
+}
+
+TEST(FieldArithmeticTest, InverseIsMultiplicativeInverse) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t a = 1 + rng.NextBelow(kShamirPrime - 1);
+    EXPECT_EQ(FieldMul(a, FieldInverse(a)), 1u);
+  }
+}
+
+TEST(ShamirTest, ReconstructFromExactThreshold) {
+  Rng rng(2);
+  const uint64_t secret = 0xDEADBEEFCAFEULL;
+  const std::vector<ShamirShare> shares =
+      ShamirShareSecret(secret, 3, 7, rng);
+  ASSERT_EQ(shares.size(), 7u);
+  EXPECT_EQ(ShamirReconstruct({shares[0], shares[3], shares[6]}, 3),
+            secret);
+  EXPECT_EQ(ShamirReconstruct({shares[5], shares[1], shares[2]}, 3),
+            secret);
+}
+
+TEST(ShamirTest, AnySubsetOfThresholdWorks) {
+  Rng rng(3);
+  const uint64_t secret = 424242;
+  const std::vector<ShamirShare> shares =
+      ShamirShareSecret(secret, 2, 5, rng);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) {
+      EXPECT_EQ(ShamirReconstruct({shares[i], shares[j]}, 2), secret);
+    }
+  }
+}
+
+TEST(ShamirTest, MoreThanThresholdAlsoWorks) {
+  Rng rng(4);
+  const uint64_t secret = 99;
+  const std::vector<ShamirShare> shares =
+      ShamirShareSecret(secret, 3, 6, rng);
+  EXPECT_EQ(ShamirReconstruct(shares, 3), secret);
+}
+
+TEST(ShamirTest, BelowThresholdRevealsNothingDeterministic) {
+  // With threshold 3, two shares are consistent with *any* secret: verify
+  // that interpolating two shares as if threshold were 2 yields a wrong
+  // value (overwhelmingly), i.e. shares don't leak the secret directly.
+  Rng rng(5);
+  const uint64_t secret = 31337;
+  const std::vector<ShamirShare> shares =
+      ShamirShareSecret(secret, 3, 5, rng);
+  const uint64_t guess = ShamirReconstruct({shares[0], shares[1]}, 2);
+  EXPECT_NE(guess, secret);
+}
+
+TEST(ShamirTest, ThresholdOneIsReplication) {
+  Rng rng(6);
+  const std::vector<ShamirShare> shares = ShamirShareSecret(77, 1, 4, rng);
+  for (const ShamirShare& share : shares) {
+    EXPECT_EQ(share.y, 77u);
+    EXPECT_EQ(ShamirReconstruct({share}, 1), 77u);
+  }
+}
+
+TEST(ShamirTest, SharesLookRandom) {
+  Rng rng(7);
+  const std::vector<ShamirShare> shares =
+      ShamirShareSecret(0, 4, 8, rng);  // secret 0
+  std::set<uint64_t> distinct;
+  for (const ShamirShare& share : shares) distinct.insert(share.y);
+  // Degree-3 polynomial with random coefficients: share values are not 0
+  // and (overwhelmingly) all distinct.
+  EXPECT_EQ(distinct.size(), 8u);
+  EXPECT_FALSE(distinct.contains(0));
+}
+
+TEST(ShamirDeathTest, InvalidInputsAbort) {
+  Rng rng(8);
+  EXPECT_DEATH(ShamirShareSecret(kShamirPrime, 2, 3, rng),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(ShamirShareSecret(1, 0, 3, rng), "BITPUSH_CHECK failed");
+  EXPECT_DEATH(ShamirShareSecret(1, 4, 3, rng), "BITPUSH_CHECK failed");
+  const std::vector<ShamirShare> shares =
+      ShamirShareSecret(5, 3, 5, rng);
+  EXPECT_DEATH(ShamirReconstruct({shares[0], shares[1]}, 3),
+               "not enough shares");
+  EXPECT_DEATH(ShamirReconstruct({shares[0], shares[0], shares[1]}, 3),
+               "duplicate evaluation points");
+  EXPECT_DEATH(FieldInverse(0), "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,111 @@
+// Shape-regression tests: the qualitative claims of the paper's evaluation
+// (who wins, by roughly what factor, where crossovers fall), pinned with
+// reduced repetition counts so regressions in the protocol code surface in
+// CI rather than only in the bench output. EXPERIMENTS.md holds the full
+// figures; these are the load-bearing inequalities.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+#include "data/census.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+using bench::AdaptiveMethod;
+using bench::DitheringMethod;
+using bench::EvaluateMethod;
+using bench::WeightedMethod;
+
+double Nrmse(const bench::MethodSpec& method, const Dataset& data,
+             int bits, int reps = 40) {
+  return EvaluateMethod(method, data, FixedPointCodec::Integer(bits), reps,
+                        12345)
+      .nrmse;
+}
+
+TEST(ShapeRegressionTest, Figure1a_AdaptiveWinsAtSmallMu) {
+  Rng rng(1);
+  const Dataset data = NormalData(10000, 200.0, 100.0, rng);
+  const double adaptive = Nrmse(AdaptiveMethod(0.0), data, 16);
+  const double weighted = Nrmse(WeightedMethod(0.5, 0.0), data, 16);
+  const double dithering = Nrmse(DitheringMethod(0.0), data, 16);
+  EXPECT_LT(adaptive, weighted);
+  EXPECT_LT(weighted, dithering);
+  EXPECT_GT(dithering, 10.0 * adaptive);
+}
+
+TEST(ShapeRegressionTest, Figure1c_AdaptiveObliviousToBitDepth) {
+  Rng rng(2);
+  const Dataset data = NormalData(10000, 1000.0, 100.0, rng);
+  const double at_11 = Nrmse(AdaptiveMethod(0.0), data, 11);
+  const double at_20 = Nrmse(AdaptiveMethod(0.0), data, 20);
+  // Adaptive degrades by at most ~2x over 9 extra vacuous bits...
+  EXPECT_LT(at_20, 2.5 * at_11);
+  // ...while dithering degrades by orders of magnitude.
+  const double dithering_11 = Nrmse(DitheringMethod(0.0), data, 11);
+  const double dithering_20 = Nrmse(DitheringMethod(0.0), data, 20);
+  EXPECT_GT(dithering_20, 50.0 * dithering_11);
+}
+
+TEST(ShapeRegressionTest, Figure2a_ErrorScalesAsInverseSqrtN) {
+  Rng rng(3);
+  const Dataset small = CensusAges(2000, rng);
+  const Dataset large = CensusAges(50000, rng);
+  const double at_small = Nrmse(AdaptiveMethod(0.0), small, 8);
+  const double at_large = Nrmse(AdaptiveMethod(0.0), large, 8);
+  // 25x more clients: expect ~5x less error (allow 3x-8x).
+  const double ratio = at_small / at_large;
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 9.0);
+  // The paper's "a few thousand users ~ 3%" anchor.
+  EXPECT_LT(at_small, 0.06);
+}
+
+TEST(ShapeRegressionTest, Figure3_DpCostsAnOrderOfMagnitude) {
+  Rng rng(4);
+  const Dataset data = CensusAges(10000, rng);
+  const double noise_free = Nrmse(WeightedMethod(1.0, 0.0), data, 8);
+  const double at_eps1 = Nrmse(WeightedMethod(1.0, 1.0), data, 8);
+  EXPECT_GT(at_eps1, 3.0 * noise_free);
+  EXPECT_LT(at_eps1, 30.0 * noise_free);
+}
+
+TEST(ShapeRegressionTest, Figure3_AdaptivityHoldsNoAdvantageUnderDp) {
+  // "the adaptive approach (focusing on bits with higher variance) holds
+  // no advantage here" — at eps = 1 the single-round a=1.0 method is at
+  // least as good as adaptive.
+  Rng rng(5);
+  const Dataset data = CensusAges(10000, rng);
+  const double weighted = Nrmse(WeightedMethod(1.0, 1.0), data, 8, 60);
+  const double adaptive = Nrmse(AdaptiveMethod(1.0), data, 8, 60);
+  EXPECT_LE(weighted, 1.1 * adaptive);
+}
+
+TEST(ShapeRegressionTest, Figure4c_SquashingRescuesDeepCodewordsUnderDp) {
+  Rng rng(6);
+  const Dataset data = NormalData(10000, 500.0, 100.0, rng);
+  const double with_squash =
+      Nrmse(AdaptiveMethod(2.0, SquashPolicy::Absolute(0.05)), data, 18);
+  const double without = Nrmse(AdaptiveMethod(2.0), data, 18);
+  EXPECT_LT(with_squash, 0.05 * without);
+  EXPECT_LT(with_squash, 0.1);  // absolute sanity: ~2% in practice
+}
+
+TEST(ShapeRegressionTest, Conclusion_TightBoundsMakeMethodsComparable) {
+  // "when a tight bound on the values is known in advance, bit-pushing
+  // and prior methods attain similar accuracy."
+  Rng rng(7);
+  const Dataset data = CensusAges(10000, rng);
+  const double adaptive = Nrmse(AdaptiveMethod(0.0), data, 7, 60);
+  const double dithering = Nrmse(DitheringMethod(0.0), data, 7, 60);
+  EXPECT_LT(adaptive, 3.0 * dithering);
+  EXPECT_LT(dithering, 3.0 * adaptive);
+}
+
+}  // namespace
+}  // namespace bitpush

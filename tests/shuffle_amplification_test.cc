@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dp/shuffle_amplification.h"
+
+namespace bitpush {
+namespace {
+
+TEST(ShuffleAmplificationTest, AmplifiesAtScale) {
+  const PrivacyBudget central =
+      ShuffleAmplifiedBudget(1.0, 100000, 1e-6);
+  EXPECT_LT(central.epsilon, 0.2);
+  EXPECT_GT(central.epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(central.delta, 1e-6);
+}
+
+TEST(ShuffleAmplificationTest, NeverWorseThanLocal) {
+  for (const double eps : {0.5, 1.0, 2.0, 4.0}) {
+    for (const int64_t n : {int64_t{1}, int64_t{10}, int64_t{1000},
+                            int64_t{1000000}}) {
+      EXPECT_LE(ShuffleAmplifiedBudget(eps, n, 1e-6).epsilon, eps + 1e-12);
+    }
+  }
+}
+
+TEST(ShuffleAmplificationTest, MonotoneInCohortSize) {
+  double previous = ShuffleAmplifiedBudget(1.0, 1000, 1e-6).epsilon;
+  for (const int64_t n : {int64_t{10000}, int64_t{100000},
+                          int64_t{1000000}}) {
+    const double current = ShuffleAmplifiedBudget(1.0, n, 1e-6).epsilon;
+    EXPECT_LE(current, previous);
+    previous = current;
+  }
+}
+
+TEST(ShuffleAmplificationTest, ScalesAsInverseSqrtN) {
+  // In the amplification regime eps_central ~ 1/sqrt(n).
+  const double at_10k = ShuffleAmplifiedBudget(1.0, 10000, 1e-6).epsilon;
+  const double at_1m = ShuffleAmplifiedBudget(1.0, 1000000, 1e-6).epsilon;
+  EXPECT_NEAR(at_10k / at_1m, 10.0, 1.5);
+}
+
+TEST(ShuffleAmplificationTest, SmallCohortFallsBackToLocal) {
+  const PrivacyBudget budget = ShuffleAmplifiedBudget(1.0, 3, 1e-6);
+  EXPECT_DOUBLE_EQ(budget.epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(budget.delta, 0.0);  // the local guarantee is pure
+}
+
+TEST(RequiredCohortTest, InvertsTheBound) {
+  const double target = 0.1;
+  const int64_t n = RequiredCohortForCentralEpsilon(1.0, target, 1e-6);
+  ASSERT_GT(n, 1);
+  EXPECT_LE(ShuffleAmplifiedBudget(1.0, n, 1e-6).epsilon, target);
+  EXPECT_GT(ShuffleAmplifiedBudget(1.0, n - 1, 1e-6).epsilon, target);
+}
+
+TEST(RequiredCohortTest, TrivialWhenTargetAboveLocal) {
+  EXPECT_EQ(RequiredCohortForCentralEpsilon(1.0, 2.0, 1e-6), 1);
+}
+
+TEST(RequiredCohortTest, TighterTargetNeedsMoreClients) {
+  const int64_t loose = RequiredCohortForCentralEpsilon(1.0, 0.2, 1e-6);
+  const int64_t tight = RequiredCohortForCentralEpsilon(1.0, 0.05, 1e-6);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(ShuffleAmplificationDeathTest, InvalidParamsAbort) {
+  EXPECT_DEATH(ShuffleAmplifiedBudget(0.0, 100, 1e-6),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(ShuffleAmplifiedBudget(1.0, 0, 1e-6),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(ShuffleAmplifiedBudget(1.0, 100, 0.0),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(RequiredCohortForCentralEpsilon(1.0, 0.0, 1e-6),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,141 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bit_probabilities.h"
+#include "core/streaming.h"
+#include "data/census.h"
+#include "rng/qmc.h"
+#include "rng/rng.h"
+
+namespace bitpush {
+namespace {
+
+TEST(StreamingTest, EstimateUsableFromFirstReport) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  StreamingMeanEstimator estimator(codec, UniformProbabilities(4), 0.0);
+  EXPECT_EQ(estimator.reports(), 0);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(), 0.0);
+  estimator.Observe(3, 1);
+  EXPECT_EQ(estimator.reports(), 1);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(), 8.0);  // bit 3 mean 1
+}
+
+TEST(StreamingTest, StdErrorInfiniteUntilAllBitsObserved) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(3);
+  StreamingMeanEstimator estimator(codec, UniformProbabilities(3), 0.0);
+  estimator.Observe(0, 1);
+  estimator.Observe(1, 0);
+  EXPECT_TRUE(std::isinf(estimator.StdError()));
+  EXPECT_FALSE(estimator.AllBitsObserved());
+  estimator.Observe(2, 1);
+  EXPECT_TRUE(estimator.AllBitsObserved());
+  EXPECT_FALSE(std::isinf(estimator.StdError()));
+}
+
+TEST(StreamingTest, ZeroProbabilityBitsDoNotBlockObservation) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(3);
+  StreamingMeanEstimator estimator(codec, {0.5, 0.5, 0.0}, 0.0);
+  estimator.Observe(0, 1);
+  estimator.Observe(1, 0);
+  EXPECT_TRUE(estimator.AllBitsObserved());
+}
+
+TEST(StreamingTest, ConvergesToTruthAsReportsStreamIn) {
+  Rng rng(1);
+  const Dataset ages = CensusAges(50000, rng);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  const std::vector<double> probabilities = GeometricProbabilities(7, 0.5);
+  const std::vector<uint64_t> codewords = codec.EncodeAll(ages.values());
+  const std::vector<int> assignment = AssignBitsCentral(
+      static_cast<int64_t>(codewords.size()), probabilities, rng);
+
+  StreamingMeanEstimator estimator(codec, probabilities, 0.0);
+  double error_at_2k = 0.0;
+  for (size_t i = 0; i < codewords.size(); ++i) {
+    const int bit_index = assignment[i];
+    estimator.Observe(bit_index,
+                      FixedPointCodec::Bit(codewords[i], bit_index));
+    if (i + 1 == 2000) {
+      error_at_2k = std::abs(estimator.Estimate() - ages.truth().mean);
+    }
+  }
+  const double final_error =
+      std::abs(estimator.Estimate() - ages.truth().mean);
+  EXPECT_LT(final_error, 1.0);
+  EXPECT_LT(final_error, error_at_2k + 0.5);
+}
+
+TEST(StreamingTest, ConfidenceIntervalCoversTruth) {
+  // Over many streaming runs, the 95% interval should cover the truth the
+  // vast majority of the time.
+  Rng data_rng(2);
+  const Dataset ages = CensusAges(5000, data_rng);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  const std::vector<double> probabilities = GeometricProbabilities(7, 0.5);
+  const std::vector<uint64_t> codewords = codec.EncodeAll(ages.values());
+
+  int covered = 0;
+  const int runs = 200;
+  Rng rng(3);
+  for (int run = 0; run < runs; ++run) {
+    const std::vector<int> assignment = AssignBitsCentral(
+        static_cast<int64_t>(codewords.size()), probabilities, rng);
+    StreamingMeanEstimator estimator(codec, probabilities, 0.0);
+    for (size_t i = 0; i < codewords.size(); ++i) {
+      estimator.Observe(assignment[i],
+                        FixedPointCodec::Bit(codewords[i], assignment[i]));
+    }
+    const StreamingMeanEstimator::Interval interval =
+        estimator.ConfidenceInterval95();
+    if (ages.truth().mean >= interval.low &&
+        ages.truth().mean <= interval.high) {
+      ++covered;
+    }
+  }
+  // Plug-in intervals on without-replacement sampling are conservative;
+  // expect at least nominal coverage.
+  EXPECT_GE(covered, static_cast<int>(0.90 * runs));
+}
+
+TEST(StreamingTest, StdErrorShrinksWithReports) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(2);
+  StreamingMeanEstimator estimator(codec, UniformProbabilities(2), 0.0);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    estimator.Observe(i % 2, rng.NextBit());
+  }
+  const double early = estimator.StdError();
+  for (int i = 0; i < 1000; ++i) {
+    estimator.Observe(i % 2, rng.NextBit());
+  }
+  EXPECT_LT(estimator.StdError(), early);
+}
+
+TEST(StreamingTest, DpReportsAreUnbiased) {
+  // Stream RR-perturbed reports of a constant value; the estimate must
+  // converge to the value, not to the raw (biased) bit means.
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  const double epsilon = 1.0;
+  const RandomizedResponse rr(epsilon);
+  const uint64_t codeword = 10;  // 0b1010
+  StreamingMeanEstimator estimator(codec, UniformProbabilities(4), epsilon);
+  Rng rng(5);
+  for (int i = 0; i < 200000; ++i) {
+    const int bit_index = static_cast<int>(rng.NextBelow(4));
+    estimator.Observe(bit_index,
+                      rr.Apply(FixedPointCodec::Bit(codeword, bit_index),
+                               rng));
+  }
+  EXPECT_NEAR(estimator.Estimate(), 10.0, 0.2);
+}
+
+TEST(StreamingDeathTest, AllocationMustMatchCodec) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  EXPECT_DEATH(StreamingMeanEstimator(codec, UniformProbabilities(3), 0.0),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

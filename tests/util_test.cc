@@ -1,0 +1,179 @@
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace bitpush {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNothing) {
+  BITPUSH_CHECK(true);
+  BITPUSH_CHECK_EQ(1, 1);
+  BITPUSH_CHECK_NE(1, 2);
+  BITPUSH_CHECK_LT(1, 2);
+  BITPUSH_CHECK_LE(2, 2);
+  BITPUSH_CHECK_GT(3, 2);
+  BITPUSH_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingConditionAborts) {
+  EXPECT_DEATH({ BITPUSH_CHECK(false) << "context"; }, "context");
+}
+
+TEST(CheckDeathTest, ComparisonFailureAborts) {
+  const int x = 3;
+  EXPECT_DEATH({ BITPUSH_CHECK_EQ(x, 4); }, "BITPUSH_CHECK failed");
+}
+
+TEST(FlagSetTest, ParsesEveryType) {
+  FlagSet flags;
+  int64_t n = 5;
+  double eps = 1.0;
+  bool verbose = false;
+  std::string label = "none";
+  flags.AddInt64("n", &n, "count");
+  flags.AddDouble("eps", &eps, "epsilon");
+  flags.AddBool("verbose", &verbose, "verbosity");
+  flags.AddString("label", &label, "label");
+
+  const char* argv[] = {"prog", "--n=42", "--eps=0.25", "--verbose=true",
+                        "--label=census"};
+  flags.Parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(eps, 0.25);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(label, "census");
+}
+
+TEST(FlagSetTest, DefaultsSurviveWhenNotPassed) {
+  FlagSet flags;
+  int64_t n = 7;
+  flags.AddInt64("n", &n, "count");
+  const char* argv[] = {"prog"};
+  flags.Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(n, 7);
+}
+
+TEST(FlagSetTest, BareBoolFlagMeansTrue) {
+  FlagSet flags;
+  bool on = false;
+  flags.AddBool("on", &on, "switch");
+  const char* argv[] = {"prog", "--on"};
+  flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_TRUE(on);
+}
+
+TEST(FlagSetTest, NegativeNumbersParse) {
+  FlagSet flags;
+  int64_t n = 0;
+  double x = 0.0;
+  flags.AddInt64("n", &n, "count");
+  flags.AddDouble("x", &x, "value");
+  const char* argv[] = {"prog", "--n=-3", "--x=-2.5e2"};
+  flags.Parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(n, -3);
+  EXPECT_DOUBLE_EQ(x, -250.0);
+}
+
+TEST(FlagSetTest, UsageListsFlagsWithDefaults) {
+  FlagSet flags;
+  int64_t n = 9;
+  flags.AddInt64("clients", &n, "number of clients");
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--clients"), std::string::npos);
+  EXPECT_NE(usage.find("9"), std::string::npos);
+  EXPECT_NE(usage.find("number of clients"), std::string::npos);
+}
+
+TEST(FlagSetDeathTest, UnknownFlagExits) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EXIT(flags.Parse(2, const_cast<char**>(argv)),
+              testing::ExitedWithCode(EXIT_FAILURE), "Unknown flag");
+}
+
+TEST(FlagSetDeathTest, MalformedValueExits) {
+  FlagSet flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_EXIT(flags.Parse(2, const_cast<char**>(argv)),
+              testing::ExitedWithCode(EXIT_FAILURE), "Bad value");
+}
+
+TEST(FlagSetDeathTest, DuplicateRegistrationAborts) {
+  FlagSet flags;
+  int64_t a = 0;
+  int64_t b = 0;
+  flags.AddInt64("n", &a, "first");
+  EXPECT_DEATH(flags.AddInt64("n", &b, "second"), "duplicate flag");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"method", "nrmse"});
+  table.NewRow().AddCell("adaptive").AddDouble(0.0123);
+  table.NewRow().AddCell("dithering").AddDouble(0.5);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("adaptive"), std::string::npos);
+  EXPECT_NE(out.find("0.0123"), std::string::npos);
+  // Three lines: header + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TableTest, IntAndPrecisionFormatting) {
+  Table table({"n", "x"});
+  table.NewRow().AddInt(10000).AddDouble(0.123456789, 3);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("10000"), std::string::npos);
+  EXPECT_NE(out.find("0.123"), std::string::npos);
+  EXPECT_EQ(out.find("0.1234"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"method", "nrmse"});
+  table.NewRow().AddCell("adaptive").AddDouble(0.5);
+  table.NewRow().AddCell("a,b \"q\"").AddInt(3);
+  EXPECT_EQ(table.ToCsv(),
+            "method,nrmse\nadaptive,0.5\n\"a,b \"\"q\"\"\",3\n");
+}
+
+TEST(TableTest, WriteCsvAppends) {
+  const std::string path = testing::TempDir() + "/table.csv";
+  std::remove(path.c_str());
+  Table table({"x"});
+  table.NewRow().AddInt(1);
+  ASSERT_TRUE(table.WriteCsv(path));
+  ASSERT_TRUE(table.WriteCsv(path));  // appends a second copy
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "x\n1\nx\n1\n");
+}
+
+TEST(TableTest, WriteCsvFailsOnBadPath) {
+  Table table({"x"});
+  table.NewRow().AddInt(1);
+  EXPECT_FALSE(table.WriteCsv("/nonexistent_dir/out.csv"));
+}
+
+TEST(TableDeathTest, OverfilledRowAborts) {
+  Table table({"only"});
+  table.NewRow().AddCell("a");
+  EXPECT_DEATH(table.AddCell("b"), "row overflow");
+}
+
+TEST(TableDeathTest, CellBeforeRowAborts) {
+  Table table({"c"});
+  EXPECT_DEATH(table.AddCell("a"), "NewRow");
+}
+
+}  // namespace
+}  // namespace bitpush

@@ -1,0 +1,178 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/vector_aggregation.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "stats/metrics.h"
+#include "stats/repetition.h"
+
+namespace bitpush {
+namespace {
+
+// n clients, d dimensions, each coordinate Normal(center[d], stddev),
+// clamped to the codec range.
+std::vector<std::vector<double>> MakeRows(int64_t n,
+                                          const std::vector<double>& centers,
+                                          double stddev,
+                                          const FixedPointCodec& codec,
+                                          Rng& rng) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> row;
+    row.reserve(centers.size());
+    for (const double center : centers) {
+      row.push_back(std::clamp(SampleNormal(rng, center, stddev),
+                               codec.low(), codec.high()));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<double> ExactMeans(const std::vector<std::vector<double>>& rows) {
+  std::vector<double> means(rows.front().size(), 0.0);
+  for (const std::vector<double>& row : rows) {
+    for (size_t d = 0; d < row.size(); ++d) means[d] += row[d];
+  }
+  for (double& m : means) m /= static_cast<double>(rows.size());
+  return means;
+}
+
+TEST(VectorAggregationTest, RecoversPerDimensionMeans) {
+  Rng rng(1);
+  const FixedPointCodec codec = FixedPointCodec::Integer(8);
+  const std::vector<double> centers = {30.0, 120.0, 200.0};
+  const std::vector<std::vector<double>> rows =
+      MakeRows(60000, centers, 10.0, codec, rng);
+  const std::vector<double> exact = ExactMeans(rows);
+
+  VectorAggregationConfig config;
+  const VectorAggregationResult result =
+      EstimateVectorMean(rows, codec, config, rng);
+  ASSERT_EQ(result.means.size(), 3u);
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(result.means[d], exact[d], 0.1 * exact[d]) << "dim " << d;
+  }
+}
+
+TEST(VectorAggregationTest, OneBitPerClientTotal) {
+  Rng rng(2);
+  const FixedPointCodec codec = FixedPointCodec::Integer(6);
+  const std::vector<std::vector<double>> rows =
+      MakeRows(5000, {10.0, 40.0}, 5.0, codec, rng);
+  VectorAggregationConfig config;
+  const VectorAggregationResult result =
+      EstimateVectorMean(rows, codec, config, rng);
+  // The whole d-dimensional vector costs each client exactly one bit.
+  EXPECT_EQ(result.bits_disclosed, 5000);
+}
+
+TEST(VectorAggregationTest, SignedDomainViaOffsetCodec) {
+  // Gradient-style data: coordinates in [-1, 1] with different signs.
+  Rng rng(3);
+  const FixedPointCodec codec(12, -1.0, 1.0);
+  std::vector<std::vector<double>> rows;
+  for (int64_t i = 0; i < 40000; ++i) {
+    rows.push_back({std::clamp(SampleNormal(rng, 0.4, 0.2), -1.0, 1.0),
+                    std::clamp(SampleNormal(rng, -0.3, 0.2), -1.0, 1.0)});
+  }
+  const std::vector<double> exact = ExactMeans(rows);
+  VectorAggregationConfig config;
+  const VectorAggregationResult result =
+      EstimateVectorMean(rows, codec, config, rng);
+  EXPECT_NEAR(result.means[0], exact[0], 0.05);
+  EXPECT_NEAR(result.means[1], exact[1], 0.05);
+  EXPECT_GT(result.means[0], 0.0);
+  EXPECT_LT(result.means[1], 0.0);
+}
+
+TEST(VectorAggregationTest, UnbiasedAcrossRepetitions) {
+  Rng rng(4);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  const std::vector<std::vector<double>> rows =
+      MakeRows(4000, {25.0, 90.0}, 8.0, codec, rng);
+  const std::vector<double> exact = ExactMeans(rows);
+  VectorAggregationConfig config;
+  for (size_t d = 0; d < 2; ++d) {
+    const ErrorStats stats =
+        RunRepetitions(200, 5, exact[d], [&](Rng& run) {
+          return EstimateVectorMean(rows, codec, config, run).means[d];
+        });
+    const double stderr_mean =
+        stats.rmse / std::sqrt(static_cast<double>(stats.repetitions));
+    EXPECT_LT(std::abs(stats.bias), 4.0 * stderr_mean + 1e-9) << "dim "
+                                                              << d;
+  }
+}
+
+TEST(VectorAggregationTest, AdaptiveBeatsProbeOnlyAtInflatedWidth) {
+  // Coordinates use ~6 bits; at 14-bit width the adaptive pass should
+  // discard the vacuous cells and win.
+  Rng rng(6);
+  const FixedPointCodec codec = FixedPointCodec::Integer(14);
+  const std::vector<std::vector<double>> rows =
+      MakeRows(20000, {20.0, 50.0}, 6.0, codec, rng);
+  const std::vector<double> exact = ExactMeans(rows);
+
+  auto nrmse_with = [&](bool adaptive) {
+    VectorAggregationConfig config;
+    config.adaptive = adaptive;
+    double total = 0.0;
+    for (size_t d = 0; d < 2; ++d) {
+      total += RunRepetitions(60, 7, exact[d], [&](Rng& run) {
+                 return EstimateVectorMean(rows, codec, config, run)
+                     .means[d];
+               })
+                   .nrmse;
+    }
+    return total;
+  };
+  EXPECT_LT(nrmse_with(true), 0.7 * nrmse_with(false));
+}
+
+TEST(VectorAggregationTest, DpNoiseUnbiased) {
+  Rng rng(8);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  const std::vector<std::vector<double>> rows =
+      MakeRows(30000, {40.0, 70.0}, 5.0, codec, rng);
+  const std::vector<double> exact = ExactMeans(rows);
+  VectorAggregationConfig config;
+  config.epsilon = 1.0;
+  const ErrorStats stats = RunRepetitions(100, 9, exact[0], [&](Rng& run) {
+    return EstimateVectorMean(rows, codec, config, run).means[0];
+  });
+  const double stderr_mean =
+      stats.rmse / std::sqrt(static_cast<double>(stats.repetitions));
+  EXPECT_LT(std::abs(stats.bias), 4.0 * stderr_mean + 1e-9);
+}
+
+TEST(VectorAggregationTest, SingleDimensionMatchesScalarProtocolShape) {
+  Rng rng(10);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  std::vector<std::vector<double>> rows;
+  for (int64_t i = 0; i < 10000; ++i) {
+    rows.push_back({static_cast<double>(rng.NextBelow(100))});
+  }
+  const std::vector<double> exact = ExactMeans(rows);
+  VectorAggregationConfig config;
+  const VectorAggregationResult result =
+      EstimateVectorMean(rows, codec, config, rng);
+  EXPECT_NEAR(result.means[0], exact[0], 0.1 * exact[0]);
+}
+
+TEST(VectorAggregationDeathTest, InvalidInputsAbort) {
+  Rng rng(11);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  VectorAggregationConfig config;
+  EXPECT_DEATH(EstimateVectorMean({{1.0}}, codec, config, rng),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(EstimateVectorMean({{1.0, 2.0}, {1.0}}, codec, config, rng),
+               "ragged client vectors");
+}
+
+}  // namespace
+}  // namespace bitpush

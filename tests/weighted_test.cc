@@ -1,0 +1,163 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bit_probabilities.h"
+#include "core/weighted.h"
+#include "rng/rng.h"
+#include "stats/metrics.h"
+#include "stats/repetition.h"
+#include "stats/welford.h"
+
+namespace bitpush {
+namespace {
+
+WeightedMeanConfig Config(int bits) {
+  WeightedMeanConfig config;
+  config.probabilities = GeometricProbabilities(bits, 0.5);
+  return config;
+}
+
+double ExactWeightedMean(const std::vector<WeightedValue>& values) {
+  double num = 0.0;
+  double den = 0.0;
+  for (const WeightedValue& wv : values) {
+    num += wv.weight * wv.value;
+    den += wv.weight;
+  }
+  return num / den;
+}
+
+std::vector<WeightedValue> RandomWeightedPopulation(int64_t n, Rng& rng) {
+  std::vector<WeightedValue> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    values.push_back(
+        WeightedValue{static_cast<double>(rng.NextBelow(128)),
+                      1.0 + static_cast<double>(rng.NextBelow(20))});
+  }
+  return values;
+}
+
+TEST(WeightedMeanTest, EqualWeightsMatchUnweightedTruth) {
+  Rng rng(1);
+  std::vector<WeightedValue> values;
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = static_cast<double>(rng.NextBelow(128));
+    values.push_back(WeightedValue{v, 1.0});
+    sum += v;
+  }
+  const double truth = sum / 20000.0;
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  const WeightedMeanResult result =
+      EstimateWeightedMean(values, codec, Config(7), rng);
+  EXPECT_NEAR(result.estimate, truth, 0.1 * truth);
+}
+
+TEST(WeightedMeanTest, RecoversExactWeightedMean) {
+  Rng rng(2);
+  const std::vector<WeightedValue> values =
+      RandomWeightedPopulation(30000, rng);
+  const double truth = ExactWeightedMean(values);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  const WeightedMeanResult result =
+      EstimateWeightedMean(values, codec, Config(7), rng);
+  EXPECT_NEAR(result.estimate, truth, 0.1 * truth);
+}
+
+TEST(WeightedMeanTest, UnbiasedAcrossRepetitions) {
+  Rng rng(3);
+  const std::vector<WeightedValue> values =
+      RandomWeightedPopulation(5000, rng);
+  const double truth = ExactWeightedMean(values);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  const ErrorStats stats = RunRepetitions(300, 4, truth, [&](Rng& run) {
+    return EstimateWeightedMean(values, codec, Config(7), run).estimate;
+  });
+  const double stderr_mean =
+      stats.rmse / std::sqrt(static_cast<double>(stats.repetitions));
+  EXPECT_LT(std::abs(stats.bias), 4.0 * stderr_mean + 1e-9);
+}
+
+TEST(WeightedMeanTest, HeavyClientDominatesAsItShould) {
+  // One client with weight 1000 at value 100; 100 clients with weight 1 at
+  // value 0. Weighted mean ~ 90.9.
+  std::vector<WeightedValue> values(100, WeightedValue{0.0, 1.0});
+  values.push_back(WeightedValue{100.0, 1000.0});
+  const double truth = ExactWeightedMean(values);
+  EXPECT_NEAR(truth, 100.0 * 1000.0 / 1100.0, 1e-9);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  Rng rng(5);
+  // The Horvitz-Thompson estimator is unbiased but high-variance with so
+  // few clients; average many runs and compare within ~3 standard errors.
+  Welford acc;
+  for (int rep = 0; rep < 3000; ++rep) {
+    acc.Add(EstimateWeightedMean(values, codec, Config(7), rng).estimate);
+  }
+  const double standard_error =
+      acc.population_stddev() / std::sqrt(3000.0);
+  EXPECT_NEAR(acc.mean(), truth, 3.0 * standard_error + 1.0);
+}
+
+TEST(WeightedMeanTest, MatchesReplicationSemantics) {
+  // Integer weights are equivalent to replicating each client's value
+  // weight-many times in an unweighted population (in expectation).
+  Rng rng(6);
+  std::vector<WeightedValue> weighted;
+  std::vector<WeightedValue> replicated;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = static_cast<double>(rng.NextBelow(64));
+    const double w = static_cast<double>(1 + rng.NextBelow(4));
+    weighted.push_back(WeightedValue{v, w});
+    for (int k = 0; k < static_cast<int>(w); ++k) {
+      replicated.push_back(WeightedValue{v, 1.0});
+    }
+  }
+  EXPECT_NEAR(ExactWeightedMean(weighted), ExactWeightedMean(replicated),
+              1e-9);
+  const FixedPointCodec codec = FixedPointCodec::Integer(6);
+  Welford weighted_acc;
+  Welford replicated_acc;
+  for (int rep = 0; rep < 200; ++rep) {
+    weighted_acc.Add(
+        EstimateWeightedMean(weighted, codec, Config(6), rng).estimate);
+    replicated_acc.Add(
+        EstimateWeightedMean(replicated, codec, Config(6), rng).estimate);
+  }
+  EXPECT_NEAR(weighted_acc.mean(), replicated_acc.mean(), 0.5);
+}
+
+TEST(WeightedMeanTest, DpReportsUnbiased) {
+  Rng rng(7);
+  const std::vector<WeightedValue> values =
+      RandomWeightedPopulation(20000, rng);
+  const double truth = ExactWeightedMean(values);
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  WeightedMeanConfig config = Config(7);
+  config.epsilon = 1.0;
+  const ErrorStats stats = RunRepetitions(150, 8, truth, [&](Rng& run) {
+    return EstimateWeightedMean(values, codec, config, run).estimate;
+  });
+  const double stderr_mean =
+      stats.rmse / std::sqrt(static_cast<double>(stats.repetitions));
+  EXPECT_LT(std::abs(stats.bias), 4.0 * stderr_mean + 1e-9);
+}
+
+TEST(WeightedMeanDeathTest, InvalidInputsAbort) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  Rng rng(9);
+  EXPECT_DEATH(EstimateWeightedMean({}, codec, Config(7), rng),
+               "BITPUSH_CHECK failed");
+  EXPECT_DEATH(EstimateWeightedMean({WeightedValue{1.0, 0.0}}, codec,
+                                    Config(7), rng),
+               "weights must be positive");
+  WeightedMeanConfig mismatched = Config(6);
+  EXPECT_DEATH(EstimateWeightedMean({WeightedValue{1.0, 1.0}}, codec,
+                                    mismatched, rng),
+               "BITPUSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace bitpush

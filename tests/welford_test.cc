@@ -1,0 +1,99 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "stats/welford.h"
+
+namespace bitpush {
+namespace {
+
+TEST(WelfordTest, EmptyAccumulator) {
+  const Welford acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.population_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  Welford acc;
+  acc.Add(3.5);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.population_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(WelfordTest, KnownSmallSample) {
+  Welford acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.population_variance(), 4.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(WelfordTest, NumericallyStableWithLargeOffset) {
+  // Classic catastrophic-cancellation case for the naive sum-of-squares
+  // formula: values near 1e9 with tiny variance.
+  Welford acc;
+  for (const double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) {
+    acc.Add(x);
+  }
+  EXPECT_NEAR(acc.mean(), 1e9 + 10.0, 1e-3);
+  EXPECT_NEAR(acc.population_variance(), 22.5, 1e-6);
+}
+
+TEST(WelfordTest, MergeMatchesSequential) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(SampleNormal(rng, 3.0, 2.0));
+  }
+  Welford all;
+  Welford left;
+  Welford right;
+  for (size_t i = 0; i < values.size(); ++i) {
+    all.Add(values[i]);
+    (i < 400 ? left : right).Add(values[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.population_variance(), all.population_variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmptySides) {
+  Welford filled;
+  filled.Add(1.0);
+  filled.Add(3.0);
+
+  Welford empty_into_filled = filled;
+  empty_into_filled.Merge(Welford());
+  EXPECT_EQ(empty_into_filled.count(), 2);
+  EXPECT_DOUBLE_EQ(empty_into_filled.mean(), 2.0);
+
+  Welford filled_into_empty;
+  filled_into_empty.Merge(filled);
+  EXPECT_EQ(filled_into_empty.count(), 2);
+  EXPECT_DOUBLE_EQ(filled_into_empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(filled_into_empty.min(), 1.0);
+}
+
+TEST(WelfordTest, StddevIsSqrtOfVariance) {
+  Welford acc;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.population_stddev(),
+                   std::sqrt(acc.population_variance()));
+}
+
+}  // namespace
+}  // namespace bitpush

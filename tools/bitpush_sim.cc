@@ -1,0 +1,247 @@
+// Command-line driver: run any of the library's aggregation protocols over
+// a synthetic or census workload without writing code.
+//
+//   bitpush_sim --task=mean --workload=census --n=10000 --epsilon=1
+//   bitpush_sim --task=variance --workload=normal --mu=1000 --sigma=100
+//   bitpush_sim --task=histogram --workload=exponential --buckets=16
+//   bitpush_sim --task=plan --bits=8 --epsilon=1 --target_nrmse=0.02
+
+#include <cstdio>
+#include <string>
+
+#include "core/adaptive.h"
+#include "core/bit_probabilities.h"
+#include "core/histogram_estimation.h"
+#include "core/planner.h"
+#include "core/proportion.h"
+#include "core/range_tree.h"
+#include "core/variance_estimation.h"
+#include "data/census.h"
+#include "federated/debugging.h"
+#include "data/file_source.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+#include "stats/repetition.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace bitpush {
+namespace {
+
+Dataset MakeWorkload(const std::string& workload, const std::string& input,
+                     int64_t n, double mu, double sigma, Rng& rng) {
+  if (workload == "census") return CensusAges(n, rng);
+  if (workload == "normal") return NormalData(n, mu, sigma, rng);
+  if (workload == "uniform") return UniformData(n, 0.0, mu, rng);
+  if (workload == "exponential") return ExponentialData(n, mu, rng);
+  if (workload == "heavy_tail") return ParetoData(n, mu, 1.2, rng);
+  if (workload == "file") {
+    Dataset data;
+    std::string error;
+    if (!LoadDatasetFromFile(input, &data, &error)) {
+      std::fprintf(stderr, "--workload=file: %s\n", error.c_str());
+      std::exit(EXIT_FAILURE);
+    }
+    if (data.empty()) {
+      std::fprintf(stderr, "--workload=file: %s holds no values\n",
+                   input.c_str());
+      std::exit(EXIT_FAILURE);
+    }
+    return data;
+  }
+  std::fprintf(stderr,
+               "unknown --workload=%s (census, normal, uniform, "
+               "exponential, heavy_tail, file)\n",
+               workload.c_str());
+  std::exit(EXIT_FAILURE);
+}
+
+int Main(int argc, char** argv) {
+  std::string task = "mean";
+  std::string workload = "census";
+  std::string input;
+  int64_t n = 10000;
+  int64_t bits = 8;
+  int64_t reps = 100;
+  int64_t buckets = 16;
+  double mu = 1000.0;
+  double sigma = 100.0;
+  double epsilon = 0.0;
+  double target_nrmse = 0.02;
+  int64_t seed = 1;
+  FlagSet flags;
+  flags.AddString("task", &task,
+                  "mean | variance | histogram | quantiles | proportion | "
+                  "diagnose | plan");
+  double range_low = 0.0;
+  double range_high = 0.0;
+  flags.AddDouble("range_low", &range_low,
+                  "lower bound for --task=proportion");
+  flags.AddDouble("range_high", &range_high,
+                  "upper bound for --task=proportion");
+  flags.AddString("workload", &workload,
+                  "census | normal | uniform | exponential | heavy_tail | "
+                  "file");
+  flags.AddString("input", &input,
+                  "values file (one per line) for --workload=file");
+  flags.AddInt64("n", &n, "number of clients");
+  flags.AddInt64("bits", &bits, "bit depth b");
+  flags.AddInt64("reps", &reps, "repetitions for error reporting");
+  flags.AddInt64("buckets", &buckets, "histogram buckets");
+  flags.AddDouble("mu", &mu, "workload location parameter");
+  flags.AddDouble("sigma", &sigma, "workload scale parameter");
+  flags.AddDouble("epsilon", &epsilon, "LDP epsilon (0 = off)");
+  flags.AddDouble("target_nrmse", &target_nrmse, "accuracy target (plan)");
+  flags.AddInt64("seed", &seed, "base seed");
+  flags.Parse(argc, argv);
+
+  Rng rng(static_cast<uint64_t>(seed));
+  const FixedPointCodec codec =
+      FixedPointCodec::Integer(static_cast<int>(bits));
+
+  if (task == "plan") {
+    const CohortPlan plan = PlanForNrmse(
+        codec, GeometricProbabilities(static_cast<int>(bits), 1.0), {},
+        epsilon, mu, target_nrmse);
+    std::printf("planning for NRMSE %.4f at expected mean %.1f "
+                "(b=%lld, eps=%g):\n",
+                target_nrmse, mu, static_cast<long long>(bits), epsilon);
+    std::printf("  required clients: %lld\n",
+                static_cast<long long>(plan.required_clients));
+    std::printf("  predicted stderr: %.3f codewords\n",
+                plan.predicted_stderr_codewords);
+    return 0;
+  }
+
+  const Dataset data = MakeWorkload(workload, input, n, mu, sigma, rng);
+  const Dataset clipped = data.Clipped(codec.low(), codec.high());
+  std::printf("workload %s: n=%lld true_mean=%.3f true_var=%.3f "
+              "(clipped to %d bits)\n\n",
+              clipped.name().c_str(),
+              static_cast<long long>(clipped.size()),
+              clipped.truth().mean, clipped.truth().variance,
+              codec.bits());
+
+  if (task == "mean") {
+    AdaptiveConfig config;
+    config.bits = codec.bits();
+    config.epsilon = epsilon;
+    if (epsilon > 0) config.squash = SquashPolicy::Absolute(0.05);
+    const std::vector<uint64_t> codewords =
+        codec.EncodeAll(clipped.values());
+    const ErrorStats stats = RunRepetitions(
+        reps, static_cast<uint64_t>(seed) + 1, clipped.truth().mean,
+        [&](Rng& run) {
+          return codec.Decode(
+              RunAdaptiveBitPushing(codewords, config, run)
+                  .estimate_codeword);
+        });
+    std::printf("adaptive bit-pushing mean: %.4f  (nrmse %.4f over %lld "
+                "reps)\n",
+                stats.mean_estimate, stats.nrmse,
+                static_cast<long long>(reps));
+    return 0;
+  }
+
+  if (task == "variance") {
+    VarianceConfig config;
+    config.protocol.bits = codec.bits();
+    config.protocol.epsilon = epsilon;
+    const ErrorStats stats = RunRepetitions(
+        reps, static_cast<uint64_t>(seed) + 1, clipped.truth().variance,
+        [&](Rng& run) {
+          return EstimateVariance(clipped.values(), codec, config, run)
+              .variance;
+        });
+    std::printf("bit-pushing variance: %.4f  (nrmse %.4f over %lld "
+                "reps)\n",
+                stats.mean_estimate, stats.nrmse,
+                static_cast<long long>(reps));
+    return 0;
+  }
+
+  if (task == "histogram") {
+    HistogramConfig config;
+    config.edges = UniformEdges(codec.low(), codec.high(),
+                                static_cast<int>(buckets));
+    config.epsilon = epsilon;
+    const HistogramResult result =
+        EstimateHistogram(clipped.values(), config, rng);
+    Table table({"bucket", "range", "fraction"});
+    for (size_t b = 0; b + 1 < config.edges.size(); ++b) {
+      char range[64];
+      std::snprintf(range, sizeof(range), "[%.1f, %.1f)", config.edges[b],
+                    config.edges[b + 1]);
+      table.NewRow()
+          .AddInt(static_cast<int64_t>(b))
+          .AddCell(range)
+          .AddDouble(result.fractions[b], 4);
+    }
+    table.Print();
+    std::printf("\nmedian: %.3f   p90: %.3f\n",
+                result.Quantile(config.edges, 0.5),
+                result.Quantile(config.edges, 0.9));
+    return 0;
+  }
+
+  if (task == "diagnose") {
+    // Pilot round + bit-histogram diagnostics (federated debugging).
+    AdaptiveConfig pilot;
+    pilot.bits = codec.bits();
+    pilot.epsilon = epsilon;
+    const AdaptiveResult result = RunAdaptiveBitPushing(
+        codec.EncodeAll(clipped.values()), pilot, rng);
+    BitHistogram pooled = result.round1.histogram;
+    pooled.Merge(result.round2.histogram);
+    const DistributionDiagnostics diagnostics =
+        DiagnoseDistribution(pooled, epsilon, DebuggingConfig{});
+    std::printf("highest used bit: %d of %d configured\n",
+                diagnostics.highest_used_bit, codec.bits());
+    std::printf("vacuous bit fraction: %.2f\n",
+                diagnostics.vacuous_bit_fraction);
+    std::printf("recommended bit width: %d\n",
+                RecommendBitWidth(diagnostics, codec.bits()));
+    if (diagnostics.findings.empty()) {
+      std::printf("findings: none (healthy distribution)\n");
+    } else {
+      for (const std::string& finding : diagnostics.findings) {
+        std::printf("finding: %s\n", finding.c_str());
+      }
+    }
+    return 0;
+  }
+
+  if (task == "proportion") {
+    const ProportionResult result = EstimateRangeProportion(
+        clipped.values(), range_low, range_high, epsilon, rng);
+    std::printf("fraction in [%.2f, %.2f]: %.4f (+/- %.4f), count %.0f "
+                "of %lld\n",
+                range_low, range_high, result.clamped_fraction,
+                1.96 * result.stderr_fraction, result.count,
+                static_cast<long long>(result.reports));
+    return 0;
+  }
+
+  if (task == "quantiles") {
+    RangeTreeConfig config;
+    config.levels = static_cast<int>(bits);
+    config.epsilon = epsilon;
+    const RangeTreeResult tree = EstimateRangeTree(
+        codec.EncodeAll(clipped.values()), config, rng);
+    Table table({"q", "value"});
+    for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+      table.NewRow().AddDouble(q, 3).AddDouble(
+          codec.Decode(tree.Quantile(q)), 5);
+    }
+    table.Print();
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown --task=%s\n", task.c_str());
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace bitpush
+
+int main(int argc, char** argv) { return bitpush::Main(argc, argv); }
