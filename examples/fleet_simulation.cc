@@ -2,6 +2,9 @@
 // diurnal cycle, collection windows run every four hours through the
 // windowed monitor, and a 20x latency regression injected on day two is
 // caught by the upper-bound flag — the §4.3 deployment loop end to end.
+// Report-time faults (mid-round loss, stragglers past a 30-minute deadline,
+// corrupt and truncated frames) ride the fault layer, so each window shows
+// realistic collection loss and a modelled collection time.
 
 #include <cstdio>
 
@@ -12,6 +15,13 @@ int main() {
   bitpush::FleetConfig fleet_config;
   fleet_config.devices = 20000;
   fleet_config.metric = bitpush::MetricFamily::kLatencyMs;
+  fleet_config.report_faults.mid_round_dropout = 0.05;
+  fleet_config.report_faults.straggler = 0.03;
+  fleet_config.report_faults.corrupt_message = 0.01;
+  fleet_config.report_faults.truncate_message = 0.01;
+  fleet_config.report_deadline_minutes = 30.0;
+  fleet_config.model_latency = true;
+  fleet_config.latency.checkins_per_minute = 2000.0;
   bitpush::FleetSimulator fleet(fleet_config, 99);
 
   const bitpush::FixedPointCodec codec =
@@ -29,7 +39,8 @@ int main() {
   bitpush::MetricMonitor monitor(codec, monitor_config);
   bitpush::Rng rng(7);
 
-  std::printf("hour  avail  cohort  estimate   b_max  flags\n");
+  std::printf(
+      "hour  avail  cohort  estimate   b_max  minutes  flags\n");
   for (int window = 0; window < 12; ++window) {
     if (window == 8) {
       fleet.ScaleMetric(20.0);  // the regression ships at hour 32
@@ -38,15 +49,24 @@ int main() {
     const std::vector<double> readings = fleet.CollectWindow(0);
     const bitpush::WindowSummary summary =
         monitor.IngestWindow(readings, rng);
-    std::printf("%-4.0f  %.2f   %-6lld  %-9.1f  %-5d  %s%s\n",
+    std::printf("%-4.0f  %.2f   %-6lld  %-9.1f  %-5d  %-7.1f  %s%s\n",
                 fleet.hour(), fleet.Availability(),
                 static_cast<long long>(summary.clients), summary.estimate,
-                summary.b_max,
+                summary.b_max, fleet.last_window_minutes(),
                 summary.bound_flagged ? "UPPER-BOUND " : "",
                 summary.drift_flagged ? "DRIFT" : "");
     fleet.AdvanceHours(4.0);
   }
+  const bitpush::FaultStats& faults = fleet.fault_stats();
   std::printf("\nwindows flagged: %lld\n",
               static_cast<long long>(monitor.windows_flagged()));
+  std::printf(
+      "report faults: %lld injected (%lld dropped, %lld late-rejected, "
+      "%lld corrupt, %lld truncated)\n",
+      static_cast<long long>(faults.InjectedTotal()),
+      static_cast<long long>(faults.injected_dropouts),
+      static_cast<long long>(faults.late_reports_rejected),
+      static_cast<long long>(faults.corrupt_reports_rejected),
+      static_cast<long long>(faults.truncated_reports_rejected));
   return 0;
 }

@@ -9,6 +9,13 @@ cd "$(dirname "$0")/.."
 cmake -B "$BUILD_DIR" -G Ninja
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+# Sanitized pass: the fault-injection and wire-fuzz suites exercise the
+# decode and failure paths, so run them under ASan+UBSan as well.
+cmake -B "$BUILD_DIR-asan" -G Ninja -DBITPUSH_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR-asan" --target fault_tests wire_fuzz_tests
+ctest --test-dir "$BUILD_DIR-asan" --output-on-failure -R '(Fault|WireFuzz)'
+
 for b in "$BUILD_DIR"/bench/*; do
   echo "### $b"
   "$b"

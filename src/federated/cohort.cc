@@ -9,10 +9,12 @@ namespace bitpush {
 std::vector<int64_t> SelectCohort(
     const std::vector<Client>& clients,
     const std::function<bool(const Client&)>& eligible,
-    const CohortPolicy& policy, Rng& rng, bool* below_minimum) {
+    const CohortPolicy& policy, Rng& rng, bool* below_minimum,
+    std::vector<int64_t>* unselected) {
   BITPUSH_CHECK(below_minimum != nullptr);
   BITPUSH_CHECK_GE(policy.min_cohort_size, 1);
 
+  if (unselected != nullptr) unselected->clear();
   std::vector<int64_t> cohort;
   for (size_t i = 0; i < clients.size(); ++i) {
     if (eligible == nullptr || eligible(clients[i])) {
@@ -30,6 +32,11 @@ std::vector<int64_t> SelectCohort(
   }
   if (policy.max_cohort_size > 0 &&
       static_cast<int64_t>(cohort.size()) > policy.max_cohort_size) {
+    if (unselected != nullptr) {
+      unselected->assign(
+          cohort.begin() + static_cast<int64_t>(policy.max_cohort_size),
+          cohort.end());
+    }
     cohort.resize(static_cast<size_t>(policy.max_cohort_size));
   }
   return cohort;

@@ -24,11 +24,14 @@ struct CohortPolicy {
 // Returns the indices (into `clients`) of the selected cohort: clients
 // passing `eligible` (null accepts everyone), shuffled, truncated to
 // max_cohort_size. An empty result with *below_minimum = true signals a
-// round that must abort.
+// round that must abort. When `unselected` is non-null it receives the
+// eligible clients the truncation left out (still in shuffled order) — the
+// replacement pool the fault layer's backfill draws from.
 std::vector<int64_t> SelectCohort(
     const std::vector<Client>& clients,
     const std::function<bool(const Client&)>& eligible,
-    const CohortPolicy& policy, Rng& rng, bool* below_minimum);
+    const CohortPolicy& policy, Rng& rng, bool* below_minimum,
+    std::vector<int64_t>* unselected = nullptr);
 
 }  // namespace bitpush
 

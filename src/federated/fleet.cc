@@ -9,10 +9,15 @@
 namespace bitpush {
 
 FleetSimulator::FleetSimulator(const FleetConfig& config, uint64_t seed)
-    : config_(config), rng_(seed) {
+    : config_(config),
+      rng_(seed),
+      seed_(seed),
+      fault_plan_(seed, config.report_faults) {
   BITPUSH_CHECK_GE(config_.devices, 1);
   BITPUSH_CHECK_GE(config_.availability_base, 0.0);
   BITPUSH_CHECK_GE(config_.availability_amplitude, 0.0);
+  BITPUSH_CHECK(!(config_.report_deadline_minutes < 0.0))
+      << "report_deadline_minutes must be non-negative";
 }
 
 void FleetSimulator::AdvanceHours(double hours) {
@@ -35,6 +40,7 @@ void FleetSimulator::ScaleMetric(double factor) {
 std::vector<double> FleetSimulator::CollectWindow(int64_t max_cohort) {
   BITPUSH_CHECK_GE(max_cohort, 0);
   const double availability = Availability();
+  const int64_t window = ++window_index_;
   std::vector<double> readings;
   for (int64_t device = 0; device < config_.devices; ++device) {
     if (max_cohort > 0 &&
@@ -42,8 +48,55 @@ std::vector<double> FleetSimulator::CollectWindow(int64_t max_cohort) {
       break;
     }
     if (!rng_.NextBernoulli(availability)) continue;
-    readings.push_back(metric_scale_ *
-                       GenerateMetric(config_.metric, 1, rng_).front());
+    // Generate the reading before deciding its fate so the main RNG stream
+    // is identical with and without fault injection (the device did the
+    // work either way; the fault strikes the report in flight).
+    const double reading =
+        metric_scale_ * GenerateMetric(config_.metric, 1, rng_).front();
+    bool lost = false;
+    switch (fault_plan_.Decide(window, device)) {
+      case FaultType::kNone:
+        break;
+      case FaultType::kMidRoundDropout:
+        ++fault_stats_.injected_dropouts;
+        lost = true;
+        break;
+      case FaultType::kStraggler:
+        ++fault_stats_.injected_stragglers;
+        if (std::isfinite(config_.report_deadline_minutes)) {
+          ++fault_stats_.late_reports_rejected;
+          lost = true;
+        } else {
+          ++fault_stats_.late_reports_accepted;
+        }
+        break;
+      case FaultType::kCorruptMessage:
+        // The monitoring transport integrity-checks frames and drops any
+        // that fail, so a corrupted reading never reaches the monitor.
+        ++fault_stats_.injected_corruptions;
+        ++fault_stats_.corrupt_reports_rejected;
+        lost = true;
+        break;
+      case FaultType::kTruncateMessage:
+        ++fault_stats_.injected_truncations;
+        ++fault_stats_.truncated_reports_rejected;
+        lost = true;
+        break;
+      case FaultType::kRoundBoundaryCrash:
+        ++fault_stats_.injected_crashes;
+        lost = true;
+        break;
+    }
+    if (lost) continue;
+    readings.push_back(reading);
+  }
+  if (config_.model_latency) {
+    // A fresh per-window generator (never the main stream) keeps clean-run
+    // determinism: enabling latency modelling does not shift readings.
+    Rng latency_rng(seed_ ^
+                    (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(window)));
+    last_window_minutes_ = SampleCollectionMinutes(
+        config_.latency, static_cast<int64_t>(readings.size()), latency_rng);
   }
   return readings;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "core/bit_probabilities.h"
 #include "core/bit_pushing.h"
@@ -20,8 +21,9 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
 
   FederatedQueryResult result;
   bool below_minimum = false;
-  const std::vector<int64_t> cohort =
-      SelectCohort(clients, nullptr, config.cohort, rng, &below_minimum);
+  std::vector<int64_t> leftover;
+  const std::vector<int64_t> cohort = SelectCohort(
+      clients, nullptr, config.cohort, rng, &below_minimum, &leftover);
   if (below_minimum || cohort.size() < 2) {
     result.aborted = true;
     return result;
@@ -33,6 +35,16 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   n1 = std::clamp<int64_t>(n1, 1, n - 1);
   const std::vector<int64_t> cohort1(cohort.begin(), cohort.begin() + n1);
   const std::vector<int64_t> cohort2(cohort.begin() + n1, cohort.end());
+
+  // Backfill pools are split disjointly by delta so a replacement client
+  // can never serve both rounds (the same one-assignment-per-query
+  // discipline the recheckin dedup enforces for the cohort itself).
+  const int64_t pool1_size = std::clamp<int64_t>(
+      static_cast<int64_t>(std::llround(
+          config.adaptive.delta * static_cast<double>(leftover.size()))),
+      0, static_cast<int64_t>(leftover.size()));
+  std::vector<int64_t> pool1(leftover.begin(), leftover.begin() + pool1_size);
+  std::vector<int64_t> pool2(leftover.begin() + pool1_size, leftover.end());
 
   const AggregationServer server(codec);
   const RandomizedResponse rr =
@@ -47,31 +59,68 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   round1_config.use_secure_aggregation = config.use_secure_aggregation;
   round1_config.value_id = config.value_id;
   round1_config.round_id = 1;
+  round1_config.fault_plan = config.fault_plan;
+  round1_config.fault_policy = config.fault_policy;
+  round1_config.backfill_pool = std::move(pool1);
   result.round1 = server.RunRound(clients, cohort1, round1_config, meter, rng);
   result.comm.MergeFrom(result.round1.comm);
+  result.faults.MergeFrom(result.round1.faults);
 
-  // Learn the round-2 allocation.
-  const std::vector<double> round1_means =
-      result.round1.histogram.UnbiasedMeans(rr);
-  const std::vector<bool> round1_keep =
-      ComputeSquashMask(round1_means, result.round1.histogram.totals(), rr,
-                        config.adaptive.squash);
-  std::vector<double> round2_probabilities = AdaptiveProbabilitiesMasked(
-      round1_means, round1_keep, config.adaptive.alpha,
-      round1_config.probabilities);
-  if (config.auto_adjust_dropout && !result.round1.intended_counts.empty()) {
-    round2_probabilities = AdjustProbabilitiesForDropout(
-        round2_probabilities, result.round1.intended_counts,
-        result.round1.histogram.totals());
+  // Learn the round-2 allocation — unless round 1 lost more than the
+  // policy threshold, in which case the probe's means are too thin to
+  // trust: degrade gracefully to the static weighted policy (gamma = 1,
+  // the pessimistic-optimal Eq. (7) allocation) instead of rebalancing.
+  const double round1_loss =
+      result.round1.contacted > 0
+          ? 1.0 - static_cast<double>(result.round1.responded) /
+                      static_cast<double>(result.round1.contacted)
+          : 1.0;
+  std::vector<double> round2_probabilities;
+  if (round1_loss > config.fault_policy.max_round1_loss) {
+    round2_probabilities =
+        GeometricProbabilities(config.adaptive.bits, 1.0);
+    result.used_static_fallback = true;
+    ++result.faults.static_policy_fallbacks;
+  } else {
+    const std::vector<double> round1_means =
+        result.round1.histogram.UnbiasedMeans(rr);
+    const std::vector<bool> round1_keep =
+        ComputeSquashMask(round1_means, result.round1.histogram.totals(), rr,
+                          config.adaptive.squash);
+    round2_probabilities = AdaptiveProbabilitiesMasked(
+        round1_means, round1_keep, config.adaptive.alpha,
+        round1_config.probabilities);
+    if (config.auto_adjust_dropout &&
+        !result.round1.intended_counts.empty()) {
+      round2_probabilities = AdjustProbabilitiesForDropout(
+          round2_probabilities, result.round1.intended_counts,
+          result.round1.histogram.totals());
+    }
   }
   result.round2_probabilities = round2_probabilities;
 
-  // Round 2 over the remaining cohort.
+  // Round 2 over the remaining cohort. Clients that crashed after their
+  // round-1 assignment re-check-in here; the server's dedup (keyed on
+  // every id round 1 assigned, backfill included) rejects them, so no
+  // client is ever assigned twice in one query.
+  std::vector<int64_t> cohort2_full = cohort2;
+  cohort2_full.insert(cohort2_full.end(),
+                      result.round1.crashed_clients.begin(),
+                      result.round1.crashed_clients.end());
+  std::unordered_set<int64_t> assigned_round1;
+  assigned_round1.reserve(result.round1.assigned_clients.size());
+  for (const int64_t idx : result.round1.assigned_clients) {
+    assigned_round1.insert(clients[static_cast<size_t>(idx)].id());
+  }
   RoundConfig round2_config = round1_config;
   round2_config.probabilities = round2_probabilities;
   round2_config.round_id = 2;
-  result.round2 = server.RunRound(clients, cohort2, round2_config, meter, rng);
+  round2_config.backfill_pool = std::move(pool2);
+  round2_config.already_assigned = &assigned_round1;
+  result.round2 =
+      server.RunRound(clients, cohort2_full, round2_config, meter, rng);
   result.comm.MergeFrom(result.round2.comm);
+  result.faults.MergeFrom(result.round2.faults);
 
   // Final aggregation, with caching per the protocol config.
   BitHistogram pooled = result.round1.histogram;

@@ -33,6 +33,12 @@ struct FederatedQueryConfig {
   // on the dropout rate").
   bool auto_adjust_dropout = false;
   int64_t value_id = 0;
+  // Fault injection (nullptr runs clean) and the server's reaction policy:
+  // report deadline, bounded cohort backfill, and the round-1 loss
+  // threshold past which the round-2 rebalance degrades to the static
+  // weighted policy.
+  const FaultPlan* fault_plan = nullptr;
+  FaultPolicy fault_policy;
 };
 
 struct FederatedQueryResult {
@@ -47,6 +53,13 @@ struct FederatedQueryResult {
   std::vector<double> final_bit_means;
   std::vector<bool> kept;
   CommunicationStats comm;
+  // Pooled fault/reaction counters across both rounds (plus the
+  // query-level static-policy fallback, if it fired).
+  FaultStats faults;
+  // True when round-1 losses exceeded fault_policy.max_round1_loss and the
+  // round-2 allocation fell back to the static weighted policy instead of
+  // the learned rebalance.
+  bool used_static_fallback = false;
 };
 
 // Runs the full two-round query over `clients`. `meter` may be null.

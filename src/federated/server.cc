@@ -1,6 +1,7 @@
 #include "federated/server.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "federated/secure_agg.h"
 #include "rng/qmc.h"
@@ -19,55 +20,138 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
   const int bits = codec_.bits();
   BITPUSH_CHECK_EQ(static_cast<int>(config.probabilities.size()), bits);
   BITPUSH_CHECK(!cohort.empty());
-  const int64_t n = static_cast<int64_t>(cohort.size());
 
   RoundOutcome outcome;
   outcome.histogram = BitHistogram(bits);
-  outcome.contacted = n;
-
-  const std::vector<int> assignment =
-      config.central_randomness
-          ? AssignBitsCentral(n, config.probabilities, rng)
-          : AssignBitsLocal(n, config.probabilities, rng);
   if (config.central_randomness) {
     outcome.intended_counts.assign(static_cast<size_t>(bits), 0);
-    for (const int bit : assignment) {
-      ++outcome.intended_counts[static_cast<size_t>(bit)];
-    }
   }
 
-  // Collect reports (bit index under which a report is tallied depends on
-  // the randomness mode; see RoundConfig).
-  std::vector<BitReport> reports;
-  reports.reserve(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    const Client& client = clients[static_cast<size_t>(cohort[i])];
-    const BitRequest request{config.round_id, config.value_id,
-                             assignment[static_cast<size_t>(i)],
-                             config.epsilon};
-    ++outcome.comm.requests_sent;
-    outcome.comm.payload_bytes += RequestPayloadBytes();
-    std::optional<BitReport> report = client.HandleRequest(
-        request, codec_, !config.central_randomness, meter, rng);
-    if (!report.has_value()) continue;
-    if (config.central_randomness) {
-      // Defense: tally under the server's assignment, not the claim.
-      report->bit_index = request.bit_index;
-    } else if (report->bit_index < 0 || report->bit_index >= bits ||
-               (report->bit != 0 && report->bit != 1)) {
-      // Under local randomness the index (and bit) are client-supplied;
-      // reject anything outside the protocol's domain.
-      ++outcome.malformed_reports;
+  // Check-in: clients already assigned in an earlier round of this query
+  // (crash-then-recheckin) are rejected before any assignment is issued.
+  std::vector<int64_t> active;
+  active.reserve(cohort.size());
+  for (const int64_t idx : cohort) {
+    if (config.already_assigned != nullptr &&
+        config.already_assigned->contains(
+            clients[static_cast<size_t>(idx)].id())) {
+      ++outcome.faults.recheckins_rejected;
       continue;
     }
-    ++outcome.comm.reports_received;
-    ++outcome.comm.private_bits;
-    outcome.comm.payload_bytes += ReportPayloadBytes();
-    reports.push_back(*report);
+    active.push_back(idx);
   }
+
+  std::vector<BitReport> reports;
+  reports.reserve(active.size());
+
+  // One collection pass: assign bits to `batch` (QMC partition per pass),
+  // send requests, and run each report through the fault pipeline —
+  // client-side loss, then the wire leg, then the deadline cutoff, then the
+  // server's protocol validation.
+  const auto collect = [&](const std::vector<int64_t>& batch,
+                           bool backfill) {
+    const int64_t k = static_cast<int64_t>(batch.size());
+    if (k == 0) return;
+    const std::vector<int> assignment =
+        config.central_randomness
+            ? AssignBitsCentral(k, config.probabilities, rng)
+            : AssignBitsLocal(k, config.probabilities, rng);
+    if (config.central_randomness) {
+      for (const int bit : assignment) {
+        ++outcome.intended_counts[static_cast<size_t>(bit)];
+      }
+    }
+    for (int64_t i = 0; i < k; ++i) {
+      const Client& client = clients[static_cast<size_t>(batch[i])];
+      outcome.assigned_clients.push_back(batch[i]);
+      const BitRequest request{config.round_id, config.value_id,
+                               assignment[static_cast<size_t>(i)],
+                               config.epsilon};
+      ++outcome.comm.requests_sent;
+      outcome.comm.payload_bytes += RequestPayloadBytes();
+      const FaultType fault =
+          config.fault_plan != nullptr
+              ? config.fault_plan->Decide(config.round_id, client.id())
+              : FaultType::kNone;
+      if (fault == FaultType::kMidRoundDropout) {
+        // The device vanished before computing its report: no private bit
+        // was disclosed, so the meter is never charged.
+        ++outcome.faults.injected_dropouts;
+        continue;
+      }
+      if (fault == FaultType::kRoundBoundaryCrash) {
+        ++outcome.faults.injected_crashes;
+        outcome.crashed_clients.push_back(batch[i]);
+        continue;
+      }
+      std::optional<BitReport> report = client.HandleRequest(
+          request, codec_, !config.central_randomness, meter, rng);
+      if (!report.has_value()) continue;
+      if (fault == FaultType::kCorruptMessage ||
+          fault == FaultType::kTruncateMessage) {
+        // The report was sent (and metered); the wire leg garbles it.
+        report = DeliverFaultedReport(*config.fault_plan, config.round_id,
+                                      client.id(), fault, *report,
+                                      &outcome.faults);
+        if (!report.has_value()) continue;
+      }
+      if (fault == FaultType::kStraggler) {
+        ++outcome.faults.injected_stragglers;
+        if (std::isfinite(config.fault_policy.report_deadline_minutes)) {
+          ++outcome.faults.late_reports_rejected;
+          continue;
+        }
+        ++outcome.faults.late_reports_accepted;
+      }
+      if (config.central_randomness) {
+        // Defense: tally under the server's assignment, not the claim.
+        report->bit_index = request.bit_index;
+      } else if (report->bit_index < 0 || report->bit_index >= bits ||
+                 (report->bit != 0 && report->bit != 1)) {
+        // Under local randomness the index (and bit) are client-supplied;
+        // reject anything outside the protocol's domain.
+        ++outcome.malformed_reports;
+        continue;
+      }
+      ++outcome.comm.reports_received;
+      ++outcome.comm.private_bits;
+      outcome.comm.payload_bytes += ReportPayloadBytes();
+      if (backfill) ++outcome.faults.backfill_reports;
+      reports.push_back(*report);
+    }
+  };
+
+  collect(active, /*backfill=*/false);
+
+  // Bounded backfill: re-draw replacement clients from the pool until the
+  // accepted-report count reaches the cohort target or the passes/pool run
+  // out. Replacements run the same pipeline (faults included) and are
+  // metered on response like any reporter.
+  const int64_t target = static_cast<int64_t>(active.size());
+  size_t pool_pos = 0;
+  for (int64_t pass = 0; pass < config.fault_policy.max_backfill_rounds &&
+                         static_cast<int64_t>(reports.size()) < target &&
+                         pool_pos < config.backfill_pool.size();
+       ++pass) {
+    const int64_t need = target - static_cast<int64_t>(reports.size());
+    std::vector<int64_t> draw;
+    draw.reserve(static_cast<size_t>(need));
+    while (static_cast<int64_t>(draw.size()) < need &&
+           pool_pos < config.backfill_pool.size()) {
+      draw.push_back(config.backfill_pool[pool_pos++]);
+    }
+    ++outcome.faults.backfill_rounds_used;
+    outcome.faults.backfill_requests += static_cast<int64_t>(draw.size());
+    collect(draw, /*backfill=*/true);
+  }
+
+  outcome.contacted = target + outcome.faults.backfill_requests;
   outcome.responded = static_cast<int64_t>(reports.size());
   outcome.dropout_rate =
-      1.0 - static_cast<double>(outcome.responded) / static_cast<double>(n);
+      outcome.contacted > 0
+          ? 1.0 - static_cast<double>(outcome.responded) /
+                      static_cast<double>(outcome.contacted)
+          : 0.0;
 
   if (!config.use_secure_aggregation) {
     for (const BitReport& report : reports) {

@@ -6,12 +6,14 @@
 #define BITPUSH_FEDERATED_SERVER_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "core/bit_pushing.h"
 #include "core/fixed_point.h"
 #include "core/privacy_meter.h"
 #include "federated/client.h"
+#include "federated/faults.h"
 #include "federated/report.h"
 #include "rng/rng.h"
 
@@ -33,6 +35,17 @@ struct RoundConfig {
   // Identifies the value being queried, for privacy metering.
   int64_t value_id = 0;
   int64_t round_id = 0;
+  // Fault injection (nullptr runs a clean round) and the server's reaction
+  // policy; the policy defaults reproduce clean-round behavior exactly.
+  const FaultPlan* fault_plan = nullptr;
+  FaultPolicy fault_policy;
+  // Replacement clients (indices into `clients`), drawn in order by the
+  // backfill passes when accepted reports fall short of the cohort.
+  std::vector<int64_t> backfill_pool;
+  // Client ids assigned in an earlier round of the same query. Their
+  // check-ins are rejected and counted (the crash-recheckin dedup policy:
+  // at most one assignment per client per query).
+  const std::unordered_set<int64_t>* already_assigned = nullptr;
 };
 
 struct RoundOutcome {
@@ -48,6 +61,14 @@ struct RoundOutcome {
   // local randomness); compared against realized counts for the dropout
   // auto-adjustment of Section 4.3.
   std::vector<int64_t> intended_counts;
+  // Injected-fault and server-reaction counters for this round.
+  FaultStats faults;
+  // Indices (into `clients`) that were issued an assignment this round,
+  // including backfill replacements; feeds the next round's dedup set.
+  std::vector<int64_t> assigned_clients;
+  // Indices that crashed after assignment (kRoundBoundaryCrash) — the
+  // clients that will attempt to re-check-in next round.
+  std::vector<int64_t> crashed_clients;
 };
 
 class AggregationServer {

@@ -23,6 +23,8 @@ CollectionSession::CollectionSession(const FixedPointCodec& codec,
   BITPUSH_CHECK(std::abs(total - 1.0) < 1e-9)
       << "probabilities must sum to 1";
   BITPUSH_CHECK_GE(config_.target_reports, 0);
+  BITPUSH_CHECK(!(config_.report_deadline < 0.0))
+      << "report_deadline must be non-negative";
 }
 
 bool CollectionSession::IssueAssignment(int64_t client_id,
@@ -63,9 +65,19 @@ bool CollectionSession::IssueAssignment(int64_t client_id,
 }
 
 ReportRejection CollectionSession::SubmitReport(const BitReport& report) {
+  return SubmitReport(report, /*arrival_time=*/0.0);
+}
+
+ReportRejection CollectionSession::SubmitReport(const BitReport& report,
+                                                double arrival_time) {
   if (state_ != SessionState::kCollecting) {
     ++rejected_;
     return ReportRejection::kSessionClosed;
+  }
+  if (arrival_time > config_.report_deadline) {
+    ++rejected_;
+    ++late_;
+    return ReportRejection::kLate;
   }
   const auto assigned = assigned_bits_.find(report.client_id);
   if (assigned == assigned_bits_.end()) {

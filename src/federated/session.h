@@ -11,6 +11,7 @@
 #define BITPUSH_FEDERATED_SESSION_H_
 
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -35,6 +36,7 @@ enum class ReportRejection {
   kDuplicate,        // client already reported this session
   kWrongIndex,       // report names a different bit than assigned
   kMalformedBit,     // bit outside {0, 1}
+  kLate,             // arrived after the session's report deadline
 };
 
 struct SessionConfig {
@@ -46,6 +48,10 @@ struct SessionConfig {
   int64_t target_reports = 0;
   int64_t round_id = 0;
   int64_t value_id = 0;
+  // Straggler cutoff: reports whose arrival time exceeds this are rejected
+  // as kLate (same clock as the arrival_time passed to SubmitReport;
+  // infinity disables the deadline).
+  double report_deadline = std::numeric_limits<double>::infinity();
 };
 
 class CollectionSession {
@@ -65,14 +71,18 @@ class CollectionSession {
 
   // Ingests a report. Returns the acceptance/rejection verdict and updates
   // the tallies on acceptance. Auto-finalizes when target_reports is
-  // reached.
+  // reached. The no-argument overload submits at arrival time 0 (never
+  // late).
   ReportRejection SubmitReport(const BitReport& report);
+  ReportRejection SubmitReport(const BitReport& report, double arrival_time);
 
   // Closes the session; idempotent.
   void Close();
 
   int64_t accepted_reports() const { return accepted_; }
   int64_t rejected_reports() const { return rejected_; }
+  // Reports rejected specifically for arriving past the deadline.
+  int64_t late_reports() const { return late_; }
   int64_t assignments_issued() const {
     return static_cast<int64_t>(assigned_bits_.size());
   }
@@ -96,6 +106,7 @@ class CollectionSession {
   BitHistogram histogram_;
   int64_t accepted_ = 0;
   int64_t rejected_ = 0;
+  int64_t late_ = 0;
 };
 
 }  // namespace bitpush

@@ -1,6 +1,7 @@
 #include "federated/wire.h"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 #include "util/check.h"
@@ -64,6 +65,8 @@ void EncodeBitRequest(const BitRequest& request, std::vector<uint8_t>* out) {
   BITPUSH_CHECK(out != nullptr);
   BITPUSH_CHECK_GE(request.bit_index, 0);
   BITPUSH_CHECK_LT(request.bit_index, 256);
+  BITPUSH_CHECK(std::isfinite(request.rr_epsilon))
+      << "rr_epsilon must be finite on the wire";
   PutUint64(static_cast<uint64_t>(request.round_id), out);
   PutUint64(static_cast<uint64_t>(request.value_id), out);
   out->push_back(static_cast<uint8_t>(request.bit_index));
@@ -89,10 +92,16 @@ bool DecodeBitRequest(const std::vector<uint8_t>& buffer, size_t* offset,
       !GetUint64(buffer, &cursor, &epsilon_bits)) {
     return false;
   }
+  const double rr_epsilon = std::bit_cast<double>(epsilon_bits);
+  // Malformed: a NaN or infinite epsilon from the wire would poison the
+  // randomized-response parameters downstream (found by the seeded wire
+  // fuzzer; see tests/wire_fuzz_test.cc). Negative finite values are legal
+  // and mean "perturbation disabled".
+  if (!std::isfinite(rr_epsilon)) return false;
   out->round_id = static_cast<int64_t>(round_id);
   out->value_id = static_cast<int64_t>(value_id);
   out->bit_index = bit_index;
-  out->rr_epsilon = std::bit_cast<double>(epsilon_bits);
+  out->rr_epsilon = rr_epsilon;
   *offset = cursor;
   return true;
 }

@@ -28,7 +28,7 @@ void EncodeBitReport(const BitReport& report, std::vector<uint8_t>* out);
 // Decodes one message starting at `offset`; on success advances `*offset`
 // past the message and returns true. Returns false (leaving `*offset` and
 // `*out` untouched) on truncated input or malformed fields (bit values
-// outside {0, 1}, negative bit indices).
+// outside {0, 1}, negative bit indices, non-finite rr_epsilon).
 bool DecodeBitRequest(const std::vector<uint8_t>& buffer, size_t* offset,
                       BitRequest* out);
 bool DecodeBitReport(const std::vector<uint8_t>& buffer, size_t* offset,

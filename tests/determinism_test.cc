@@ -108,6 +108,47 @@ TEST_F(DeterminismTest, VectorAggregation) {
             EstimateVectorMean(rows, codec, config, b).means);
 }
 
+TEST_F(DeterminismTest, FederatedQueryWithFaultPlan) {
+  // A seeded FaultPlan plus a fixed protocol seed must reproduce the whole
+  // faulted run byte-for-byte: identical estimate AND identical FaultStats
+  // (every injection and reaction counter), across both rounds.
+  FaultRates rates;
+  rates.mid_round_dropout = 0.1;
+  rates.straggler = 0.05;
+  rates.corrupt_message = 0.05;
+  rates.truncate_message = 0.05;
+  rates.round_boundary_crash = 0.05;
+  const FaultPlan plan(97, rates);
+  const std::vector<Client> clients =
+      MakePopulation(ages_.values(), ClientConfig{});
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  FederatedQueryConfig config;
+  config.adaptive.bits = 7;
+  config.cohort.max_cohort_size = 3000;
+  config.fault_plan = &plan;
+  config.fault_policy.report_deadline_minutes = 30.0;
+  config.fault_policy.max_backfill_rounds = 2;
+  Rng a(31);
+  Rng b(31);
+  Rng c(32);
+  const FederatedQueryResult first =
+      RunFederatedMeanQuery(clients, codec, config, nullptr, a);
+  const FederatedQueryResult second =
+      RunFederatedMeanQuery(clients, codec, config, nullptr, b);
+  const FederatedQueryResult other =
+      RunFederatedMeanQuery(clients, codec, config, nullptr, c);
+  EXPECT_DOUBLE_EQ(first.estimate, second.estimate);
+  EXPECT_EQ(first.faults, second.faults);
+  EXPECT_EQ(first.round1.faults, second.round1.faults);
+  EXPECT_EQ(first.round2.faults, second.round2.faults);
+  EXPECT_EQ(first.round1.responded, second.round1.responded);
+  EXPECT_EQ(first.round2.responded, second.round2.responded);
+  EXPECT_EQ(first.used_static_fallback, second.used_static_fallback);
+  // A different protocol seed shuffles a different cohort: the injected
+  // fault set (keyed on client ids) lands differently.
+  EXPECT_NE(first.estimate, other.estimate);
+}
+
 TEST_F(DeterminismTest, FederatedQueryWithDropout) {
   ClientConfig flaky;
   flaky.dropout_probability = 0.3;
