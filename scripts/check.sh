@@ -10,11 +10,40 @@ cmake -B "$BUILD_DIR" -G Ninja
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
-# Sanitized pass: the fault-injection and wire-fuzz suites exercise the
-# decode and failure paths, so run them under ASan+UBSan as well.
+# Sanitized pass: the fault-injection, wire-fuzz, and persistence suites
+# exercise the decode and failure paths, so run them under ASan+UBSan too.
 cmake -B "$BUILD_DIR-asan" -G Ninja -DBITPUSH_SANITIZE=address,undefined
-cmake --build "$BUILD_DIR-asan" --target fault_tests wire_fuzz_tests
-ctest --test-dir "$BUILD_DIR-asan" --output-on-failure -R '(Fault|WireFuzz)'
+cmake --build "$BUILD_DIR-asan" \
+  --target fault_tests wire_fuzz_tests persist_tests persist_fuzz_tests
+ctest --test-dir "$BUILD_DIR-asan" --output-on-failure \
+  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz)'
+
+# Crash-recovery stage: run a durable campaign, SIGKILL it mid-campaign at
+# a journal-record boundary, restart against the same state directory, and
+# require the recovered stdout to be byte-identical to an uninterrupted run.
+STATE_ROOT="$(mktemp -d)"
+trap 'rm -rf "$STATE_ROOT"' EXIT
+SIM="$BUILD_DIR/tools/bitpush_sim"
+SIM_ARGS=(--task=campaign --n=400 --ticks=4 --seed=99)
+
+"$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/clean" \
+  > "$STATE_ROOT/clean.out"
+
+set +e
+"$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/crashed" \
+  --crash_after_records=120 > /dev/null 2>&1
+CRASH_STATUS=$?
+set -e
+if [[ "$CRASH_STATUS" -ne 137 ]]; then
+  echo "crash-recovery: expected simulated crash (exit 137), got $CRASH_STATUS" >&2
+  exit 1
+fi
+
+"$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/crashed" \
+  > "$STATE_ROOT/recovered.out" 2> "$STATE_ROOT/recovered.err"
+grep -q 'recovered state:' "$STATE_ROOT/recovered.err"
+diff -u "$STATE_ROOT/clean.out" "$STATE_ROOT/recovered.out"
+echo "crash-recovery: recovered run is byte-identical to the clean run"
 
 for b in "$BUILD_DIR"/bench/*; do
   echo "### $b"

@@ -5,6 +5,7 @@
 
 #include "core/fixed_point.h"
 #include "rng/qmc.h"
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
@@ -31,6 +32,19 @@ void BitHistogram::Merge(const BitHistogram& other) {
   }
 }
 
+BitHistogram BitHistogram::FromCounts(std::vector<int64_t> totals,
+                                      std::vector<int64_t> ones) {
+  BITPUSH_CHECK_EQ(totals.size(), ones.size());
+  for (size_t j = 0; j < totals.size(); ++j) {
+    BITPUSH_CHECK_GE(ones[j], 0);
+    BITPUSH_CHECK_GE(totals[j], ones[j]);
+  }
+  BitHistogram histogram;
+  histogram.total_ = std::move(totals);
+  histogram.ones_ = std::move(ones);
+  return histogram;
+}
+
 int64_t BitHistogram::total(int bit_index) const {
   return total_[static_cast<size_t>(bit_index)];
 }
@@ -43,6 +57,33 @@ int64_t BitHistogram::TotalReports() const {
   int64_t sum = 0;
   for (const int64_t t : total_) sum += t;
   return sum;
+}
+
+void EncodeBitHistogram(const BitHistogram& histogram,
+                        std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  bytes::PutInt64Vector(histogram.totals(), out);
+  bytes::PutInt64Vector(histogram.one_counts(), out);
+}
+
+bool DecodeBitHistogram(const std::vector<uint8_t>& buffer, size_t* offset,
+                        BitHistogram* out) {
+  BITPUSH_CHECK(offset != nullptr);
+  BITPUSH_CHECK(out != nullptr);
+  size_t cursor = *offset;
+  std::vector<int64_t> totals;
+  std::vector<int64_t> ones;
+  if (!bytes::GetInt64Vector(buffer, &cursor, &totals) ||
+      !bytes::GetInt64Vector(buffer, &cursor, &ones)) {
+    return false;
+  }
+  if (totals.size() != ones.size()) return false;
+  for (size_t j = 0; j < totals.size(); ++j) {
+    if (ones[j] < 0 || totals[j] < ones[j]) return false;
+  }
+  *out = BitHistogram::FromCounts(std::move(totals), std::move(ones));
+  *offset = cursor;
+  return true;
 }
 
 std::vector<double> BitHistogram::UnbiasedMeans(

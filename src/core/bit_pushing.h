@@ -16,6 +16,7 @@
 #ifndef BITPUSH_CORE_BIT_PUSHING_H_
 #define BITPUSH_CORE_BIT_PUSHING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -38,6 +39,13 @@ class BitHistogram {
   // Pools another histogram (the "caching" combiner of Section 3.2).
   void Merge(const BitHistogram& other);
 
+  // Rebuilds a histogram from raw per-bit counts (snapshot/journal
+  // recovery). CHECK-fails on inconsistent inputs (mismatched lengths,
+  // negative counts, ones > total) — callers decode through
+  // DecodeBitHistogram, which validates first.
+  static BitHistogram FromCounts(std::vector<int64_t> totals,
+                                 std::vector<int64_t> ones);
+
   int bits() const { return static_cast<int>(total_.size()); }
   int64_t total(int bit_index) const;
   int64_t ones(int bit_index) const;
@@ -57,6 +65,15 @@ class BitHistogram {
   std::vector<int64_t> total_;
   std::vector<int64_t> ones_;
 };
+
+// Serialization of the raw tallies (vector lengths + counts), used by the
+// durable-state layer (src/persist/). Decoding validates the counts
+// (non-negative, ones <= total, matching lengths) and returns false on any
+// violation without touching `*out`.
+void EncodeBitHistogram(const BitHistogram& histogram,
+                        std::vector<uint8_t>* out);
+bool DecodeBitHistogram(const std::vector<uint8_t>& buffer, size_t* offset,
+                        BitHistogram* out);
 
 // Recombines bit means into a codeword-space estimate, optionally masking
 // bits out (bit squashing): sum over kept j of 2^j * means[j].

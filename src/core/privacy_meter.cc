@@ -1,5 +1,9 @@
 #include "core/privacy_meter.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
@@ -12,12 +16,33 @@ PrivacyMeter::PrivacyMeter(MeterPolicy policy) : policy_(policy) {
 
 bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
                                 double epsilon) {
-  BITPUSH_CHECK_GE(epsilon, 0.0);
+  // An invalid epsilon is denied outright rather than CHECKed: the value
+  // can originate from an untrusted request, and accepting a non-finite
+  // epsilon (infinity passes a >= 0 check) would permanently corrupt the
+  // per-client composition total.
+  if (!std::isfinite(epsilon) || epsilon < 0.0) {
+    ++denied_charges_;
+    return false;
+  }
+  if (journal_ != nullptr) {
+    // Recovery replay: the decision was journaled before the crash and the
+    // restored ledger already reflects it — return it without re-charging.
+    const std::optional<bool> replayed =
+        journal_->OnChargeAttempt(client_id, value_id, epsilon);
+    if (replayed.has_value()) return *replayed;
+  }
   ClientLedger& ledger = ledgers_[client_id];
   const int64_t value_bits = ledger.bits_per_value[value_id];
-  if (value_bits + 1 > policy_.max_bits_per_value ||
-      ledger.bits + 1 > policy_.max_bits_per_client ||
-      ledger.epsilon + epsilon > policy_.max_epsilon_per_client) {
+  const bool granted =
+      value_bits + 1 <= policy_.max_bits_per_value &&
+      ledger.bits + 1 <= policy_.max_bits_per_client &&
+      ledger.epsilon + epsilon <= policy_.max_epsilon_per_client;
+  if (journal_ != nullptr) {
+    // Write-ahead: persist the decision before applying it, so a crash
+    // between the two is recovered by replaying the record (exactly once).
+    journal_->OnCharge(client_id, value_id, epsilon, granted);
+  }
+  if (!granted) {
     ++denied_charges_;
     return false;
   }
@@ -43,6 +68,115 @@ int64_t PrivacyMeter::ValueBits(int64_t client_id, int64_t value_id) const {
   if (it == ledgers_.end()) return 0;
   const auto vit = it->second.bits_per_value.find(value_id);
   return vit == it->second.bits_per_value.end() ? 0 : vit->second;
+}
+
+void PrivacyMeter::EncodeTo(std::vector<uint8_t>* out) const {
+  BITPUSH_CHECK(out != nullptr);
+  bytes::PutInt64(policy_.max_bits_per_value, out);
+  bytes::PutInt64(policy_.max_bits_per_client, out);
+  bytes::PutDouble(policy_.max_epsilon_per_client, out);
+  bytes::PutInt64(total_bits_, out);
+  bytes::PutInt64(denied_charges_, out);
+
+  // Canonical form: sorted ids, zero entries omitted. Denied attempts leave
+  // behind zero-count map entries in memory; dropping them here makes
+  // "same ledger" mean "same bytes" regardless of how the state was reached
+  // (live run, journal replay, or snapshot restore).
+  std::vector<int64_t> client_ids;
+  client_ids.reserve(ledgers_.size());
+  for (const auto& [client_id, ledger] : ledgers_) {
+    if (ledger.bits > 0 || ledger.epsilon > 0.0) client_ids.push_back(client_id);
+  }
+  std::sort(client_ids.begin(), client_ids.end());
+  bytes::PutUint32(static_cast<uint32_t>(client_ids.size()), out);
+  for (const int64_t client_id : client_ids) {
+    const ClientLedger& ledger = ledgers_.at(client_id);
+    bytes::PutInt64(client_id, out);
+    bytes::PutInt64(ledger.bits, out);
+    bytes::PutDouble(ledger.epsilon, out);
+    std::vector<int64_t> value_ids;
+    value_ids.reserve(ledger.bits_per_value.size());
+    for (const auto& [value_id, bits] : ledger.bits_per_value) {
+      if (bits > 0) value_ids.push_back(value_id);
+    }
+    std::sort(value_ids.begin(), value_ids.end());
+    bytes::PutUint32(static_cast<uint32_t>(value_ids.size()), out);
+    for (const int64_t value_id : value_ids) {
+      bytes::PutInt64(value_id, out);
+      bytes::PutInt64(ledger.bits_per_value.at(value_id), out);
+    }
+  }
+}
+
+bool PrivacyMeter::DecodeFrom(const std::vector<uint8_t>& buffer,
+                              size_t* offset, PrivacyMeter* out) {
+  BITPUSH_CHECK(offset != nullptr);
+  BITPUSH_CHECK(out != nullptr);
+  size_t cursor = *offset;
+  MeterPolicy policy;
+  int64_t total_bits = 0;
+  int64_t denied_charges = 0;
+  uint32_t client_count = 0;
+  if (!bytes::GetInt64(buffer, &cursor, &policy.max_bits_per_value) ||
+      !bytes::GetInt64(buffer, &cursor, &policy.max_bits_per_client) ||
+      !bytes::GetDouble(buffer, &cursor, &policy.max_epsilon_per_client) ||
+      !bytes::GetInt64(buffer, &cursor, &total_bits) ||
+      !bytes::GetInt64(buffer, &cursor, &denied_charges) ||
+      !bytes::GetUint32(buffer, &cursor, &client_count)) {
+    return false;
+  }
+  if (policy.max_bits_per_value < 1 || policy.max_bits_per_client < 1 ||
+      std::isnan(policy.max_epsilon_per_client) ||
+      policy.max_epsilon_per_client <= 0.0 || total_bits < 0 ||
+      denied_charges < 0) {
+    return false;
+  }
+  std::unordered_map<int64_t, ClientLedger> ledgers;
+  ledgers.reserve(client_count);
+  int64_t ledger_bit_sum = 0;
+  for (uint32_t c = 0; c < client_count; ++c) {
+    int64_t client_id = 0;
+    ClientLedger ledger;
+    uint32_t value_count = 0;
+    if (!bytes::GetInt64(buffer, &cursor, &client_id) ||
+        !bytes::GetInt64(buffer, &cursor, &ledger.bits) ||
+        !bytes::GetDouble(buffer, &cursor, &ledger.epsilon) ||
+        !bytes::GetUint32(buffer, &cursor, &value_count)) {
+      return false;
+    }
+    if (ledger.bits < 0 || !std::isfinite(ledger.epsilon) ||
+        ledger.epsilon < 0.0) {
+      return false;
+    }
+    int64_t value_bit_sum = 0;
+    ledger.bits_per_value.reserve(value_count);
+    for (uint32_t v = 0; v < value_count; ++v) {
+      int64_t value_id = 0;
+      int64_t bits = 0;
+      if (!bytes::GetInt64(buffer, &cursor, &value_id) ||
+          !bytes::GetInt64(buffer, &cursor, &bits)) {
+        return false;
+      }
+      if (bits < 0 || !ledger.bits_per_value.emplace(value_id, bits).second) {
+        return false;  // negative count or duplicate value entry
+      }
+      value_bit_sum += bits;
+    }
+    // Consistency: per-value bits must account for the client total.
+    if (value_bit_sum != ledger.bits) return false;
+    ledger_bit_sum += ledger.bits;
+    if (!ledgers.emplace(client_id, std::move(ledger)).second) {
+      return false;  // duplicate client entry
+    }
+  }
+  if (ledger_bit_sum != total_bits) return false;
+
+  out->policy_ = policy;
+  out->ledgers_ = std::move(ledgers);
+  out->total_bits_ = total_bits;
+  out->denied_charges_ = denied_charges;
+  *offset = cursor;
+  return true;
 }
 
 }  // namespace bitpush

@@ -6,12 +6,20 @@
 //
 // Protocol code must obtain permission from the meter before a private bit
 // leaves a client; a denied charge means the client skips the round.
+//
+// Durability: the ledger is exactly the state a coordinator must not lose
+// across a crash — a recovering server that forgot a charge could let a
+// second bit of the same value leave a client. The meter therefore supports
+// (a) a Journal hook through which every charge attempt is write-ahead
+// logged (and replayed exactly-once on recovery), and (b) canonical
+// EncodeTo/DecodeFrom serialization for snapshots (src/persist/).
 
 #ifndef BITPUSH_CORE_PRIVACY_METER_H_
 #define BITPUSH_CORE_PRIVACY_METER_H_
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -26,16 +34,46 @@ struct MeterPolicy {
   // Cap on accumulated randomized-response epsilon per client (basic
   // composition across that client's reports).
   double max_epsilon_per_client = std::numeric_limits<double>::infinity();
+
+  friend bool operator==(const MeterPolicy&, const MeterPolicy&) = default;
 };
 
 class PrivacyMeter {
  public:
+  // Write-ahead journal hook. A durable coordinator installs one so every
+  // charge decision is persisted before it takes effect, and so a recovery
+  // replay can serve the recorded outcomes back without double-charging.
+  class Journal {
+   public:
+    virtual ~Journal() = default;
+
+    // Consulted before a charge is evaluated. Returning an outcome means
+    // this attempt was already journaled (and already applied to the
+    // restored ledger): the meter returns it verbatim and mutates nothing.
+    // Returning nullopt lets the charge proceed normally.
+    virtual std::optional<bool> OnChargeAttempt(int64_t client_id,
+                                                int64_t value_id,
+                                                double epsilon) = 0;
+
+    // Called with the decision of a live (non-replayed) charge attempt,
+    // before the ledger mutation is applied — the write-ahead discipline:
+    // a crash after this call but before the in-memory update is recovered
+    // by replaying the record.
+    virtual void OnCharge(int64_t client_id, int64_t value_id, double epsilon,
+                          bool granted) = 0;
+  };
+
   explicit PrivacyMeter(MeterPolicy policy);
+
+  // Installs (or clears, with nullptr) the write-ahead journal hook.
+  void set_journal(Journal* journal) { journal_ = journal; }
 
   // Attempts to charge one disclosed bit about `value_id` from `client_id`
   // at randomized-response cost `epsilon` (0 for a noiseless bit). Returns
   // true and records the charge if all caps allow it; returns false and
-  // records nothing otherwise.
+  // records nothing otherwise. A negative or non-finite epsilon is invalid
+  // and is always denied (it would corrupt the per-client composition
+  // total).
   bool TryChargeBit(int64_t client_id, int64_t value_id, double epsilon);
 
   // Total bits disclosed across all clients.
@@ -46,10 +84,20 @@ class PrivacyMeter {
   double ClientEpsilon(int64_t client_id) const;
   // Bits disclosed about one specific (client, value) pair.
   int64_t ValueBits(int64_t client_id, int64_t value_id) const;
-  // Number of charges rejected by a cap.
+  // Number of charges rejected by a cap (or by an invalid epsilon).
   int64_t denied_charges() const { return denied_charges_; }
 
   const MeterPolicy& policy() const { return policy_; }
+
+  // Canonical serialization of policy + full ledger (clients and values in
+  // sorted order, so equal meters encode to equal bytes). DecodeFrom
+  // overwrites `*out` entirely; it returns false on truncated input or on
+  // any internally inconsistent ledger (negative counts, per-value bits
+  // that do not sum to the client total, non-finite epsilon, ...) without
+  // touching `*out`.
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static bool DecodeFrom(const std::vector<uint8_t>& buffer, size_t* offset,
+                         PrivacyMeter* out);
 
  private:
   struct ClientLedger {
@@ -62,6 +110,7 @@ class PrivacyMeter {
   std::unordered_map<int64_t, ClientLedger> ledgers_;
   int64_t total_bits_ = 0;
   int64_t denied_charges_ = 0;
+  Journal* journal_ = nullptr;
 };
 
 }  // namespace bitpush

@@ -1,10 +1,48 @@
 #include "federated/campaign.h"
 
+#include <cmath>
 #include <set>
 
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
+
+void EncodeCampaignTickResult(const CampaignTickResult& result,
+                              std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  bytes::PutInt64(result.tick, out);
+  bytes::PutString(result.query_name, out);
+  bytes::PutByte(static_cast<uint8_t>(result.status), out);
+  bytes::PutDouble(result.estimate, out);
+  bytes::PutInt64(result.reports, out);
+}
+
+bool DecodeCampaignTickResult(const std::vector<uint8_t>& buffer,
+                              size_t* offset, CampaignTickResult* out) {
+  BITPUSH_CHECK(offset != nullptr);
+  BITPUSH_CHECK(out != nullptr);
+  size_t cursor = *offset;
+  CampaignTickResult result;
+  uint8_t status = 0;
+  if (!bytes::GetInt64(buffer, &cursor, &result.tick) ||
+      !bytes::GetString(buffer, &cursor, &result.query_name) ||
+      !bytes::GetByte(buffer, &cursor, &status) ||
+      !bytes::GetDouble(buffer, &cursor, &result.estimate) ||
+      !bytes::GetInt64(buffer, &cursor, &result.reports)) {
+    return false;
+  }
+  if (result.tick < 0 || result.reports < 0 ||
+      status > static_cast<uint8_t>(
+                   CampaignTickResult::Status::kSkippedBudget) ||
+      std::isnan(result.estimate)) {
+    return false;
+  }
+  result.status = static_cast<CampaignTickResult::Status>(status);
+  *out = std::move(result);
+  *offset = cursor;
+  return true;
+}
 
 MeasurementCampaign::MeasurementCampaign(std::vector<CampaignQuery> queries,
                                          PrivacyMeter* meter)
@@ -36,26 +74,44 @@ std::vector<CampaignTickResult> MeasurementCampaign::RunTick(
     }
     BITPUSH_CHECK(populations[q] != nullptr);
 
+    // Every scheduled query gets its own forked stream, drawn whether the
+    // query runs live or is restored from the journal — so after a
+    // crash-recovery skip, the queries that follow still see the streams
+    // an uninterrupted run would have given them.
+    Rng query_rng = rng.Fork();
+
     CampaignTickResult result;
     result.tick = tick;
     result.query_name = scheduled.name;
 
-    FederatedQueryConfig config = scheduled.query;
-    config.value_id = scheduled.value_id;
-    const FederatedQueryResult outcome = RunFederatedMeanQuery(
-        *populations[q], codecs[q], config, meter_, rng);
-    result.reports = outcome.round1.responded + outcome.round2.responded;
-    if (outcome.aborted) {
-      result.status = CampaignTickResult::Status::kSkippedCohort;
-      ++skips_;
-    } else if (result.reports == 0) {
-      // Every client declined: the shared budget is spent for this value.
-      result.status = CampaignTickResult::Status::kSkippedBudget;
-      ++skips_;
-    } else {
-      result.status = CampaignTickResult::Status::kRan;
-      result.estimate = outcome.estimate;
+    if (recorder_ == nullptr ||
+        !recorder_->RestoreQueryResult(tick, q, &result)) {
+      if (recorder_ != nullptr) {
+        recorder_->OnQueryStarted(tick, q, scheduled.value_id);
+      }
+      FederatedQueryConfig config = scheduled.query;
+      config.value_id = scheduled.value_id;
+      config.recorder = recorder_;
+      const FederatedQueryResult outcome = RunFederatedMeanQuery(
+          *populations[q], codecs[q], config, meter_, query_rng);
+      result.reports = outcome.round1.responded + outcome.round2.responded;
+      if (outcome.aborted) {
+        result.status = CampaignTickResult::Status::kSkippedCohort;
+      } else if (result.reports == 0) {
+        // Every client declined: the shared budget is spent for this value.
+        result.status = CampaignTickResult::Status::kSkippedBudget;
+      } else {
+        result.status = CampaignTickResult::Status::kRan;
+        result.estimate = outcome.estimate;
+      }
+      if (recorder_ != nullptr) {
+        recorder_->OnQueryFinished(tick, q, result, outcome);
+      }
+    }
+    if (result.status == CampaignTickResult::Status::kRan) {
       ++runs_;
+    } else {
+      ++skips_;
     }
     history_.push_back(result);
     results.push_back(result);

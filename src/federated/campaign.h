@@ -11,11 +11,13 @@
 #ifndef BITPUSH_FEDERATED_CAMPAIGN_H_
 #define BITPUSH_FEDERATED_CAMPAIGN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/privacy_meter.h"
+#include "federated/persist_hooks.h"
 #include "federated/round.h"
 #include "rng/rng.h"
 
@@ -42,6 +44,40 @@ struct CampaignTickResult {
       Status::kRan;
   double estimate = 0.0;
   int64_t reports = 0;
+
+  friend bool operator==(const CampaignTickResult&,
+                         const CampaignTickResult&) = default;
+};
+
+// Serialization for the journal's query-finished records (src/persist/).
+// Decoding validates the status byte and counters and returns false
+// without touching `*out` on any violation.
+void EncodeCampaignTickResult(const CampaignTickResult& result,
+                              std::vector<uint8_t>* out);
+bool DecodeCampaignTickResult(const std::vector<uint8_t>& buffer,
+                              size_t* offset, CampaignTickResult* out);
+
+// Campaign-level durability hook: extends the per-round QueryRecorder with
+// the query-scheduling granularity the coordinator journals at. A restored
+// query (its kQueryFinished record survived the crash) is served straight
+// from the journal — its protocol rounds never re-run, no client is
+// re-contacted, and the meter is never re-charged.
+class CampaignRecorder : public QueryRecorder {
+ public:
+  // Consulted before a scheduled query executes. Returning true fills
+  // `*out` with the journaled tick result and skips execution entirely.
+  virtual bool RestoreQueryResult(int64_t tick, size_t query_index,
+                                  CampaignTickResult* out) = 0;
+
+  // A query is about to execute live (it was not restored).
+  virtual void OnQueryStarted(int64_t /*tick*/, size_t /*query_index*/,
+                              int64_t /*value_id*/) {}
+
+  // A live query finished; `outcome` carries the full protocol-level result
+  // behind the summarized tick result.
+  virtual void OnQueryFinished(int64_t /*tick*/, size_t /*query_index*/,
+                               const CampaignTickResult& /*result*/,
+                               const FederatedQueryResult& /*outcome*/) {}
 };
 
 class MeasurementCampaign {
@@ -49,6 +85,12 @@ class MeasurementCampaign {
   // `meter` may be null (no caps). Queries must have distinct names.
   MeasurementCampaign(std::vector<CampaignQuery> queries,
                       PrivacyMeter* meter);
+
+  // Installs (or clears) the durability hook. Must be set before the tick
+  // it should observe; the pointer is not owned.
+  void set_recorder(CampaignRecorder* recorder) { recorder_ = recorder; }
+
+  const std::vector<CampaignQuery>& queries() const { return queries_; }
 
   // Runs every query scheduled for `tick` against its client population
   // (`populations` is indexed parallel to the query list). Appends to and
@@ -67,6 +109,7 @@ class MeasurementCampaign {
  private:
   std::vector<CampaignQuery> queries_;
   PrivacyMeter* meter_;
+  CampaignRecorder* recorder_ = nullptr;
   std::vector<CampaignTickResult> history_;
   int64_t runs_ = 0;
   int64_t skips_ = 0;

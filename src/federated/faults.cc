@@ -1,6 +1,7 @@
 #include "federated/faults.h"
 
 #include "federated/wire.h"
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
@@ -123,6 +124,52 @@ void FaultStats::MergeFrom(const FaultStats& other) {
   backfill_reports += other.backfill_reports;
   backfill_rounds_used += other.backfill_rounds_used;
   static_policy_fallbacks += other.static_policy_fallbacks;
+}
+
+namespace {
+
+// The 15 counters in their fixed serialization order; Encode and Decode
+// share the list so the order cannot drift between them.
+constexpr int64_t FaultStats::* kFaultStatsFields[] = {
+    &FaultStats::injected_dropouts,
+    &FaultStats::injected_stragglers,
+    &FaultStats::injected_corruptions,
+    &FaultStats::injected_truncations,
+    &FaultStats::injected_crashes,
+    &FaultStats::late_reports_rejected,
+    &FaultStats::late_reports_accepted,
+    &FaultStats::corrupt_reports_rejected,
+    &FaultStats::corrupt_reports_accepted,
+    &FaultStats::truncated_reports_rejected,
+    &FaultStats::recheckins_rejected,
+    &FaultStats::backfill_requests,
+    &FaultStats::backfill_reports,
+    &FaultStats::backfill_rounds_used,
+    &FaultStats::static_policy_fallbacks,
+};
+
+}  // namespace
+
+void EncodeFaultStats(const FaultStats& stats, std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  for (const auto field : kFaultStatsFields) {
+    bytes::PutInt64(stats.*field, out);
+  }
+}
+
+bool DecodeFaultStats(const std::vector<uint8_t>& buffer, size_t* offset,
+                      FaultStats* out) {
+  BITPUSH_CHECK(offset != nullptr);
+  BITPUSH_CHECK(out != nullptr);
+  size_t cursor = *offset;
+  FaultStats stats;
+  for (const auto field : kFaultStatsFields) {
+    if (!bytes::GetInt64(buffer, &cursor, &(stats.*field))) return false;
+    if (stats.*field < 0) return false;
+  }
+  *out = stats;
+  *offset = cursor;
+  return true;
 }
 
 std::optional<BitReport> DeliverFaultedReport(const FaultPlan& plan,

@@ -144,6 +144,13 @@ struct FaultStats {
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
 
+// Serialization of the full counter block, in declaration order, for the
+// durable-state layer (src/persist/). Decoding rejects negative counters
+// and returns false without touching `*out`.
+void EncodeFaultStats(const FaultStats& stats, std::vector<uint8_t>* out);
+bool DecodeFaultStats(const std::vector<uint8_t>& buffer, size_t* offset,
+                      FaultStats* out);
+
 // Simulates the wire leg for a faulted report: encodes it, applies the
 // corruption or truncation the plan dictates, and runs the server's
 // bounds-checked decode. Returns the report the decoder accepted (possibly

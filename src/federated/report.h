@@ -6,7 +6,9 @@
 #ifndef BITPUSH_FEDERATED_REPORT_H_
 #define BITPUSH_FEDERATED_REPORT_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace bitpush {
 
@@ -38,7 +40,17 @@ struct CommunicationStats {
   int64_t payload_bytes = 0;
 
   void MergeFrom(const CommunicationStats& other);
+
+  friend bool operator==(const CommunicationStats&,
+                         const CommunicationStats&) = default;
 };
+
+// Serialization for the durable-state layer (src/persist/). Decoding
+// rejects negative counters and returns false without touching `*out`.
+void EncodeCommunicationStats(const CommunicationStats& stats,
+                              std::vector<uint8_t>* out);
+bool DecodeCommunicationStats(const std::vector<uint8_t>& buffer,
+                              size_t* offset, CommunicationStats* out);
 
 // Wire-size model: a report carries a header (client id + round id), the
 // bit index, and the bit itself; a request carries header + index +

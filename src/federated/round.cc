@@ -7,6 +7,7 @@
 #include "core/bit_probabilities.h"
 #include "core/bit_pushing.h"
 #include "core/bit_squashing.h"
+#include "federated/persist_hooks.h"
 #include "util/check.h"
 
 namespace bitpush {
@@ -19,11 +20,20 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   BITPUSH_CHECK_GT(config.adaptive.delta, 0.0);
   BITPUSH_CHECK_LT(config.adaptive.delta, 1.0);
 
+  // Each stage draws from its own forked stream, derived unconditionally in
+  // a fixed order. This makes the query crash-resumable: when recovery
+  // restores a completed round instead of re-running it (skipping that
+  // round's draws), the later stages still see exactly the streams an
+  // uninterrupted run would have used.
+  Rng cohort_rng = rng.Fork();
+  Rng round1_rng = rng.Fork();
+  Rng round2_rng = rng.Fork();
+
   FederatedQueryResult result;
   bool below_minimum = false;
   std::vector<int64_t> leftover;
   const std::vector<int64_t> cohort = SelectCohort(
-      clients, nullptr, config.cohort, rng, &below_minimum, &leftover);
+      clients, nullptr, config.cohort, cohort_rng, &below_minimum, &leftover);
   if (below_minimum || cohort.size() < 2) {
     result.aborted = true;
     return result;
@@ -62,7 +72,15 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   round1_config.fault_plan = config.fault_plan;
   round1_config.fault_policy = config.fault_policy;
   round1_config.backfill_pool = std::move(pool1);
-  result.round1 = server.RunRound(clients, cohort1, round1_config, meter, rng);
+  round1_config.recorder = config.recorder;
+  if (config.recorder == nullptr ||
+      !config.recorder->RestoreRound(1, &result.round1)) {
+    result.round1 =
+        server.RunRound(clients, cohort1, round1_config, meter, round1_rng);
+    if (config.recorder != nullptr) {
+      config.recorder->OnRoundClosed(1, result.round1);
+    }
+  }
   result.comm.MergeFrom(result.round1.comm);
   result.faults.MergeFrom(result.round1.faults);
 
@@ -117,8 +135,14 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   round2_config.round_id = 2;
   round2_config.backfill_pool = std::move(pool2);
   round2_config.already_assigned = &assigned_round1;
-  result.round2 =
-      server.RunRound(clients, cohort2_full, round2_config, meter, rng);
+  if (config.recorder == nullptr ||
+      !config.recorder->RestoreRound(2, &result.round2)) {
+    result.round2 = server.RunRound(clients, cohort2_full, round2_config,
+                                    meter, round2_rng);
+    if (config.recorder != nullptr) {
+      config.recorder->OnRoundClosed(2, result.round2);
+    }
+  }
   result.comm.MergeFrom(result.round2.comm);
   result.faults.MergeFrom(result.round2.faults);
 

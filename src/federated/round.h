@@ -39,6 +39,10 @@ struct FederatedQueryConfig {
   // weighted policy.
   const FaultPlan* fault_plan = nullptr;
   FaultPolicy fault_policy;
+  // Durability hook (nullptr runs without journaling). A recorder can
+  // restore an already-journaled round instead of re-running it; see
+  // federated/persist_hooks.h for the recovery model.
+  QueryRecorder* recorder = nullptr;
 };
 
 struct FederatedQueryResult {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "federated/persist_hooks.h"
 #include "federated/secure_agg.h"
 #include "rng/qmc.h"
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
@@ -60,6 +62,14 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
       for (const int bit : assignment) {
         ++outcome.intended_counts[static_cast<size_t>(bit)];
       }
+    }
+    if (config.recorder != nullptr) {
+      std::vector<int64_t> assigned_ids;
+      assigned_ids.reserve(batch.size());
+      for (const int64_t idx : batch) {
+        assigned_ids.push_back(clients[static_cast<size_t>(idx)].id());
+      }
+      config.recorder->OnCohortAssigned(config.round_id, assigned_ids);
     }
     for (int64_t i = 0; i < k; ++i) {
       const Client& client = clients[static_cast<size_t>(batch[i])];
@@ -117,6 +127,9 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
       ++outcome.comm.private_bits;
       outcome.comm.payload_bytes += ReportPayloadBytes();
       if (backfill) ++outcome.faults.backfill_reports;
+      if (config.recorder != nullptr) {
+        config.recorder->OnReportAccepted(config.round_id, *report);
+      }
       reports.push_back(*report);
     }
   };
@@ -182,6 +195,52 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
     }
   }
   return outcome;
+}
+
+void EncodeRoundOutcome(const RoundOutcome& outcome,
+                        std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  EncodeBitHistogram(outcome.histogram, out);
+  bytes::PutInt64(outcome.contacted, out);
+  bytes::PutInt64(outcome.responded, out);
+  bytes::PutInt64(outcome.malformed_reports, out);
+  bytes::PutDouble(outcome.dropout_rate, out);
+  EncodeCommunicationStats(outcome.comm, out);
+  bytes::PutInt64Vector(outcome.intended_counts, out);
+  EncodeFaultStats(outcome.faults, out);
+  bytes::PutInt64Vector(outcome.assigned_clients, out);
+  bytes::PutInt64Vector(outcome.crashed_clients, out);
+}
+
+bool DecodeRoundOutcome(const std::vector<uint8_t>& buffer, size_t* offset,
+                        RoundOutcome* out) {
+  BITPUSH_CHECK(offset != nullptr);
+  BITPUSH_CHECK(out != nullptr);
+  size_t cursor = *offset;
+  RoundOutcome outcome;
+  if (!DecodeBitHistogram(buffer, &cursor, &outcome.histogram) ||
+      !bytes::GetInt64(buffer, &cursor, &outcome.contacted) ||
+      !bytes::GetInt64(buffer, &cursor, &outcome.responded) ||
+      !bytes::GetInt64(buffer, &cursor, &outcome.malformed_reports) ||
+      !bytes::GetDouble(buffer, &cursor, &outcome.dropout_rate) ||
+      !DecodeCommunicationStats(buffer, &cursor, &outcome.comm) ||
+      !bytes::GetInt64Vector(buffer, &cursor, &outcome.intended_counts) ||
+      !DecodeFaultStats(buffer, &cursor, &outcome.faults) ||
+      !bytes::GetInt64Vector(buffer, &cursor, &outcome.assigned_clients) ||
+      !bytes::GetInt64Vector(buffer, &cursor, &outcome.crashed_clients)) {
+    return false;
+  }
+  if (outcome.contacted < 0 || outcome.responded < 0 ||
+      outcome.malformed_reports < 0 || !std::isfinite(outcome.dropout_rate) ||
+      outcome.dropout_rate < 0.0 || outcome.dropout_rate > 1.0) {
+    return false;
+  }
+  for (const int64_t count : outcome.intended_counts) {
+    if (count < 0) return false;
+  }
+  *out = std::move(outcome);
+  *offset = cursor;
+  return true;
 }
 
 double AggregationServer::EstimateMean(const BitHistogram& histogram,

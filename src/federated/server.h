@@ -19,6 +19,8 @@
 
 namespace bitpush {
 
+class QueryRecorder;  // federated/persist_hooks.h
+
 struct RoundConfig {
   // Per-bit sampling probabilities (length = codec bits, sums to 1).
   std::vector<double> probabilities;
@@ -46,6 +48,9 @@ struct RoundConfig {
   // check-ins are rejected and counted (the crash-recheckin dedup policy:
   // at most one assignment per client per query).
   const std::unordered_set<int64_t>* already_assigned = nullptr;
+  // Durability hook (nullptr disables journaling): receives assignment and
+  // accepted-report events as they happen; see federated/persist_hooks.h.
+  QueryRecorder* recorder = nullptr;
 };
 
 struct RoundOutcome {
@@ -70,6 +75,14 @@ struct RoundOutcome {
   // clients that will attempt to re-check-in next round.
   std::vector<int64_t> crashed_clients;
 };
+
+// Serialization of a completed round's full outcome, used by the journal's
+// round-closed records (src/persist/). Decoding validates every field
+// (counts non-negative, rates finite, histogram internally consistent) and
+// returns false without touching `*out` on any violation.
+void EncodeRoundOutcome(const RoundOutcome& outcome, std::vector<uint8_t>* out);
+bool DecodeRoundOutcome(const std::vector<uint8_t>& buffer, size_t* offset,
+                        RoundOutcome* out);
 
 class AggregationServer {
  public:

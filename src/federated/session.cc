@@ -1,7 +1,9 @@
 #include "federated/session.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
@@ -33,10 +35,12 @@ bool CollectionSession::IssueAssignment(int64_t client_id,
   if (state_ != SessionState::kCollecting) return false;
 
   int bit_index;
+  bool fresh = false;
   const auto existing = assigned_bits_.find(client_id);
   if (existing != assigned_bits_.end()) {
     bit_index = existing->second;
   } else {
+    fresh = true;
     // Largest-deficit streaming allocation: pick the bit whose realized
     // count lags its target share of (total_issued + 1) the most.
     const double next_total =
@@ -61,6 +65,9 @@ bool CollectionSession::IssueAssignment(int64_t client_id,
   request->value_id = config_.value_id;
   request->bit_index = bit_index;
   request->rr_epsilon = config_.epsilon;
+  if (fresh && journal_ != nullptr) {
+    journal_->OnAssignmentIssued(client_id, *request);
+  }
   return true;
 }
 
@@ -99,16 +106,160 @@ ReportRejection CollectionSession::SubmitReport(const BitReport& report,
   reported_.insert(report.client_id);
   histogram_.Add(report.bit_index, report.bit);
   ++accepted_;
+  if (journal_ != nullptr) journal_->OnReportAccepted(report);
   if (config_.target_reports > 0 && accepted_ >= config_.target_reports) {
     Close();
   }
   return ReportRejection::kAccepted;
 }
 
-void CollectionSession::Close() { state_ = SessionState::kClosed; }
+void CollectionSession::Close() {
+  if (state_ == SessionState::kClosed) return;
+  state_ = SessionState::kClosed;
+  if (journal_ != nullptr) journal_->OnClosed();
+}
 
 double CollectionSession::Estimate() const {
   return codec_.Decode(RecombineBitMeans(histogram_.UnbiasedMeans(rr_)));
+}
+
+void CollectionSession::EncodeTo(std::vector<uint8_t>* out) const {
+  BITPUSH_CHECK(out != nullptr);
+  bytes::PutInt64(codec_.bits(), out);
+  bytes::PutDouble(codec_.low(), out);
+  bytes::PutDouble(codec_.high(), out);
+  bytes::PutDoubleVector(config_.probabilities, out);
+  bytes::PutDouble(config_.epsilon, out);
+  bytes::PutInt64(config_.target_reports, out);
+  bytes::PutInt64(config_.round_id, out);
+  bytes::PutInt64(config_.value_id, out);
+  bytes::PutDouble(config_.report_deadline, out);
+  bytes::PutByte(static_cast<uint8_t>(state_), out);
+
+  std::vector<int64_t> assigned_ids;
+  assigned_ids.reserve(assigned_bits_.size());
+  for (const auto& [client_id, bit] : assigned_bits_) {
+    assigned_ids.push_back(client_id);
+  }
+  std::sort(assigned_ids.begin(), assigned_ids.end());
+  bytes::PutUint32(static_cast<uint32_t>(assigned_ids.size()), out);
+  for (const int64_t client_id : assigned_ids) {
+    bytes::PutInt64(client_id, out);
+    bytes::PutInt64(assigned_bits_.at(client_id), out);
+  }
+
+  std::vector<int64_t> reported_ids(reported_.begin(), reported_.end());
+  std::sort(reported_ids.begin(), reported_ids.end());
+  bytes::PutInt64Vector(reported_ids, out);
+
+  bytes::PutInt64Vector(issued_, out);
+  EncodeBitHistogram(histogram_, out);
+  bytes::PutInt64(accepted_, out);
+  bytes::PutInt64(rejected_, out);
+  bytes::PutInt64(late_, out);
+}
+
+bool CollectionSession::Decode(const std::vector<uint8_t>& buffer,
+                               size_t* offset,
+                               std::optional<CollectionSession>* out) {
+  BITPUSH_CHECK(offset != nullptr);
+  BITPUSH_CHECK(out != nullptr);
+  size_t cursor = *offset;
+
+  int64_t bits = 0;
+  double low = 0.0;
+  double high = 0.0;
+  SessionConfig config;
+  uint8_t state = 0;
+  if (!bytes::GetInt64(buffer, &cursor, &bits) ||
+      !bytes::GetDouble(buffer, &cursor, &low) ||
+      !bytes::GetDouble(buffer, &cursor, &high) ||
+      !bytes::GetDoubleVector(buffer, &cursor, &config.probabilities) ||
+      !bytes::GetDouble(buffer, &cursor, &config.epsilon) ||
+      !bytes::GetInt64(buffer, &cursor, &config.target_reports) ||
+      !bytes::GetInt64(buffer, &cursor, &config.round_id) ||
+      !bytes::GetInt64(buffer, &cursor, &config.value_id) ||
+      !bytes::GetDouble(buffer, &cursor, &config.report_deadline) ||
+      !bytes::GetByte(buffer, &cursor, &state)) {
+    return false;
+  }
+  // Everything the constructor CHECKs must be validated here first, so a
+  // hostile or corrupted snapshot fails closed instead of aborting.
+  if (bits < 1 || bits > kMaxBits || !std::isfinite(low) ||
+      !std::isfinite(high) || low >= high ||
+      static_cast<int64_t>(config.probabilities.size()) != bits ||
+      !std::isfinite(config.epsilon) || config.target_reports < 0 ||
+      std::isnan(config.report_deadline) || config.report_deadline < 0.0 ||
+      state > static_cast<uint8_t>(SessionState::kClosed)) {
+    return false;
+  }
+  double probability_total = 0.0;
+  for (const double p : config.probabilities) {
+    if (!std::isfinite(p) || p < 0.0) return false;
+    probability_total += p;
+  }
+  if (std::abs(probability_total - 1.0) >= 1e-9) return false;
+
+  uint32_t assigned_count = 0;
+  if (!bytes::GetUint32(buffer, &cursor, &assigned_count)) return false;
+  std::unordered_map<int64_t, int> assigned_bits;
+  assigned_bits.reserve(assigned_count);
+  std::vector<int64_t> issued_from_assignments(static_cast<size_t>(bits), 0);
+  int64_t previous_id = 0;
+  for (uint32_t i = 0; i < assigned_count; ++i) {
+    int64_t client_id = 0;
+    int64_t bit = 0;
+    if (!bytes::GetInt64(buffer, &cursor, &client_id) ||
+        !bytes::GetInt64(buffer, &cursor, &bit)) {
+      return false;
+    }
+    if (bit < 0 || bit >= bits) return false;
+    if (i > 0 && client_id <= previous_id) return false;  // canonical order
+    previous_id = client_id;
+    assigned_bits.emplace(client_id, static_cast<int>(bit));
+    ++issued_from_assignments[static_cast<size_t>(bit)];
+  }
+
+  std::vector<int64_t> reported_ids;
+  std::vector<int64_t> issued;
+  BitHistogram histogram;
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  int64_t late = 0;
+  if (!bytes::GetInt64Vector(buffer, &cursor, &reported_ids) ||
+      !bytes::GetInt64Vector(buffer, &cursor, &issued) ||
+      !DecodeBitHistogram(buffer, &cursor, &histogram) ||
+      !bytes::GetInt64(buffer, &cursor, &accepted) ||
+      !bytes::GetInt64(buffer, &cursor, &rejected) ||
+      !bytes::GetInt64(buffer, &cursor, &late)) {
+    return false;
+  }
+  // Cross-field consistency: every reporter holds an assignment, the
+  // per-bit issue counts match the assignment map, and the tallies match
+  // the acceptance counters.
+  for (size_t i = 0; i < reported_ids.size(); ++i) {
+    if (i > 0 && reported_ids[i] <= reported_ids[i - 1]) return false;
+    if (!assigned_bits.contains(reported_ids[i])) return false;
+  }
+  if (issued != issued_from_assignments) return false;
+  if (histogram.bits() != bits) return false;
+  if (histogram.TotalReports() != accepted) return false;
+  if (accepted != static_cast<int64_t>(reported_ids.size())) return false;
+  if (rejected < 0 || late < 0 || late > rejected) return false;
+
+  out->emplace(FixedPointCodec(static_cast<int>(bits), low, high), config);
+  CollectionSession& session = **out;
+  session.state_ = static_cast<SessionState>(state);
+  session.assigned_bits_ = std::move(assigned_bits);
+  session.reported_ =
+      std::unordered_set<int64_t>(reported_ids.begin(), reported_ids.end());
+  session.issued_ = std::move(issued);
+  session.histogram_ = std::move(histogram);
+  session.accepted_ = accepted;
+  session.rejected_ = rejected;
+  session.late_ = late;
+  *offset = cursor;
+  return true;
 }
 
 }  // namespace bitpush

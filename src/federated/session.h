@@ -10,8 +10,10 @@
 #ifndef BITPUSH_FEDERATED_SESSION_H_
 #define BITPUSH_FEDERATED_SESSION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -56,8 +58,26 @@ struct SessionConfig {
 
 class CollectionSession {
  public:
+  // Durability hook: a durable coordinator installs one so every state
+  // transition (assignment issued, report accepted, session closed) is
+  // journaled as it happens; EncodeTo/Decode below serialize the full
+  // session for snapshots.
+  class Journal {
+   public:
+    virtual ~Journal() = default;
+    // A *new* assignment was issued (repeat check-ins that return the
+    // cached assignment are not re-journaled).
+    virtual void OnAssignmentIssued(int64_t client_id,
+                                    const BitRequest& request) = 0;
+    virtual void OnReportAccepted(const BitReport& report) = 0;
+    virtual void OnClosed() = 0;
+  };
+
   CollectionSession(const FixedPointCodec& codec,
                     const SessionConfig& config);
+
+  // Installs (or clears, with nullptr) the durability hook.
+  void set_journal(Journal* journal) { journal_ = journal; }
 
   SessionState state() const { return state_; }
 
@@ -93,6 +113,16 @@ class CollectionSession {
   // Current mean estimate in the value domain.
   double Estimate() const;
 
+  // Canonical serialization of the full session (codec, config, state,
+  // assignments and tallies, with ids in sorted order so equal sessions
+  // encode to equal bytes), for the snapshot layer (src/persist/). Decode
+  // validates everything a construction CHECK would reject — plus internal
+  // consistency (counts vs maps) — and returns false without touching
+  // `*out`; the journal hook is not persisted and must be re-installed.
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static bool Decode(const std::vector<uint8_t>& buffer, size_t* offset,
+                     std::optional<CollectionSession>* out);
+
  private:
   FixedPointCodec codec_;
   SessionConfig config_;
@@ -107,6 +137,7 @@ class CollectionSession {
   int64_t accepted_ = 0;
   int64_t rejected_ = 0;
   int64_t late_ = 0;
+  Journal* journal_ = nullptr;
 };
 
 }  // namespace bitpush

@@ -2,64 +2,11 @@
 
 #include <bit>
 #include <cmath>
-#include <cstring>
 
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
-namespace {
-
-void PutUint64(uint64_t value, std::vector<uint8_t>* out) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out->push_back(static_cast<uint8_t>(value >> shift));
-  }
-}
-
-void PutUint32(uint32_t value, std::vector<uint8_t>* out) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out->push_back(static_cast<uint8_t>(value >> shift));
-  }
-}
-
-void PutDouble(double value, std::vector<uint8_t>* out) {
-  PutUint64(std::bit_cast<uint64_t>(value), out);
-}
-
-bool GetUint64(const std::vector<uint8_t>& buffer, size_t* offset,
-               uint64_t* out) {
-  if (buffer.size() - *offset < 8) return false;
-  uint64_t value = 0;
-  for (int i = 0; i < 8; ++i) {
-    value |= static_cast<uint64_t>(buffer[*offset + static_cast<size_t>(i)])
-             << (8 * i);
-  }
-  *offset += 8;
-  *out = value;
-  return true;
-}
-
-bool GetUint32(const std::vector<uint8_t>& buffer, size_t* offset,
-               uint32_t* out) {
-  if (buffer.size() - *offset < 4) return false;
-  uint32_t value = 0;
-  for (int i = 0; i < 4; ++i) {
-    value |= static_cast<uint32_t>(buffer[*offset + static_cast<size_t>(i)])
-             << (8 * i);
-  }
-  *offset += 4;
-  *out = value;
-  return true;
-}
-
-bool GetByte(const std::vector<uint8_t>& buffer, size_t* offset,
-             uint8_t* out) {
-  if (buffer.size() - *offset < 1) return false;
-  *out = buffer[*offset];
-  *offset += 1;
-  return true;
-}
-
-}  // namespace
 
 void EncodeBitRequest(const BitRequest& request, std::vector<uint8_t>* out) {
   BITPUSH_CHECK(out != nullptr);
@@ -67,10 +14,10 @@ void EncodeBitRequest(const BitRequest& request, std::vector<uint8_t>* out) {
   BITPUSH_CHECK_LT(request.bit_index, 256);
   BITPUSH_CHECK(std::isfinite(request.rr_epsilon))
       << "rr_epsilon must be finite on the wire";
-  PutUint64(static_cast<uint64_t>(request.round_id), out);
-  PutUint64(static_cast<uint64_t>(request.value_id), out);
+  bytes::PutUint64(static_cast<uint64_t>(request.round_id), out);
+  bytes::PutUint64(static_cast<uint64_t>(request.value_id), out);
   out->push_back(static_cast<uint8_t>(request.bit_index));
-  PutDouble(request.rr_epsilon, out);
+  bytes::PutDouble(request.rr_epsilon, out);
 }
 
 bool DecodeBitRequest(const std::vector<uint8_t>& buffer, size_t* offset,
@@ -85,14 +32,13 @@ bool DecodeBitRequest(const std::vector<uint8_t>& buffer, size_t* offset,
   uint64_t round_id = 0;
   uint64_t value_id = 0;
   uint8_t bit_index = 0;
-  uint64_t epsilon_bits = 0;
-  if (!GetUint64(buffer, &cursor, &round_id) ||
-      !GetUint64(buffer, &cursor, &value_id) ||
-      !GetByte(buffer, &cursor, &bit_index) ||
-      !GetUint64(buffer, &cursor, &epsilon_bits)) {
+  double rr_epsilon = 0.0;
+  if (!bytes::GetUint64(buffer, &cursor, &round_id) ||
+      !bytes::GetUint64(buffer, &cursor, &value_id) ||
+      !bytes::GetByte(buffer, &cursor, &bit_index) ||
+      !bytes::GetDouble(buffer, &cursor, &rr_epsilon)) {
     return false;
   }
-  const double rr_epsilon = std::bit_cast<double>(epsilon_bits);
   // Malformed: a NaN or infinite epsilon from the wire would poison the
   // randomized-response parameters downstream (found by the seeded wire
   // fuzzer; see tests/wire_fuzz_test.cc). Negative finite values are legal
@@ -111,7 +57,7 @@ void EncodeBitReport(const BitReport& report, std::vector<uint8_t>* out) {
   BITPUSH_CHECK(report.bit == 0 || report.bit == 1);
   BITPUSH_CHECK_GE(report.bit_index, 0);
   BITPUSH_CHECK_LT(report.bit_index, 256);
-  PutUint64(static_cast<uint64_t>(report.client_id), out);
+  bytes::PutUint64(static_cast<uint64_t>(report.client_id), out);
   out->push_back(static_cast<uint8_t>(report.bit_index));
   out->push_back(static_cast<uint8_t>(report.bit));
 }
@@ -128,9 +74,9 @@ bool DecodeBitReport(const std::vector<uint8_t>& buffer, size_t* offset,
   uint64_t client_id = 0;
   uint8_t bit_index = 0;
   uint8_t bit = 0;
-  if (!GetUint64(buffer, &cursor, &client_id) ||
-      !GetByte(buffer, &cursor, &bit_index) ||
-      !GetByte(buffer, &cursor, &bit)) {
+  if (!bytes::GetUint64(buffer, &cursor, &client_id) ||
+      !bytes::GetByte(buffer, &cursor, &bit_index) ||
+      !bytes::GetByte(buffer, &cursor, &bit)) {
     return false;
   }
   if (bit > 1) return false;  // malformed: the private payload is one bit
@@ -144,7 +90,8 @@ bool DecodeBitReport(const std::vector<uint8_t>& buffer, size_t* offset,
 void EncodeRequestBatch(const std::vector<BitRequest>& requests,
                         std::vector<uint8_t>* out) {
   BITPUSH_CHECK(out != nullptr);
-  PutUint32(static_cast<uint32_t>(requests.size()), out);
+  bytes::PutByte(kWireFormatVersion, out);
+  bytes::PutUint32(static_cast<uint32_t>(requests.size()), out);
   for (const BitRequest& request : requests) {
     EncodeBitRequest(request, out);
   }
@@ -154,10 +101,13 @@ bool DecodeRequestBatch(const std::vector<uint8_t>& buffer,
                         std::vector<BitRequest>* out) {
   BITPUSH_CHECK(out != nullptr);
   size_t offset = 0;
+  uint8_t version = 0;
   uint32_t count = 0;
-  if (!GetUint32(buffer, &offset, &count)) return false;
-  if (buffer.size() - offset <
-      static_cast<size_t>(count) * kBitRequestWireSize) {
+  if (!bytes::GetByte(buffer, &offset, &version)) return false;
+  if (version != kWireFormatVersion) return false;  // unknown format version
+  if (!bytes::GetUint32(buffer, &offset, &count)) return false;
+  if ((buffer.size() - offset) / kBitRequestWireSize <
+      static_cast<size_t>(count)) {
     return false;
   }
   std::vector<BitRequest> requests;
@@ -174,7 +124,8 @@ bool DecodeRequestBatch(const std::vector<uint8_t>& buffer,
 void EncodeReportBatch(const std::vector<BitReport>& reports,
                        std::vector<uint8_t>* out) {
   BITPUSH_CHECK(out != nullptr);
-  PutUint32(static_cast<uint32_t>(reports.size()), out);
+  bytes::PutByte(kWireFormatVersion, out);
+  bytes::PutUint32(static_cast<uint32_t>(reports.size()), out);
   for (const BitReport& report : reports) EncodeBitReport(report, out);
 }
 
@@ -182,10 +133,13 @@ bool DecodeReportBatch(const std::vector<uint8_t>& buffer,
                        std::vector<BitReport>* out) {
   BITPUSH_CHECK(out != nullptr);
   size_t offset = 0;
+  uint8_t version = 0;
   uint32_t count = 0;
-  if (!GetUint32(buffer, &offset, &count)) return false;
-  if (buffer.size() - offset <
-      static_cast<size_t>(count) * kBitReportWireSize) {
+  if (!bytes::GetByte(buffer, &offset, &version)) return false;
+  if (version != kWireFormatVersion) return false;  // unknown format version
+  if (!bytes::GetUint32(buffer, &offset, &count)) return false;
+  if ((buffer.size() - offset) / kBitReportWireSize <
+      static_cast<size_t>(count)) {
     return false;
   }
   std::vector<BitReport> reports;

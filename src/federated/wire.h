@@ -17,7 +17,13 @@
 
 namespace bitpush {
 
-// Serialized sizes (bytes).
+// Format version carried in every frame header — shared by the network
+// batch frames below and by the persisted journal/snapshot records of
+// src/persist/. Decoders reject any other value with a clean error rather
+// than misparsing a frame laid out by a future (or corrupted) writer.
+inline constexpr uint8_t kWireFormatVersion = 1;
+
+// Serialized sizes (bytes) of the unframed single messages.
 inline constexpr size_t kBitRequestWireSize = 8 + 8 + 1 + 8;
 inline constexpr size_t kBitReportWireSize = 8 + 1 + 1;
 
@@ -34,8 +40,9 @@ bool DecodeBitRequest(const std::vector<uint8_t>& buffer, size_t* offset,
 bool DecodeBitReport(const std::vector<uint8_t>& buffer, size_t* offset,
                      BitReport* out);
 
-// Batch framing: a 4-byte count followed by that many messages. Decoding
-// rejects counts that would overrun the buffer.
+// Batch framing: a 1-byte format version, a 4-byte count, then that many
+// messages. Decoding rejects unknown versions and counts that would overrun
+// the buffer.
 void EncodeReportBatch(const std::vector<BitReport>& reports,
                        std::vector<uint8_t>* out);
 bool DecodeReportBatch(const std::vector<uint8_t>& buffer,

@@ -1,0 +1,485 @@
+#include "persist/recovery.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/check.h"
+
+namespace bitpush {
+
+namespace {
+
+constexpr const char* kJournalFile = "journal.wal";
+constexpr const char* kSnapshotFile = "snapshot.bin";
+
+}  // namespace
+
+DurableCampaignRunner::DurableCampaignRunner(
+    std::vector<CampaignQuery> queries, const MeterPolicy& policy,
+    DurableCampaignOptions options)
+    : policy_(policy),
+      options_(std::move(options)),
+      meter_(policy),
+      campaign_(std::move(queries), &meter_),
+      rng_(options_.seed) {
+  BITPUSH_CHECK(!options_.state_dir.empty()) << "state_dir is required";
+}
+
+bool DurableCampaignRunner::Open(std::string* error) {
+  BITPUSH_CHECK(error != nullptr);
+  BITPUSH_CHECK(!open_) << "runner already open";
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.state_dir, ec);
+  if (ec) {
+    *error = "create state dir " + options_.state_dir + ": " + ec.message();
+    return false;
+  }
+  journal_path_ = options_.state_dir + "/" + kJournalFile;
+  snapshot_path_ = options_.state_dir + "/" + kSnapshotFile;
+
+  CoordinatorSnapshot snapshot;
+  bool found = false;
+  if (!LoadSnapshotFile(snapshot_path_, &snapshot, &found, error)) {
+    return false;
+  }
+  uint64_t expected_seq = 0;
+  if (found) {
+    info_.had_snapshot = true;
+    if (snapshot.base_seed != options_.seed) {
+      *error = "state directory was recorded under a different seed";
+      return false;
+    }
+    PrivacyMeter restored(policy_);
+    size_t offset = 0;
+    if (!PrivacyMeter::DecodeFrom(snapshot.meter_blob, &offset, &restored) ||
+        offset != snapshot.meter_blob.size()) {
+      *error = "snapshot meter ledger failed validation";
+      return false;
+    }
+    if (!(restored.policy() == policy_)) {
+      *error = "snapshot meter policy does not match this campaign";
+      return false;
+    }
+    meter_ = std::move(restored);
+    for (const FinishedQueryEntry& entry : snapshot.finished) {
+      if (entry.query_index >=
+          static_cast<int64_t>(campaign_.queries().size())) {
+        *error = "snapshot references an unknown query index";
+        return false;
+      }
+      finished_.emplace(std::make_pair(entry.tick, entry.query_index), entry);
+    }
+    for (const BitMeansEntry& entry : snapshot.bit_means) {
+      bit_means_cache_[entry.value_id] = entry.means;
+    }
+    for (const std::vector<uint8_t>& blob : snapshot.open_sessions) {
+      std::optional<CollectionSession> session;
+      size_t session_offset = 0;
+      if (!CollectionSession::Decode(blob, &session_offset, &session) ||
+          session_offset != blob.size()) {
+        *error = "snapshot session state failed validation";
+        return false;
+      }
+      sessions_.push_back(std::move(*session));
+    }
+    completed_ticks_ = snapshot.completed_ticks;
+    expected_seq = snapshot.journal_next_seq;
+  }
+
+  JournalReadResult journal;
+  if (!ReadJournal(journal_path_, expected_seq, &journal, error)) {
+    return false;
+  }
+  info_.torn_tail = journal.torn_tail;
+  info_.replayed_records = static_cast<int64_t>(journal.records.size());
+  info_.recovered = found || !journal.records.empty() || journal.torn_tail;
+  if (!ApplyJournal(journal.records, error)) return false;
+
+  // Rewrite the file to exactly the validated records: drops the torn tail
+  // and any stale pre-snapshot prefix so a later recovery never re-parses
+  // them.
+  if (!RewriteJournalFile(journal.records, error)) return false;
+  if (!journal_.Open(journal_path_, journal.next_seq, error)) return false;
+  journal_.set_fsync(options_.fsync);
+  journal_.set_crash_after_records(options_.crash_after_records);
+
+  meter_.set_journal(this);
+  campaign_.set_recorder(this);
+  cursor_ = 0;
+  live_ = prefix_.empty();
+  ticks_already_journaled_ = completed_ticks_;
+  info_.completed_ticks = completed_ticks_;
+  rng_ = Rng(options_.seed);
+  open_ = true;
+  return true;
+}
+
+bool DurableCampaignRunner::ApplyJournal(
+    const std::vector<JournalRecord>& records, std::string* error) {
+  // Trailing records of an unfinished query become the replay prefix.
+  size_t prefix_start = records.size();
+  bool in_query = false;
+  QueryStartedRecord current_query;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JournalRecord& record = records[i];
+    switch (record.type) {
+      case JournalRecordType::kQueryStarted: {
+        QueryStartedRecord started;
+        if (!DecodeQueryStartedRecord(record.payload, &started) || in_query) {
+          *error = "journal: malformed or misplaced query-started record";
+          return false;
+        }
+        if (started.tick != completed_ticks_ ||
+            started.query_index >=
+                static_cast<int64_t>(campaign_.queries().size()) ||
+            campaign_.queries()[static_cast<size_t>(started.query_index)]
+                    .value_id != started.value_id) {
+          *error = "journal: query-started record contradicts the campaign";
+          return false;
+        }
+        in_query = true;
+        current_query = started;
+        prefix_start = i;
+        break;
+      }
+      case JournalRecordType::kCohortAssigned:
+      case JournalRecordType::kReportAccepted:
+      case JournalRecordType::kRoundClosed: {
+        // Contextual records of the in-flight query; validated here,
+        // consumed (or verified against) during re-execution.
+        if (!in_query) {
+          *error = "journal: round record outside any query";
+          return false;
+        }
+        bool valid = false;
+        if (record.type == JournalRecordType::kCohortAssigned) {
+          CohortAssignedRecord decoded;
+          valid = DecodeCohortAssignedRecord(record.payload, &decoded);
+        } else if (record.type == JournalRecordType::kReportAccepted) {
+          ReportAcceptedRecord decoded;
+          valid = DecodeReportAcceptedRecord(record.payload, &decoded);
+        } else {
+          RoundClosedRecord decoded;
+          valid = DecodeRoundClosedRecord(record.payload, &decoded);
+        }
+        if (!valid) {
+          *error = "journal: malformed round record";
+          return false;
+        }
+        break;
+      }
+      case JournalRecordType::kMeterCharge: {
+        MeterChargeRecord charge;
+        if (!DecodeMeterChargeRecord(record.payload, &charge) || !in_query) {
+          *error = "journal: malformed or misplaced meter-charge record";
+          return false;
+        }
+        // Re-apply through the real meter: the ledger absorbs the charge
+        // exactly once, and the recomputed decision must match what was
+        // journaled — anything else means the ledger and journal disagree,
+        // and a coordinator that cannot trust its ledger must stop.
+        const bool granted = meter_.TryChargeBit(
+            charge.client_id, charge.value_id, charge.epsilon);
+        if (granted != charge.granted) {
+          *error = "journal: meter replay diverged from recorded outcome";
+          return false;
+        }
+        break;
+      }
+      case JournalRecordType::kQueryFinished: {
+        QueryFinishedRecord finished;
+        if (!DecodeQueryFinishedRecord(record.payload, &finished) ||
+            !in_query || finished.tick != current_query.tick ||
+            finished.query_index != current_query.query_index) {
+          *error = "journal: malformed or misplaced query-finished record";
+          return false;
+        }
+        FinishedQueryEntry entry;
+        entry.tick = finished.tick;
+        entry.query_index = finished.query_index;
+        entry.result = finished.result;
+        entry.final_bit_means = finished.final_bit_means;
+        const auto key = std::make_pair(entry.tick, entry.query_index);
+        if (!finished_.emplace(key, entry).second) {
+          *error = "journal: duplicate query-finished record";
+          return false;
+        }
+        if (entry.result.status == CampaignTickResult::Status::kRan &&
+            !entry.final_bit_means.empty()) {
+          bit_means_cache_[current_query.value_id] = entry.final_bit_means;
+        }
+        in_query = false;
+        prefix_start = records.size();
+        break;
+      }
+      case JournalRecordType::kCampaignTick: {
+        CampaignTickRecord tick;
+        if (!DecodeCampaignTickRecord(record.payload, &tick) || in_query) {
+          *error = "journal: malformed or misplaced campaign-tick record";
+          return false;
+        }
+        if (tick.tick != completed_ticks_) {
+          *error = "journal: campaign ticks closed out of order";
+          return false;
+        }
+        completed_ticks_ = tick.tick + 1;
+        prefix_start = records.size();
+        break;
+      }
+    }
+  }
+  prefix_.assign(records.begin() + static_cast<ptrdiff_t>(prefix_start),
+                 records.end());
+  return true;
+}
+
+bool DurableCampaignRunner::RewriteJournalFile(
+    const std::vector<JournalRecord>& records, std::string* error) {
+  std::vector<uint8_t> bytes;
+  for (const JournalRecord& record : records) {
+    AppendJournalFrame(record.type, record.seq, record.payload, &bytes);
+  }
+  std::FILE* file = std::fopen(journal_path_.c_str(), "wb");
+  if (file == nullptr) {
+    *error = "rewrite journal " + journal_path_ + ": " + std::strerror(errno);
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  const bool flushed = wrote && std::fflush(file) == 0;
+  const bool synced = flushed && (!options_.fsync || fsync(fileno(file)) == 0);
+  std::fclose(file);
+  if (!synced) {
+    *error = "rewrite journal " + journal_path_ + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+std::vector<CampaignTickResult> DurableCampaignRunner::RunTick(
+    int64_t tick,
+    const std::vector<const std::vector<Client>*>& populations,
+    const std::vector<FixedPointCodec>& codecs) {
+  BITPUSH_CHECK(open_) << "call Open() first";
+  BITPUSH_CHECK_EQ(tick, next_tick_)
+      << "RunTick must be called for every tick from 0 in order";
+
+  std::vector<CampaignTickResult> results =
+      campaign_.RunTick(tick, populations, codecs, rng_);
+
+  // The in-flight query (if any) lived at tick info_.completed_ticks, so by
+  // the end of that tick the re-execution must have consumed every replay
+  // record; earlier ticks are fully restored and leave the prefix alone.
+  if (tick >= info_.completed_ticks) {
+    BITPUSH_CHECK(live_)
+        << "recovery divergence: replay prefix not fully consumed";
+  }
+
+  if (tick >= ticks_already_journaled_) {
+    std::vector<uint8_t> payload;
+    EncodeCampaignTickRecord(CampaignTickRecord{tick}, &payload);
+    VerifyOrAppend(JournalRecordType::kCampaignTick, payload);
+  }
+  completed_ticks_ = tick + 1;
+  ++next_tick_;
+
+  if (options_.snapshot_every_ticks > 0 &&
+      completed_ticks_ % options_.snapshot_every_ticks == 0) {
+    std::string error;
+    BITPUSH_CHECK(Snapshot(&error)) << "snapshot failed: " << error;
+  }
+  return results;
+}
+
+bool DurableCampaignRunner::Snapshot(std::string* error) {
+  BITPUSH_CHECK(error != nullptr);
+  BITPUSH_CHECK(open_) << "call Open() first";
+  BITPUSH_CHECK(live_ && prefix_.empty())
+      << "snapshots are only taken at tick boundaries";
+
+  CoordinatorSnapshot snapshot;
+  snapshot.base_seed = options_.seed;
+  snapshot.journal_next_seq = journal_.next_seq();
+  snapshot.completed_ticks = completed_ticks_;
+  meter_.EncodeTo(&snapshot.meter_blob);
+  snapshot.finished.reserve(finished_.size());
+  for (const auto& [key, entry] : finished_) snapshot.finished.push_back(entry);
+  snapshot.bit_means.reserve(bit_means_cache_.size());
+  for (const auto& [value_id, means] : bit_means_cache_) {
+    snapshot.bit_means.push_back(BitMeansEntry{value_id, means});
+  }
+  for (const CollectionSession& session : sessions_) {
+    if (session.state() != SessionState::kCollecting) continue;
+    std::vector<uint8_t> blob;
+    session.EncodeTo(&blob);
+    snapshot.open_sessions.push_back(std::move(blob));
+  }
+  if (!WriteSnapshotFile(snapshot_path_, snapshot, error)) return false;
+
+  // The snapshot now covers every journaled record: truncate the journal.
+  // A crash between the rename above and this truncation is benign — the
+  // leftover records all predate snapshot.journal_next_seq and the next
+  // recovery skips them as stale.
+  journal_.Close();
+  if (!RewriteJournalFile({}, error)) return false;
+  return journal_.Open(journal_path_, snapshot.journal_next_seq, error);
+}
+
+int64_t DurableCampaignRunner::AddSession(const FixedPointCodec& codec,
+                                          const SessionConfig& config) {
+  sessions_.emplace_back(codec, config);
+  return static_cast<int64_t>(sessions_.size()) - 1;
+}
+
+CollectionSession* DurableCampaignRunner::session(int64_t index) {
+  BITPUSH_CHECK_GE(index, 0);
+  BITPUSH_CHECK_LT(index, static_cast<int64_t>(sessions_.size()));
+  return &sessions_[static_cast<size_t>(index)];
+}
+
+void DurableCampaignRunner::VerifyOrAppend(JournalRecordType type,
+                                           const std::vector<uint8_t>& payload) {
+  if (!live_) {
+    BITPUSH_CHECK_LT(cursor_, prefix_.size());
+    const JournalRecord& expected = prefix_[cursor_];
+    BITPUSH_CHECK(expected.type == type && expected.payload == payload)
+        << "recovery divergence: re-execution did not reproduce journal "
+        << "record " << expected.seq;
+    ++cursor_;
+    if (cursor_ == prefix_.size()) live_ = true;
+    return;  // already durable — do not re-append
+  }
+  BITPUSH_CHECK(journal_.Append(type, payload)) << "journal append failed";
+}
+
+bool DurableCampaignRunner::RestoreQueryResult(int64_t tick,
+                                               size_t query_index,
+                                               CampaignTickResult* out) {
+  const auto it =
+      finished_.find(std::make_pair(tick, static_cast<int64_t>(query_index)));
+  if (it == finished_.end()) return false;
+  *out = it->second.result;
+  return true;
+}
+
+void DurableCampaignRunner::OnQueryStarted(int64_t tick, size_t query_index,
+                                           int64_t value_id) {
+  std::vector<uint8_t> payload;
+  EncodeQueryStartedRecord(
+      QueryStartedRecord{tick, static_cast<int64_t>(query_index), value_id},
+      &payload);
+  VerifyOrAppend(JournalRecordType::kQueryStarted, payload);
+}
+
+void DurableCampaignRunner::OnQueryFinished(int64_t tick, size_t query_index,
+                                            const CampaignTickResult& result,
+                                            const FederatedQueryResult& outcome) {
+  QueryFinishedRecord record;
+  record.tick = tick;
+  record.query_index = static_cast<int64_t>(query_index);
+  record.result = result;
+  record.final_bit_means = outcome.final_bit_means;
+  std::vector<uint8_t> payload;
+  EncodeQueryFinishedRecord(record, &payload);
+  VerifyOrAppend(JournalRecordType::kQueryFinished, payload);
+
+  FinishedQueryEntry entry;
+  entry.tick = tick;
+  entry.query_index = static_cast<int64_t>(query_index);
+  entry.result = result;
+  entry.final_bit_means = outcome.final_bit_means;
+  const auto key = std::make_pair(tick, static_cast<int64_t>(query_index));
+  BITPUSH_CHECK(finished_.emplace(key, entry).second)
+      << "query finished twice";
+  if (result.status == CampaignTickResult::Status::kRan &&
+      !outcome.final_bit_means.empty()) {
+    bit_means_cache_[campaign_.queries()[query_index].value_id] =
+        outcome.final_bit_means;
+  }
+  full_results_[key] = outcome;
+}
+
+bool DurableCampaignRunner::RestoreRound(int64_t round_id, RoundOutcome* out) {
+  if (live_) return false;
+  // Scan the remaining prefix for this round's close record. Finding it
+  // means the round fully completed before the crash: skip the whole round
+  // (its charges were already re-applied from their own records) and
+  // resume after it. A completed round is never re-run — no client is
+  // asked for a second bit.
+  for (size_t j = cursor_; j < prefix_.size(); ++j) {
+    if (prefix_[j].type != JournalRecordType::kRoundClosed) continue;
+    RoundClosedRecord record;
+    BITPUSH_CHECK(DecodeRoundClosedRecord(prefix_[j].payload, &record));
+    if (record.round_id != round_id) continue;
+    *out = std::move(record.outcome);
+    cursor_ = j + 1;
+    if (cursor_ == prefix_.size()) live_ = true;
+    return true;
+  }
+  return false;
+}
+
+void DurableCampaignRunner::OnRoundClosed(int64_t round_id,
+                                          const RoundOutcome& outcome) {
+  RoundClosedRecord record;
+  record.round_id = round_id;
+  record.outcome = outcome;
+  std::vector<uint8_t> payload;
+  EncodeRoundClosedRecord(record, &payload);
+  VerifyOrAppend(JournalRecordType::kRoundClosed, payload);
+}
+
+void DurableCampaignRunner::OnCohortAssigned(
+    int64_t round_id, const std::vector<int64_t>& client_ids) {
+  std::vector<uint8_t> payload;
+  EncodeCohortAssignedRecord(CohortAssignedRecord{round_id, client_ids},
+                             &payload);
+  VerifyOrAppend(JournalRecordType::kCohortAssigned, payload);
+}
+
+void DurableCampaignRunner::OnReportAccepted(int64_t round_id,
+                                             const BitReport& report) {
+  std::vector<uint8_t> payload;
+  EncodeReportAcceptedRecord(ReportAcceptedRecord{round_id, report}, &payload);
+  VerifyOrAppend(JournalRecordType::kReportAccepted, payload);
+}
+
+std::optional<bool> DurableCampaignRunner::OnChargeAttempt(int64_t client_id,
+                                                           int64_t value_id,
+                                                           double epsilon) {
+  if (live_) return std::nullopt;
+  BITPUSH_CHECK_LT(cursor_, prefix_.size());
+  const JournalRecord& expected = prefix_[cursor_];
+  BITPUSH_CHECK(expected.type == JournalRecordType::kMeterCharge)
+      << "recovery divergence: unexpected meter charge during replay";
+  MeterChargeRecord record;
+  BITPUSH_CHECK(DecodeMeterChargeRecord(expected.payload, &record));
+  BITPUSH_CHECK(record.client_id == client_id &&
+                record.value_id == value_id && record.epsilon == epsilon)
+      << "recovery divergence: meter charge does not match journal record "
+      << expected.seq;
+  ++cursor_;
+  if (cursor_ == prefix_.size()) live_ = true;
+  return record.granted;
+}
+
+void DurableCampaignRunner::OnCharge(int64_t client_id, int64_t value_id,
+                                     double epsilon, bool granted) {
+  BITPUSH_CHECK(live_)
+      << "replayed charges must be served by OnChargeAttempt";
+  MeterChargeRecord record;
+  record.client_id = client_id;
+  record.value_id = value_id;
+  record.epsilon = epsilon;
+  record.granted = granted;
+  std::vector<uint8_t> payload;
+  EncodeMeterChargeRecord(record, &payload);
+  VerifyOrAppend(JournalRecordType::kMeterCharge, payload);
+}
+
+}  // namespace bitpush

@@ -4,6 +4,9 @@
 // with different seeds (expecting different randomness, i.e. no hidden
 // global state or accidental seed reuse).
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -15,6 +18,8 @@
 #include "core/vector_aggregation.h"
 #include "data/census.h"
 #include "federated/round.h"
+#include "persist/journal.h"
+#include "persist/recovery.h"
 #include "rng/rng.h"
 
 namespace bitpush {
@@ -147,6 +152,75 @@ TEST_F(DeterminismTest, FederatedQueryWithFaultPlan) {
   // A different protocol seed shuffles a different cohort: the injected
   // fault set (keyed on client ids) lands differently.
   EXPECT_NE(first.estimate, other.estimate);
+}
+
+TEST_F(DeterminismTest, DurableCampaignReproducesAcrossRunsAndCrashes) {
+  // The durable runner inherits the seed contract: two state directories
+  // driven by the same seed produce identical histories and identical
+  // meter ledgers — and so does a run that is cut off mid-campaign and
+  // recovered from its journal.
+  const std::vector<Client> clients =
+      MakePopulation(ages_.values(), ClientConfig{});
+  const std::vector<const std::vector<Client>*> populations = {&clients};
+  const std::vector<FixedPointCodec> codecs = {FixedPointCodec::Integer(7)};
+  CampaignQuery query;
+  query.name = "ages";
+  query.value_id = 0;
+  query.query.adaptive.bits = 7;
+  query.query.cohort.max_cohort_size = 500;
+  MeterPolicy policy;
+  policy.max_bits_per_value = 2;
+
+  struct RunResult {
+    std::vector<CampaignTickResult> history;
+    std::vector<uint8_t> meter;
+    bool recovered = false;
+  };
+  auto run = [&](const std::string& dir, int64_t ticks) {
+    DurableCampaignOptions options;
+    options.state_dir = dir;
+    options.seed = 321;
+    options.fsync = false;
+    DurableCampaignRunner runner({query}, policy, options);
+    std::string error;
+    EXPECT_TRUE(runner.Open(&error)) << error;
+    for (int64_t tick = 0; tick < ticks; ++tick) {
+      runner.RunTick(tick, populations, codecs);
+    }
+    RunResult result;
+    result.history = runner.campaign().history();
+    runner.meter().EncodeTo(&result.meter);
+    result.recovered = runner.recovery_info().recovered;
+    return result;
+  };
+  const std::string base = ::testing::TempDir() + "/determinism";
+  std::filesystem::remove_all(base);
+  const RunResult first = run(base + "/a", 2);
+  const RunResult second = run(base + "/b", 2);
+  EXPECT_EQ(first.history, second.history);
+  EXPECT_EQ(first.meter, second.meter);
+
+  // Crash run c halfway through its journal, then recover and finish.
+  run(base + "/c", 2);
+  JournalReadResult journal;
+  std::string error;
+  ASSERT_TRUE(
+      ReadJournal(base + "/c/journal.wal", 0, &journal, &error)) << error;
+  std::vector<uint8_t> half;
+  for (size_t i = 0; i < journal.records.size() / 2; ++i) {
+    AppendJournalFrame(journal.records[i].type, journal.records[i].seq,
+                       journal.records[i].payload, &half);
+  }
+  std::FILE* file = std::fopen((base + "/c/journal.wal").c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(half.data(), 1, half.size(), file), half.size());
+  std::fclose(file);
+
+  const RunResult recovered = run(base + "/c", 2);
+  EXPECT_TRUE(recovered.recovered);
+  EXPECT_EQ(recovered.history, first.history);
+  EXPECT_EQ(recovered.meter, first.meter);
+  std::filesystem::remove_all(base);
 }
 
 TEST_F(DeterminismTest, FederatedQueryWithDropout) {

@@ -1,3 +1,7 @@
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/privacy_meter.h"
@@ -75,12 +79,71 @@ TEST(PrivacyMeterTest, UnknownClientsReadAsZero) {
   EXPECT_EQ(meter.ValueBits(99, 1), 0);
 }
 
-TEST(PrivacyMeterDeathTest, InvalidPolicyOrChargeAborts) {
+TEST(PrivacyMeterDeathTest, InvalidPolicyAborts) {
   MeterPolicy bad;
   bad.max_bits_per_value = 0;
   EXPECT_DEATH(PrivacyMeter{bad}, "BITPUSH_CHECK failed");
-  PrivacyMeter meter{MeterPolicy{}};
-  EXPECT_DEATH(meter.TryChargeBit(1, 1, -0.1), "BITPUSH_CHECK failed");
+}
+
+// Regression: an invalid epsilon used to slip past the non-negativity check
+// when it was +infinity (corrupting the composed budget forever) and abort
+// the coordinator when it was negative. Both are now denied like any other
+// over-budget charge, leaving the ledger untouched.
+TEST(PrivacyMeterTest, InvalidEpsilonDeniedWithoutSideEffects) {
+  MeterPolicy policy;
+  policy.max_bits_per_value = 10;
+  policy.max_bits_per_client = 10;
+  policy.max_epsilon_per_client = 2.5;
+  PrivacyMeter meter(policy);
+  EXPECT_TRUE(meter.TryChargeBit(1, 1, 1.0));
+
+  EXPECT_FALSE(meter.TryChargeBit(1, 2, -0.1));
+  EXPECT_FALSE(meter.TryChargeBit(1, 2, std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(meter.TryChargeBit(1, 2, std::numeric_limits<double>::quiet_NaN()));
+
+  EXPECT_EQ(meter.total_bits(), 1);
+  EXPECT_EQ(meter.denied_charges(), 3);
+  EXPECT_DOUBLE_EQ(meter.ClientEpsilon(1), 1.0);
+  // The budget still composes normally afterwards.
+  EXPECT_TRUE(meter.TryChargeBit(1, 2, 1.5));
+  EXPECT_FALSE(meter.TryChargeBit(1, 3, 0.5));
+}
+
+TEST(PrivacyMeterTest, EncodeDecodeRoundTripsLedger) {
+  MeterPolicy policy;
+  policy.max_bits_per_value = 4;
+  policy.max_bits_per_client = 6;
+  policy.max_epsilon_per_client = 10.0;
+  PrivacyMeter meter(policy);
+  EXPECT_TRUE(meter.TryChargeBit(3, 7, 0.5));
+  EXPECT_TRUE(meter.TryChargeBit(3, 8, 0.25));
+  EXPECT_TRUE(meter.TryChargeBit(9, 7, 1.0));
+  EXPECT_FALSE(meter.TryChargeBit(9, 7, 100.0));  // denied, ledger untouched
+
+  std::vector<uint8_t> blob;
+  meter.EncodeTo(&blob);
+  PrivacyMeter decoded{MeterPolicy{}};
+  size_t offset = 0;
+  ASSERT_TRUE(PrivacyMeter::DecodeFrom(blob, &offset, &decoded));
+  EXPECT_EQ(offset, blob.size());
+  EXPECT_TRUE(decoded.policy() == policy);
+  EXPECT_EQ(decoded.total_bits(), 3);
+  EXPECT_EQ(decoded.denied_charges(), 1);
+  EXPECT_EQ(decoded.ClientBits(3), 2);
+  EXPECT_EQ(decoded.ValueBits(9, 7), 1);
+  EXPECT_DOUBLE_EQ(decoded.ClientEpsilon(9), 1.0);
+
+  // Canonical form: the restored meter re-encodes to identical bytes.
+  std::vector<uint8_t> blob2;
+  decoded.EncodeTo(&blob2);
+  EXPECT_EQ(blob, blob2);
+
+  // Corruption is rejected: ledger bit sums must reconcile with totals.
+  std::vector<uint8_t> corrupt = blob;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  PrivacyMeter sink{MeterPolicy{}};
+  offset = 0;
+  PrivacyMeter::DecodeFrom(corrupt, &offset, &sink);  // must not crash
 }
 
 }  // namespace

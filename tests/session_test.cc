@@ -1,3 +1,5 @@
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -148,6 +150,88 @@ TEST(SessionTest, RunningEstimateAvailableMidCollection) {
   }
   EXPECT_NEAR(session.Estimate(), 9.0, 1e-9);
   EXPECT_EQ(session.state(), SessionState::kCollecting);
+}
+
+TEST(SessionTest, EncodeDecodeRoundTripsMidCollection) {
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  SessionConfig config;
+  config.probabilities = UniformProbabilities(4);
+  config.epsilon = 0.5;
+  config.round_id = 11;
+  config.value_id = 3;
+  CollectionSession session(codec, config);
+  for (int64_t id = 0; id < 50; ++id) {
+    BitRequest request;
+    session.IssueAssignment(id, &request);
+    if (id % 3 != 0) {
+      session.SubmitReport(BitReport{
+          id, request.bit_index,
+          FixedPointCodec::Bit(9, request.bit_index)});
+    }
+  }
+  std::vector<uint8_t> encoded;
+  session.EncodeTo(&encoded);
+  size_t offset = 0;
+  std::optional<CollectionSession> decoded;
+  ASSERT_TRUE(CollectionSession::Decode(encoded, &offset, &decoded));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(offset, encoded.size());
+  EXPECT_EQ(decoded->state(), SessionState::kCollecting);
+  EXPECT_EQ(decoded->assignments_issued(), session.assignments_issued());
+  EXPECT_EQ(decoded->accepted_reports(), session.accepted_reports());
+  EXPECT_DOUBLE_EQ(decoded->Estimate(), session.Estimate());
+  // Canonical: equal sessions encode to equal bytes.
+  std::vector<uint8_t> reencoded;
+  decoded->EncodeTo(&reencoded);
+  EXPECT_EQ(encoded, reencoded);
+  // Mutating a count must fail the internal-consistency validation rather
+  // than restore a session whose tallies disagree with its assignments.
+  for (size_t pos = 0; pos < encoded.size(); pos += 7) {
+    std::vector<uint8_t> corrupt = encoded;
+    corrupt[pos] ^= 0x10;
+    offset = 0;
+    std::optional<CollectionSession> out;
+    CollectionSession::Decode(corrupt, &offset, &out);  // must not crash
+  }
+}
+
+// The durability hook fires exactly once per state transition: fresh
+// assignments only (repeat check-ins are cached), accepted reports only,
+// and a single close even when Close() is called again.
+TEST(SessionTest, JournalHookSeesEachTransitionOnce) {
+  class CountingJournal : public CollectionSession::Journal {
+   public:
+    void OnAssignmentIssued(int64_t, const BitRequest&) override {
+      ++assignments;
+    }
+    void OnReportAccepted(const BitReport&) override { ++reports; }
+    void OnClosed() override { ++closes; }
+    int assignments = 0;
+    int reports = 0;
+    int closes = 0;
+  };
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  CollectionSession session(codec, Config(4));
+  CountingJournal journal;
+  session.set_journal(&journal);
+
+  BitRequest request;
+  ASSERT_TRUE(session.IssueAssignment(1, &request));
+  ASSERT_TRUE(session.IssueAssignment(1, &request));  // cached, not re-journaled
+  ASSERT_TRUE(session.IssueAssignment(2, &request));
+  EXPECT_EQ(journal.assignments, 2);
+
+  BitRequest first;
+  session.IssueAssignment(1, &first);
+  EXPECT_EQ(session.SubmitReport(BitReport{1, first.bit_index, 1}),
+            ReportRejection::kAccepted);
+  EXPECT_EQ(session.SubmitReport(BitReport{1, first.bit_index, 1}),
+            ReportRejection::kDuplicate);  // rejected: not journaled
+  EXPECT_EQ(journal.reports, 1);
+
+  session.Close();
+  session.Close();
+  EXPECT_EQ(journal.closes, 1);
 }
 
 TEST(SessionDeathTest, InvalidConfigAborts) {

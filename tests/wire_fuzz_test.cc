@@ -65,15 +65,16 @@ void Mutate(Rng& rng, std::vector<uint8_t>* buffer) {
   if (kind == 1 || kind == 3) {  // truncate anywhere
     buffer->resize(static_cast<size_t>(rng.NextBelow(buffer->size() + 1)));
   }
-  if (kind == 2 && buffer->size() >= 4) {  // lie in the length field
+  if (kind == 2 && buffer->size() >= 5) {  // lie in the length field
     uint32_t lie;
     if (rng.NextBit() == 0) {
       lie = static_cast<uint32_t>(rng.NextBelow(64));  // plausible count
     } else {
       lie = static_cast<uint32_t>(rng.NextUint64());  // wild count
     }
+    // The count sits after the format-version byte.
     for (int i = 0; i < 4; ++i) {
-      (*buffer)[static_cast<size_t>(i)] =
+      (*buffer)[static_cast<size_t>(1 + i)] =
           static_cast<uint8_t>(lie >> (8 * i));
     }
   }

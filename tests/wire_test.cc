@@ -80,7 +80,8 @@ TEST(WireTest, BatchRoundTrip) {
   }
   std::vector<uint8_t> buffer;
   EncodeReportBatch(reports, &buffer);
-  EXPECT_EQ(buffer.size(), 4 + 100 * kBitReportWireSize);
+  EXPECT_EQ(buffer.size(), 5 + 100 * kBitReportWireSize);
+  EXPECT_EQ(buffer[0], kWireFormatVersion);
 
   std::vector<BitReport> decoded;
   ASSERT_TRUE(DecodeReportBatch(buffer, &decoded));
@@ -102,7 +103,7 @@ TEST(WireTest, EmptyBatch) {
 TEST(WireTest, BatchCountOverrunRejected) {
   std::vector<uint8_t> buffer;
   EncodeReportBatch({BitReport{1, 2, 1}}, &buffer);
-  buffer[0] = 200;  // claim 200 reports, provide 1
+  buffer[1] = 200;  // claim 200 reports, provide 1
   std::vector<BitReport> decoded;
   EXPECT_FALSE(DecodeReportBatch(buffer, &decoded));
 }
@@ -114,7 +115,8 @@ TEST(WireTest, RequestBatchRoundTrip) {
   }
   std::vector<uint8_t> buffer;
   EncodeRequestBatch(requests, &buffer);
-  EXPECT_EQ(buffer.size(), 4 + 40 * kBitRequestWireSize);
+  EXPECT_EQ(buffer.size(), 5 + 40 * kBitRequestWireSize);
+  EXPECT_EQ(buffer[0], kWireFormatVersion);
   std::vector<BitRequest> decoded;
   ASSERT_TRUE(DecodeRequestBatch(buffer, &decoded));
   ASSERT_EQ(decoded.size(), 40u);
@@ -127,9 +129,23 @@ TEST(WireTest, RequestBatchRoundTrip) {
 TEST(WireTest, RequestBatchCountOverrunRejected) {
   std::vector<uint8_t> buffer;
   EncodeRequestBatch({BitRequest{1, 1, 1, 0.5}}, &buffer);
-  buffer[0] = 99;
+  buffer[1] = 99;
   std::vector<BitRequest> decoded;
   EXPECT_FALSE(DecodeRequestBatch(buffer, &decoded));
+}
+
+TEST(WireTest, UnknownFormatVersionRejected) {
+  std::vector<uint8_t> report_buffer;
+  EncodeReportBatch({BitReport{1, 2, 1}}, &report_buffer);
+  report_buffer[0] = kWireFormatVersion + 1;
+  std::vector<BitReport> reports;
+  EXPECT_FALSE(DecodeReportBatch(report_buffer, &reports));
+
+  std::vector<uint8_t> request_buffer;
+  EncodeRequestBatch({BitRequest{1, 1, 1, 0.5}}, &request_buffer);
+  request_buffer[0] = 0;
+  std::vector<BitRequest> requests;
+  EXPECT_FALSE(DecodeRequestBatch(request_buffer, &requests));
 }
 
 TEST(WireTest, RandomBytesNeverCrashDecoder) {

@@ -8,8 +8,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/adaptive.h"
+#include "persist/recovery.h"
 #include "core/bit_probabilities.h"
 #include "core/histogram_estimation.h"
 #include "core/planner.h"
@@ -72,7 +74,20 @@ int Main(int argc, char** argv) {
   FlagSet flags;
   flags.AddString("task", &task,
                   "mean | variance | histogram | quantiles | proportion | "
-                  "diagnose | plan");
+                  "diagnose | plan | campaign");
+  std::string state_dir;
+  int64_t ticks = 7;
+  int64_t snapshot_every = 0;
+  int64_t crash_after_records = 0;
+  flags.AddString("state_dir", &state_dir,
+                  "durable state directory for --task=campaign (journal + "
+                  "snapshots; required)");
+  flags.AddInt64("ticks", &ticks, "campaign ticks for --task=campaign");
+  flags.AddInt64("snapshot_every", &snapshot_every,
+                 "snapshot cadence in ticks (0 = journal only)");
+  flags.AddInt64("crash_after_records", &crash_after_records,
+                 "crash harness: exit 137 after this many journal records "
+                 "(0 = off)");
   double range_low = 0.0;
   double range_high = 0.0;
   flags.AddDouble("range_low", &range_low,
@@ -181,6 +196,85 @@ int Main(int argc, char** argv) {
     std::printf("\nmedian: %.3f   p90: %.3f\n",
                 result.Quantile(config.edges, 0.5),
                 result.Quantile(config.edges, 0.9));
+    return 0;
+  }
+
+  if (task == "campaign") {
+    // Crash-consistent campaign: two metrics over the same population under
+    // one shared privacy meter, journaled to --state_dir. Per-tick results
+    // and the meter summary go to stdout; recovery details go to stderr, so
+    // the stdout of an uninterrupted run and of a crashed-then-restarted
+    // run can be diffed byte for byte.
+    if (state_dir.empty()) {
+      std::fprintf(stderr, "--task=campaign requires --state_dir\n");
+      return EXIT_FAILURE;
+    }
+    const std::vector<Client> population =
+        MakePopulation(clipped.values(), ClientConfig{});
+    std::vector<CampaignQuery> queries;
+    for (int i = 0; i < 2; ++i) {
+      CampaignQuery query;
+      query.name = i == 0 ? "mean_a" : "mean_b";
+      query.value_id = i;
+      query.cadence_ticks = i == 0 ? 1 : 2;
+      query.query.adaptive.bits = codec.bits();
+      query.query.adaptive.epsilon = epsilon;
+      queries.push_back(query);
+    }
+    MeterPolicy policy;
+    policy.max_bits_per_value = 2;
+    policy.max_bits_per_client = 3;
+
+    DurableCampaignOptions options;
+    options.state_dir = state_dir;
+    options.seed = static_cast<uint64_t>(seed);
+    options.snapshot_every_ticks = snapshot_every;
+    options.crash_after_records = crash_after_records;
+    DurableCampaignRunner runner(queries, policy, options);
+    std::string error;
+    if (!runner.Open(&error)) {
+      std::fprintf(stderr, "recovery failed (refusing to run): %s\n",
+                   error.c_str());
+      return EXIT_FAILURE;
+    }
+    const RecoveryInfo& info = runner.recovery_info();
+    if (info.recovered) {
+      std::fprintf(stderr,
+                   "recovered state: snapshot=%s torn_tail=%s "
+                   "replayed_records=%lld completed_ticks=%lld\n",
+                   info.had_snapshot ? "yes" : "no",
+                   info.torn_tail ? "yes" : "no",
+                   static_cast<long long>(info.replayed_records),
+                   static_cast<long long>(info.completed_ticks));
+    }
+
+    const std::vector<const std::vector<Client>*> populations = {
+        &population, &population};
+    const std::vector<FixedPointCodec> codecs = {codec, codec};
+    Table table({"tick", "query", "status", "estimate", "reports"});
+    for (int64_t tick = 0; tick < ticks; ++tick) {
+      for (const CampaignTickResult& result :
+           runner.RunTick(tick, populations, codecs)) {
+        const char* status =
+            result.status == CampaignTickResult::Status::kRan ? "ran"
+            : result.status == CampaignTickResult::Status::kSkippedCohort
+                ? "skipped_cohort"
+                : "skipped_budget";
+        table.NewRow()
+            .AddInt(result.tick)
+            .AddCell(result.query_name)
+            .AddCell(status)
+            .AddDouble(result.estimate, 4)
+            .AddInt(result.reports);
+      }
+    }
+    table.Print();
+    std::printf("\nmeter: total_bits=%lld denied_charges=%lld\n",
+                static_cast<long long>(runner.meter().total_bits()),
+                static_cast<long long>(runner.meter().denied_charges()));
+    std::printf("campaign: runs=%lld skips=%lld\n",
+                static_cast<long long>(runner.campaign().runs()),
+                static_cast<long long>(runner.campaign().skips()));
     return 0;
   }
 
