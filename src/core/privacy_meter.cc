@@ -16,14 +16,13 @@ PrivacyMeter::PrivacyMeter(MeterPolicy policy) : policy_(policy) {
 
 bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
                                 double epsilon) {
-  // An invalid epsilon is denied outright rather than CHECKed: the value
-  // can originate from an untrusted request, and accepting a non-finite
+  // An invalid epsilon is denied rather than CHECKed: the value can
+  // originate from an untrusted request, and accepting a non-finite
   // epsilon (infinity passes a >= 0 check) would permanently corrupt the
-  // per-client composition total.
-  if (!std::isfinite(epsilon) || epsilon < 0.0) {
-    ++denied_charges_;
-    return false;
-  }
+  // per-client composition total. The denial still flows through the
+  // journal hooks below like a cap denial, so a recovered ledger counts it
+  // exactly once and stays byte-identical to an uninterrupted run.
+  const bool valid_epsilon = std::isfinite(epsilon) && epsilon >= 0.0;
   if (journal_ != nullptr) {
     // Recovery replay: the decision was journaled before the crash and the
     // restored ledger already reflects it — return it without re-charging.
@@ -31,12 +30,15 @@ bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
         journal_->OnChargeAttempt(client_id, value_id, epsilon);
     if (replayed.has_value()) return *replayed;
   }
-  ClientLedger& ledger = ledgers_[client_id];
-  const int64_t value_bits = ledger.bits_per_value[value_id];
-  const bool granted =
-      value_bits + 1 <= policy_.max_bits_per_value &&
-      ledger.bits + 1 <= policy_.max_bits_per_client &&
-      ledger.epsilon + epsilon <= policy_.max_epsilon_per_client;
+  ClientLedger* ledger = nullptr;
+  bool granted = false;
+  if (valid_epsilon) {
+    ledger = &ledgers_[client_id];
+    const int64_t value_bits = ledger->bits_per_value[value_id];
+    granted = value_bits + 1 <= policy_.max_bits_per_value &&
+              ledger->bits + 1 <= policy_.max_bits_per_client &&
+              ledger->epsilon + epsilon <= policy_.max_epsilon_per_client;
+  }
   if (journal_ != nullptr) {
     // Write-ahead: persist the decision before applying it, so a crash
     // between the two is recovered by replaying the record (exactly once).
@@ -46,9 +48,9 @@ bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
     ++denied_charges_;
     return false;
   }
-  ++ledger.bits_per_value[value_id];
-  ++ledger.bits;
-  ledger.epsilon += epsilon;
+  ++ledger->bits_per_value[value_id];
+  ++ledger->bits;
+  ledger->epsilon += epsilon;
   ++total_bits_;
   return true;
 }

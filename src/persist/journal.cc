@@ -255,12 +255,16 @@ bool DecodeMeterChargeRecord(const std::vector<uint8_t>& payload,
       cursor != payload.size()) {
     return false;
   }
-  // The meter rejects non-finite and negative epsilon before journaling, so
-  // a record carrying one was never written by this coordinator.
-  if (!std::isfinite(record.epsilon) || record.epsilon < 0.0 || granted > 1) {
+  if (granted > 1) return false;
+  record.granted = granted == 1;
+  // A *granted* charge never carries an invalid epsilon — the meter denies
+  // non-finite and negative values before journaling — so such a record is
+  // corruption. A denied record keeps the offending epsilon verbatim so
+  // replay can verify it bit-for-bit against the re-executed attempt.
+  if (record.granted &&
+      (!std::isfinite(record.epsilon) || record.epsilon < 0.0)) {
     return false;
   }
-  record.granted = granted == 1;
   *out = record;
   return true;
 }

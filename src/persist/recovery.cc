@@ -16,6 +16,16 @@ namespace {
 constexpr const char* kJournalFile = "journal.wal";
 constexpr const char* kSnapshotFile = "snapshot.bin";
 
+// NaN-safe: a journaled denial can carry the invalid epsilon it was denied
+// for, and replay must still match it against the re-executed value.
+bool SameDoubleBits(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
 }  // namespace
 
 DurableCampaignRunner::DurableCampaignRunner(
@@ -244,9 +254,15 @@ bool DurableCampaignRunner::RewriteJournalFile(
   for (const JournalRecord& record : records) {
     AppendJournalFrame(record.type, record.seq, record.payload, &bytes);
   }
-  std::FILE* file = std::fopen(journal_path_.c_str(), "wb");
+  // Temp sibling + fsync + rename, the WriteSnapshotFile pattern: the old
+  // journal stays durable and intact until the rewritten bytes are. An
+  // in-place truncate would destroy validated records before their
+  // replacements reached disk, so a crash inside this window could lose
+  // journaled meter charges.
+  const std::string temp_path = journal_path_ + ".tmp";
+  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
   if (file == nullptr) {
-    *error = "rewrite journal " + journal_path_ + ": " + std::strerror(errno);
+    *error = "rewrite journal " + temp_path + ": " + std::strerror(errno);
     return false;
   }
   const bool wrote =
@@ -255,9 +271,16 @@ bool DurableCampaignRunner::RewriteJournalFile(
   const bool synced = flushed && (!options_.fsync || fsync(fileno(file)) == 0);
   std::fclose(file);
   if (!synced) {
-    *error = "rewrite journal " + journal_path_ + ": " + std::strerror(errno);
+    *error = "rewrite journal " + temp_path + ": " + std::strerror(errno);
+    std::remove(temp_path.c_str());
     return false;
   }
+  if (std::rename(temp_path.c_str(), journal_path_.c_str()) != 0) {
+    *error = "rename journal " + journal_path_ + ": " + std::strerror(errno);
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  if (options_.fsync && !SyncParentDir(journal_path_, error)) return false;
   return true;
 }
 
@@ -290,8 +313,16 @@ std::vector<CampaignTickResult> DurableCampaignRunner::RunTick(
 
   if (options_.snapshot_every_ticks > 0 &&
       completed_ticks_ % options_.snapshot_every_ticks == 0) {
+    snapshot_due_ = true;
+  }
+  // A snapshot that comes due at a restored-tick boundary (the replay
+  // prefix still pending) is deferred to the first boundary after the run
+  // goes live — snapshotting mid-replay would have to persist a state the
+  // re-execution has not reproduced yet.
+  if (snapshot_due_ && live_) {
     std::string error;
     BITPUSH_CHECK(Snapshot(&error)) << "snapshot failed: " << error;
+    snapshot_due_ = false;
   }
   return results;
 }
@@ -350,11 +381,19 @@ void DurableCampaignRunner::VerifyOrAppend(JournalRecordType type,
     BITPUSH_CHECK(expected.type == type && expected.payload == payload)
         << "recovery divergence: re-execution did not reproduce journal "
         << "record " << expected.seq;
-    ++cursor_;
-    if (cursor_ == prefix_.size()) live_ = true;
+    AdvanceReplay(cursor_ + 1);
     return;  // already durable — do not re-append
   }
   BITPUSH_CHECK(journal_.Append(type, payload)) << "journal append failed";
+}
+
+void DurableCampaignRunner::AdvanceReplay(size_t next) {
+  cursor_ = next;
+  if (cursor_ == prefix_.size()) {
+    prefix_.clear();
+    cursor_ = 0;
+    live_ = true;
+  }
 }
 
 bool DurableCampaignRunner::RestoreQueryResult(int64_t tick,
@@ -417,8 +456,7 @@ bool DurableCampaignRunner::RestoreRound(int64_t round_id, RoundOutcome* out) {
     BITPUSH_CHECK(DecodeRoundClosedRecord(prefix_[j].payload, &record));
     if (record.round_id != round_id) continue;
     *out = std::move(record.outcome);
-    cursor_ = j + 1;
-    if (cursor_ == prefix_.size()) live_ = true;
+    AdvanceReplay(j + 1);
     return true;
   }
   return false;
@@ -460,11 +498,11 @@ std::optional<bool> DurableCampaignRunner::OnChargeAttempt(int64_t client_id,
   MeterChargeRecord record;
   BITPUSH_CHECK(DecodeMeterChargeRecord(expected.payload, &record));
   BITPUSH_CHECK(record.client_id == client_id &&
-                record.value_id == value_id && record.epsilon == epsilon)
+                record.value_id == value_id &&
+                SameDoubleBits(record.epsilon, epsilon))
       << "recovery divergence: meter charge does not match journal record "
       << expected.seq;
-  ++cursor_;
-  if (cursor_ == prefix_.size()) live_ = true;
+  AdvanceReplay(cursor_ + 1);
   return record.granted;
 }
 

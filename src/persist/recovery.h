@@ -167,6 +167,10 @@ class DurableCampaignRunner : private CampaignRecorder,
   // appends the record durably.
   void VerifyOrAppend(JournalRecordType type,
                       const std::vector<uint8_t>& payload);
+  // Moves the replay cursor to `next`; once the prefix is exhausted,
+  // discards it and flips the run live (Snapshot() requires the prefix to
+  // be gone, not merely consumed).
+  void AdvanceReplay(size_t next);
   // Applies the replayed journal records to the recovered state (step 2 of
   // the recovery model above).
   bool ApplyJournal(const std::vector<JournalRecord>& records,
@@ -200,6 +204,9 @@ class DurableCampaignRunner : private CampaignRecorder,
   // re-append while re-running them).
   int64_t ticks_already_journaled_ = 0;
   int64_t next_tick_ = 0;
+  // An automatic snapshot came due at a boundary where the replay prefix
+  // was still pending; taken at the first boundary after going live.
+  bool snapshot_due_ = false;
   bool open_ = false;
   RecoveryInfo info_;
 };

@@ -1,5 +1,6 @@
 #include "persist/snapshot.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -195,7 +196,26 @@ bool WriteSnapshotFile(const std::string& path,
     std::remove(temp_path.c_str());
     return false;
   }
-  return true;
+  // The rename is only durable once the directory entry is; without this a
+  // power loss could resurrect the old snapshot after the journal had
+  // already been truncated against the new one.
+  return SyncParentDir(path, error);
+}
+
+bool SyncParentDir(const std::string& path, std::string* error) {
+  BITPUSH_CHECK(error != nullptr);
+  const size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    *error = IoError("open state dir", dir);
+    return false;
+  }
+  const bool synced = fsync(fd) == 0;
+  if (!synced) *error = IoError("fsync state dir", dir);
+  close(fd);
+  return synced;
 }
 
 bool LoadSnapshotFile(const std::string& path, CoordinatorSnapshot* out,

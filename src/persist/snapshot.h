@@ -69,11 +69,16 @@ bool DecodeCoordinatorSnapshot(const std::vector<uint8_t>& buffer,
                                CoordinatorSnapshot* out);
 
 // Atomically replaces `path` with the encoded snapshot: write to a
-// temporary sibling, fsync, rename. Returns false with `*error` on I/O
-// failure.
+// temporary sibling, fsync, rename, fsync the directory. Returns false
+// with `*error` on I/O failure.
 bool WriteSnapshotFile(const std::string& path,
                        const CoordinatorSnapshot& snapshot,
                        std::string* error);
+
+// Fsyncs the directory containing `path`, making a preceding rename or
+// file creation inside it durable across power loss. Returns false with
+// `*error` set on failure.
+bool SyncParentDir(const std::string& path, std::string* error);
 
 // Loads and decodes `path`. A missing file is success with `*found` set to
 // false (fresh state directory). Corruption is an error — a coordinator

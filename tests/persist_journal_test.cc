@@ -2,9 +2,11 @@
 // torn-tail-vs-hard-corruption distinction, sequence discipline, stale
 // pre-snapshot prefixes, and the atomic snapshot file cycle.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -216,6 +218,30 @@ TEST(JournalPayloadTest, RecordCodecsRoundTrip) {
     ASSERT_TRUE(DecodeQueryFinishedRecord(payload, &decoded));
     EXPECT_EQ(decoded.result, record.result);
     EXPECT_EQ(decoded.final_bit_means, record.final_bit_means);
+  }
+}
+
+TEST(JournalPayloadTest, MeterChargeEpsilonValidation) {
+  // A denied charge keeps the invalid epsilon it was denied for — replay
+  // verifies it bit-for-bit against the re-executed attempt. A granted
+  // charge never carries one (the meter denies invalid epsilon before
+  // journaling), so decoding must reject it as corruption.
+  const MeterChargeRecord denied{
+      1, 2, std::numeric_limits<double>::quiet_NaN(), false};
+  std::vector<uint8_t> payload;
+  EncodeMeterChargeRecord(denied, &payload);
+  MeterChargeRecord decoded;
+  ASSERT_TRUE(DecodeMeterChargeRecord(payload, &decoded));
+  EXPECT_FALSE(decoded.granted);
+  EXPECT_TRUE(std::isnan(decoded.epsilon));
+
+  for (const double bad :
+       {-0.5, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    const MeterChargeRecord granted{1, 2, bad, true};
+    payload.clear();
+    EncodeMeterChargeRecord(granted, &payload);
+    EXPECT_FALSE(DecodeMeterChargeRecord(payload, &decoded));
   }
 }
 

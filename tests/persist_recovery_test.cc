@@ -199,6 +199,60 @@ TEST_F(RecoveryTest, KillAtEveryJournalRecordRecoversIdentically) {
   }
 }
 
+TEST_F(RecoveryTest, KillAtEveryRecordRecoversWithPeriodicSnapshotsOn) {
+  // Regression: with snapshot_every_ticks > 0, the automatic snapshot used
+  // to abort a recovering coordinator — it fired at restored-tick
+  // boundaries while the replay prefix was still pending, and even after
+  // the prefix was fully consumed it was never discarded, so Snapshot()'s
+  // empty-prefix CHECK failed. Every mid-query crash point must now
+  // recover, defer the snapshot to the first live boundary, and converge
+  // on the uninterrupted fingerprint.
+  const std::string base_dir = FreshDir("snapkill_base");
+  DurableCampaignRunner baseline(MakeQueries(), policy_, Options(base_dir));
+  std::string error;
+  ASSERT_TRUE(baseline.Open(&error)) << error;
+  const Fingerprint expected = RunToCompletion(&baseline);
+
+  JournalReadResult journal;
+  ASSERT_TRUE(ReadJournal(base_dir + "/journal.wal", 0, &journal, &error))
+      << error;
+  const size_t total = journal.records.size();
+  ASSERT_GT(total, 100u);
+
+  for (size_t k = 0; k <= total; ++k) {
+    const std::string dir = FreshDir("snapkill_" + std::to_string(k));
+    std::filesystem::create_directories(dir);
+    std::vector<uint8_t> prefix_bytes;
+    for (size_t i = 0; i < k; ++i) {
+      AppendJournalFrame(journal.records[i].type, journal.records[i].seq,
+                         journal.records[i].payload, &prefix_bytes);
+    }
+    std::FILE* file = std::fopen((dir + "/journal.wal").c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fwrite(prefix_bytes.data(), 1, prefix_bytes.size(), file),
+              prefix_bytes.size());
+    std::fclose(file);
+
+    DurableCampaignOptions options = Options(dir);
+    options.snapshot_every_ticks = 1;
+    DurableCampaignRunner runner(MakeQueries(), policy_, options);
+    ASSERT_TRUE(runner.Open(&error)) << "k=" << k << ": " << error;
+    const Fingerprint actual = RunToCompletion(&runner);
+    ASSERT_EQ(actual.history, expected.history) << "diverged at k=" << k;
+    ASSERT_EQ(actual.meter, expected.meter)
+        << "meter ledger diverged at k=" << k;
+    ASSERT_EQ(actual.bit_means, expected.bit_means) << k;
+
+    // The (possibly deferred) snapshot landed once the run went live: a
+    // second recovery starts from it with an empty journal tail.
+    DurableCampaignRunner again(MakeQueries(), policy_, options);
+    ASSERT_TRUE(again.Open(&error)) << "k=" << k << ": " << error;
+    EXPECT_TRUE(again.recovery_info().had_snapshot) << k;
+    EXPECT_EQ(again.recovery_info().completed_ticks, kTicks) << k;
+    EXPECT_EQ(again.recovery_info().replayed_records, 0) << k;
+  }
+}
+
 TEST_F(RecoveryTest, TornTailBytesAreDiscardedAndRecoveryProceeds) {
   const std::string base_dir = FreshDir("torn_base");
   DurableCampaignRunner baseline(MakeQueries(), policy_, Options(base_dir));

@@ -1,5 +1,7 @@
+#include <cmath>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,6 +10,30 @@
 
 namespace bitpush {
 namespace {
+
+// Captures every journal callback; `replay` scripts OnChargeAttempt.
+class RecordingJournal : public PrivacyMeter::Journal {
+ public:
+  struct Charge {
+    int64_t client_id = 0;
+    int64_t value_id = 0;
+    double epsilon = 0.0;
+    bool granted = false;
+  };
+
+  std::optional<bool> OnChargeAttempt(int64_t, int64_t, double) override {
+    ++attempts;
+    return replay;
+  }
+  void OnCharge(int64_t client_id, int64_t value_id, double epsilon,
+                bool granted) override {
+    charges.push_back(Charge{client_id, value_id, epsilon, granted});
+  }
+
+  int attempts = 0;
+  std::optional<bool> replay;
+  std::vector<Charge> charges;
+};
 
 TEST(PrivacyMeterTest, DefaultPolicyAllowsOneBitPerValue) {
   PrivacyMeter meter{MeterPolicy{}};
@@ -107,6 +133,33 @@ TEST(PrivacyMeterTest, InvalidEpsilonDeniedWithoutSideEffects) {
   // The budget still composes normally afterwards.
   EXPECT_TRUE(meter.TryChargeBit(1, 2, 1.5));
   EXPECT_FALSE(meter.TryChargeBit(1, 3, 0.5));
+}
+
+// Regression: invalid-epsilon denials used to return before the journal
+// hooks, so they were never journaled nor replayed — a restored ledger's
+// denied-charge count diverged from an uninterrupted run.
+TEST(PrivacyMeterTest, InvalidEpsilonDenialsFlowThroughTheJournal) {
+  PrivacyMeter meter{MeterPolicy{}};
+  RecordingJournal journal;
+  meter.set_journal(&journal);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(meter.TryChargeBit(1, 2, nan));
+  EXPECT_EQ(journal.attempts, 1);
+  ASSERT_EQ(journal.charges.size(), 1u);
+  EXPECT_EQ(journal.charges[0].client_id, 1);
+  EXPECT_EQ(journal.charges[0].value_id, 2);
+  EXPECT_TRUE(std::isnan(journal.charges[0].epsilon));
+  EXPECT_FALSE(journal.charges[0].granted);
+  EXPECT_EQ(meter.denied_charges(), 1);
+
+  // During replay the journaled outcome is served back without touching the
+  // ledger or re-journaling (the restored state already reflects it).
+  journal.replay = false;
+  EXPECT_FALSE(meter.TryChargeBit(1, 2, -1.0));
+  EXPECT_EQ(journal.attempts, 2);
+  EXPECT_EQ(journal.charges.size(), 1u);
+  EXPECT_EQ(meter.denied_charges(), 1);
 }
 
 TEST(PrivacyMeterTest, EncodeDecodeRoundTripsLedger) {
