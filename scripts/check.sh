@@ -18,6 +18,14 @@ cmake --build "$BUILD_DIR-asan" \
 ctest --test-dir "$BUILD_DIR-asan" --output-on-failure \
   -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz)'
 
+# TSan pass: the concurrent aggregator/health-tracker and fleet suites are
+# the thread-heavy ones, and the resilience suite shares their state
+# machines — run all three under ThreadSanitizer.
+cmake -B "$BUILD_DIR-tsan" -G Ninja -DBITPUSH_SANITIZE=thread
+cmake --build "$BUILD_DIR-tsan" --target concurrency_tests resilience_tests
+ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
+  -R '(Concurrent|Fleet|Resilience)'
+
 # Crash-recovery stage: run a durable campaign, SIGKILL it mid-campaign at
 # a journal-record boundary, restart against the same state directory, and
 # require the recovered stdout to be byte-identical to an uninterrupted run.

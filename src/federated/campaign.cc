@@ -45,8 +45,11 @@ bool DecodeCampaignTickResult(const std::vector<uint8_t>& buffer,
 }
 
 MeasurementCampaign::MeasurementCampaign(std::vector<CampaignQuery> queries,
-                                         PrivacyMeter* meter)
-    : queries_(std::move(queries)), meter_(meter) {
+                                         PrivacyMeter* meter,
+                                         ResilienceConfig resilience)
+    : queries_(std::move(queries)),
+      meter_(meter),
+      resilience_(resilience) {
   BITPUSH_CHECK(!queries_.empty());
   std::set<std::string> names;
   for (const CampaignQuery& query : queries_) {
@@ -54,6 +57,9 @@ MeasurementCampaign::MeasurementCampaign(std::vector<CampaignQuery> queries,
     BITPUSH_CHECK_GE(query.phase, 0);
     BITPUSH_CHECK(names.insert(query.name).second)
         << "duplicate query name " << query.name;
+  }
+  if (resilience_.breaker.enabled()) {
+    health_.emplace(resilience_.breaker);
   }
 }
 
@@ -64,6 +70,19 @@ std::vector<CampaignTickResult> MeasurementCampaign::RunTick(
   BITPUSH_CHECK_EQ(populations.size(), queries_.size());
   BITPUSH_CHECK_EQ(codecs.size(), queries_.size());
   BITPUSH_CHECK_GE(tick, 0);
+
+  // The tick's deadline budget is split evenly across the queries this
+  // tick actually schedules. Counted up front so the split does not depend
+  // on execution order.
+  int64_t scheduled_count = 0;
+  for (const CampaignQuery& query : queries_) {
+    if (tick >= query.phase && (tick - query.phase) % query.cadence_ticks == 0) {
+      ++scheduled_count;
+    }
+  }
+  const DeadlineBudget query_budget =
+      scheduled_count > 0 ? resilience_.budget.Split(scheduled_count)
+                          : resilience_.budget;
 
   std::vector<CampaignTickResult> results;
   for (size_t q = 0; q < queries_.size(); ++q) {
@@ -92,8 +111,14 @@ std::vector<CampaignTickResult> MeasurementCampaign::RunTick(
       FederatedQueryConfig config = scheduled.query;
       config.value_id = scheduled.value_id;
       config.recorder = recorder_;
+      if (resilience_.Enabled()) {
+        config.resilience = resilience_;
+        config.resilience.budget = query_budget;
+      }
+      if (health_.has_value()) config.health = &*health_;
       const FederatedQueryResult outcome = RunFederatedMeanQuery(
           *populations[q], codecs[q], config, meter_, query_rng);
+      retry_stats_.MergeFrom(outcome.retry);
       result.reports = outcome.round1.responded + outcome.round2.responded;
       if (outcome.aborted) {
         result.status = CampaignTickResult::Status::kSkippedCohort;

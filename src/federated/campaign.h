@@ -13,11 +13,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/privacy_meter.h"
 #include "federated/persist_hooks.h"
+#include "federated/resilience.h"
 #include "federated/round.h"
 #include "rng/rng.h"
 
@@ -83,8 +85,19 @@ class CampaignRecorder : public QueryRecorder {
 class MeasurementCampaign {
  public:
   // `meter` may be null (no caps). Queries must have distinct names.
-  MeasurementCampaign(std::vector<CampaignQuery> queries,
-                      PrivacyMeter* meter);
+  //
+  // `resilience` is the campaign-level recovery configuration
+  // (federated/resilience.h): its `budget` is the deadline budget of one
+  // *tick*, split evenly across the queries scheduled in that tick and
+  // propagated query -> round -> session from there. When the breaker
+  // policy is enabled the campaign owns the HealthTracker, so a client
+  // quarantined by one query's failures is excluded from every later
+  // query's cohort, backfill, and hedges until its cooldown-and-probe
+  // cycle closes the breaker. When `resilience` is enabled it overrides
+  // any per-query resilience config; the default leaves the queries'
+  // own settings untouched.
+  MeasurementCampaign(std::vector<CampaignQuery> queries, PrivacyMeter* meter,
+                      ResilienceConfig resilience = {});
 
   // Installs (or clears) the durability hook. Must be set before the tick
   // it should observe; the pointer is not owned.
@@ -106,9 +119,25 @@ class MeasurementCampaign {
   int64_t runs() const { return runs_; }
   int64_t skips() const { return skips_; }
 
+  const ResilienceConfig& resilience() const { return resilience_; }
+  // The campaign-owned circuit breaker (nullptr when the breaker policy is
+  // disabled). Mutable access exists for the recovery layer, which restores
+  // snapshot state and replays finished rounds into it.
+  const HealthTracker* health() const {
+    return health_.has_value() ? &*health_ : nullptr;
+  }
+  HealthTracker* mutable_health() {
+    return health_.has_value() ? &*health_ : nullptr;
+  }
+  // Recovery-layer counters pooled over the queries this process ran live.
+  const RetryStats& retry_stats() const { return retry_stats_; }
+
  private:
   std::vector<CampaignQuery> queries_;
   PrivacyMeter* meter_;
+  ResilienceConfig resilience_;
+  std::optional<HealthTracker> health_;
+  RetryStats retry_stats_;
   CampaignRecorder* recorder_ = nullptr;
   std::vector<CampaignTickResult> history_;
   int64_t runs_ = 0;

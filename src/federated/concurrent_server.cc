@@ -14,14 +14,60 @@ void ConcurrentAggregator::Merge(const BitHistogram& batch) {
   histogram_.Merge(batch);
 }
 
+void ConcurrentAggregator::MergeRetryStats(const RetryStats& batch) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  retry_stats_.MergeFrom(batch);
+}
+
 BitHistogram ConcurrentAggregator::Snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return histogram_;
 }
 
+RetryStats ConcurrentAggregator::retry_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return retry_stats_;
+}
+
 int64_t ConcurrentAggregator::TotalReports() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return histogram_.TotalReports();
+}
+
+ConcurrentHealthTracker::ConcurrentHealthTracker(const BreakerPolicy& policy)
+    : tracker_(policy) {}
+
+void ConcurrentHealthTracker::BeginRound() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tracker_.BeginRound();
+}
+
+AssignmentDecision ConcurrentHealthTracker::Decision(int64_t client_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_.Decision(client_id);
+}
+
+void ConcurrentHealthTracker::ObserveRound(
+    int64_t round_id, const std::vector<int64_t>& succeeded_client_ids,
+    const std::vector<int64_t>& failed_client_ids) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tracker_.ObserveRound(round_id, succeeded_client_ids, failed_client_ids,
+                        /*recorder=*/nullptr);
+}
+
+BreakerState ConcurrentHealthTracker::state(int64_t client_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_.state(client_id);
+}
+
+int64_t ConcurrentHealthTracker::opens() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_.opens();
+}
+
+int64_t ConcurrentHealthTracker::closes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_.closes();
 }
 
 }  // namespace bitpush

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "core/bit_pushing.h"
+#include "federated/resilience.h"
 
 namespace bitpush {
 
@@ -29,14 +31,50 @@ class ConcurrentAggregator {
   // batch). Safe to call from any thread.
   void Merge(const BitHistogram& batch);
 
+  // Folds one transport thread's recovery-layer counters into the shared
+  // totals. Safe to call from any thread.
+  void MergeRetryStats(const RetryStats& batch);
+
   // Returns a consistent copy of the tallies.
   BitHistogram Snapshot() const;
+
+  // Returns a consistent copy of the pooled recovery-layer counters.
+  RetryStats retry_stats() const;
 
   int64_t TotalReports() const;
 
  private:
   mutable std::mutex mutex_;
   BitHistogram histogram_;
+  RetryStats retry_stats_;
+};
+
+// Thread-safe facade over the per-client circuit breaker
+// (federated/resilience.h). Transport threads consult Decision() while a
+// window is in flight; the coordinator thread calls BeginRound at the
+// window boundary and ObserveRound with the pooled per-client outcomes.
+// All calls serialize on one mutex — HealthTracker itself stays
+// single-threaded and byte-stable.
+class ConcurrentHealthTracker {
+ public:
+  explicit ConcurrentHealthTracker(const BreakerPolicy& policy);
+
+  ConcurrentHealthTracker(const ConcurrentHealthTracker&) = delete;
+  ConcurrentHealthTracker& operator=(const ConcurrentHealthTracker&) = delete;
+
+  void BeginRound();
+  AssignmentDecision Decision(int64_t client_id) const;
+  void ObserveRound(int64_t round_id,
+                    const std::vector<int64_t>& succeeded_client_ids,
+                    const std::vector<int64_t>& failed_client_ids);
+
+  BreakerState state(int64_t client_id) const;
+  int64_t opens() const;
+  int64_t closes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  HealthTracker tracker_;
 };
 
 }  // namespace bitpush

@@ -21,6 +21,16 @@ void CheckRate(double rate) {
   BITPUSH_CHECK_LE(rate, 1.0);
 }
 
+// Salt stride separating retry attempts: attempt k uses the base salts
+// shifted by k * kAttemptSaltStride, so attempt 0 reproduces the original
+// hashes exactly and no attempt's salts collide with another's (the base
+// salts occupy [0, 4 + flips), far below the stride).
+constexpr uint64_t kAttemptSaltStride = 16;
+
+uint64_t AttemptSalt(uint64_t base_salt, int64_t attempt) {
+  return base_salt + kAttemptSaltStride * static_cast<uint64_t>(attempt);
+}
+
 }  // namespace
 
 bool FaultRates::Any() const {
@@ -58,8 +68,15 @@ double FaultPlan::HashUniform(int64_t round_id, int64_t client_id,
 }
 
 FaultType FaultPlan::Decide(int64_t round_id, int64_t client_id) const {
+  return DecideAttempt(round_id, client_id, /*attempt=*/0);
+}
+
+FaultType FaultPlan::DecideAttempt(int64_t round_id, int64_t client_id,
+                                   int64_t attempt) const {
+  BITPUSH_CHECK_GE(attempt, 0);
   if (!enabled_) return FaultType::kNone;
-  const double u = HashUniform(round_id, client_id, /*salt=*/0);
+  const double u =
+      HashUniform(round_id, client_id, AttemptSalt(/*base_salt=*/0, attempt));
   double edge = rates_.mid_round_dropout;
   if (u < edge) return FaultType::kMidRoundDropout;
   edge += rates_.straggler;
@@ -82,13 +99,23 @@ double FaultPlan::StragglerDelayMinutes(int64_t round_id,
 
 void FaultPlan::CorruptBuffer(int64_t round_id, int64_t client_id,
                               std::vector<uint8_t>* buffer) const {
+  CorruptBuffer(round_id, client_id, /*attempt=*/0, buffer);
+}
+
+void FaultPlan::CorruptBuffer(int64_t round_id, int64_t client_id,
+                              int64_t attempt,
+                              std::vector<uint8_t>* buffer) const {
   BITPUSH_CHECK(buffer != nullptr);
+  BITPUSH_CHECK_GE(attempt, 0);
   if (buffer->empty()) return;
-  const int flips =
-      1 + static_cast<int>(Hash(round_id, client_id, /*salt=*/2) % 3);
+  const int flips = 1 + static_cast<int>(Hash(round_id, client_id,
+                                              AttemptSalt(/*base_salt=*/2,
+                                                          attempt)) %
+                                         3);
   for (int k = 0; k < flips; ++k) {
-    const uint64_t h =
-        Hash(round_id, client_id, /*salt=*/3 + static_cast<uint64_t>(k));
+    const uint64_t h = Hash(
+        round_id, client_id,
+        AttemptSalt(/*base_salt=*/3 + static_cast<uint64_t>(k), attempt));
     const size_t pos = static_cast<size_t>(h % buffer->size());
     // A non-zero XOR mask guarantees the byte actually changes.
     const uint8_t mask = static_cast<uint8_t>(1 + (h >> 32) % 255);
@@ -98,9 +125,16 @@ void FaultPlan::CorruptBuffer(int64_t round_id, int64_t client_id,
 
 size_t FaultPlan::TruncatedSize(int64_t round_id, int64_t client_id,
                                 size_t full_size) const {
+  return TruncatedSize(round_id, client_id, /*attempt=*/0, full_size);
+}
+
+size_t FaultPlan::TruncatedSize(int64_t round_id, int64_t client_id,
+                                int64_t attempt, size_t full_size) const {
   BITPUSH_CHECK_GE(full_size, 1u);
-  return static_cast<size_t>(Hash(round_id, client_id, /*salt=*/4) %
-                             full_size);
+  BITPUSH_CHECK_GE(attempt, 0);
+  return static_cast<size_t>(
+      Hash(round_id, client_id, AttemptSalt(/*base_salt=*/4, attempt)) %
+      full_size);
 }
 
 int64_t FaultStats::InjectedTotal() const {
@@ -178,6 +212,16 @@ std::optional<BitReport> DeliverFaultedReport(const FaultPlan& plan,
                                               FaultType fault,
                                               const BitReport& report,
                                               FaultStats* stats) {
+  return DeliverFaultedReport(plan, round_id, client_id, /*attempt=*/0, fault,
+                              report, stats);
+}
+
+std::optional<BitReport> DeliverFaultedReport(const FaultPlan& plan,
+                                              int64_t round_id,
+                                              int64_t client_id,
+                                              int64_t attempt, FaultType fault,
+                                              const BitReport& report,
+                                              FaultStats* stats) {
   BITPUSH_CHECK(stats != nullptr);
   BITPUSH_CHECK(fault == FaultType::kCorruptMessage ||
                 fault == FaultType::kTruncateMessage);
@@ -185,7 +229,8 @@ std::optional<BitReport> DeliverFaultedReport(const FaultPlan& plan,
   EncodeBitReport(report, &frame);
   if (fault == FaultType::kTruncateMessage) {
     ++stats->injected_truncations;
-    frame.resize(plan.TruncatedSize(round_id, client_id, frame.size()));
+    frame.resize(
+        plan.TruncatedSize(round_id, client_id, attempt, frame.size()));
     size_t offset = 0;
     BitReport decoded;
     // A truncated frame is always shorter than the fixed wire size, so the
@@ -197,7 +242,7 @@ std::optional<BitReport> DeliverFaultedReport(const FaultPlan& plan,
     return decoded;
   }
   ++stats->injected_corruptions;
-  plan.CorruptBuffer(round_id, client_id, &frame);
+  plan.CorruptBuffer(round_id, client_id, attempt, &frame);
   size_t offset = 0;
   BitReport decoded;
   if (!DecodeBitReport(frame, &offset, &decoded)) {

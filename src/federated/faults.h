@@ -73,19 +73,34 @@ class FaultPlan {
   // maps to kNone so the remaining rates are unaffected.
   FaultType Decide(int64_t round_id, int64_t client_id) const;
 
+  // The fault striking retry attempt `attempt` (0-based) of
+  // (round_id, client_id). Attempt 0 is byte-identical to Decide — the
+  // resilience layer (federated/resilience.h) re-rolls the fault spectrum
+  // on every retry by folding the attempt number into the hash salts, so
+  // enabling retries never perturbs what attempt 0 injects.
+  FaultType DecideAttempt(int64_t round_id, int64_t client_id,
+                          int64_t attempt) const;
+
   // Deterministic lateness of a straggler's report, in (0, 60] minutes past
   // the deadline.
   double StragglerDelayMinutes(int64_t round_id, int64_t client_id) const;
 
   // Flips 1-3 bytes of `buffer` (each XORed with a non-zero mask), at
   // positions derived from (seed, round, client). At least one byte is
-  // guaranteed to change on a non-empty buffer.
+  // guaranteed to change on a non-empty buffer. The attempt-aware overload
+  // corrupts retransmissions independently; attempt 0 matches the two-arg
+  // form.
   void CorruptBuffer(int64_t round_id, int64_t client_id,
+                     std::vector<uint8_t>* buffer) const;
+  void CorruptBuffer(int64_t round_id, int64_t client_id, int64_t attempt,
                      std::vector<uint8_t>* buffer) const;
 
   // The length a truncated frame arrives with: a deterministic value in
-  // [0, full_size - 1]. `full_size` must be >= 1.
+  // [0, full_size - 1]. `full_size` must be >= 1. Attempt 0 matches the
+  // two-arg form.
   size_t TruncatedSize(int64_t round_id, int64_t client_id,
+                       size_t full_size) const;
+  size_t TruncatedSize(int64_t round_id, int64_t client_id, int64_t attempt,
                        size_t full_size) const;
 
  private:
@@ -161,6 +176,15 @@ std::optional<BitReport> DeliverFaultedReport(const FaultPlan& plan,
                                               int64_t round_id,
                                               int64_t client_id,
                                               FaultType fault,
+                                              const BitReport& report,
+                                              FaultStats* stats);
+
+// Attempt-aware overload for the resilience layer's retransmissions:
+// attempt 0 is byte-identical to the form above.
+std::optional<BitReport> DeliverFaultedReport(const FaultPlan& plan,
+                                              int64_t round_id,
+                                              int64_t client_id,
+                                              int64_t attempt, FaultType fault,
                                               const BitReport& report,
                                               FaultStats* stats);
 

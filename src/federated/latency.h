@@ -23,6 +23,8 @@ struct LatencyModel {
   // report-back once the cohort is filled ("the typical time to complete a
   // round on our FA stack is a matter of minutes").
   double fixed_round_minutes = 3.0;
+
+  friend bool operator==(const LatencyModel&, const LatencyModel&) = default;
 };
 
 // Expected minutes to gather `cohort_size` eligible devices.

@@ -51,4 +51,19 @@ WindowSummary MetricMonitor::IngestWindow(const std::vector<double>& values,
   return summary;
 }
 
+WindowSummary MetricMonitor::IngestWindow(
+    const std::vector<double>& values,
+    const RetryStats& cumulative_retry_stats, Rng& rng) {
+  const int64_t recovered_before = retry_stats_.RecoveredTotal();
+  WindowSummary summary = IngestWindow(values, rng);
+  retry_stats_ = cumulative_retry_stats;
+  const int64_t recovered =
+      retry_stats_.RecoveredTotal() - recovered_before;
+  BITPUSH_CHECK_GE(recovered, 0)
+      << "retry stats must be cumulative across windows";
+  summary.recovered_reports = recovered;
+  history_.back().recovered_reports = recovered;
+  return summary;
+}
+
 }  // namespace bitpush

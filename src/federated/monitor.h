@@ -11,6 +11,7 @@
 
 #include "core/adaptive.h"
 #include "core/fixed_point.h"
+#include "federated/resilience.h"
 #include "federated/telemetry.h"
 #include "rng/rng.h"
 
@@ -40,6 +41,10 @@ struct WindowSummary {
   int b_max = -1;
   bool bound_flagged = false;
   bool drift_flagged = false;
+  // Reports the collection transport recovered through retries or hedges
+  // this window (0 unless the caller ingests its RetryStats; see
+  // federated/resilience.h).
+  int64_t recovered_reports = 0;
 };
 
 class MetricMonitor {
@@ -50,14 +55,26 @@ class MetricMonitor {
   // client) and appends the summary to history().
   WindowSummary IngestWindow(const std::vector<double>& values, Rng& rng);
 
+  // Same, but also attributes the window's recovery-layer counters: the
+  // summary carries the window's recovered-report count (the delta of
+  // RetryStats::RecoveredTotal() against the previous call), and the
+  // cumulative stats are available from retry_stats(). Pass the collecting
+  // simulator's running totals (e.g. FleetSimulator::retry_stats()).
+  WindowSummary IngestWindow(const std::vector<double>& values,
+                             const RetryStats& cumulative_retry_stats,
+                             Rng& rng);
+
   const std::vector<WindowSummary>& history() const { return history_; }
   int64_t windows_flagged() const { return windows_flagged_; }
+  // Latest cumulative recovery-layer counters seen by IngestWindow.
+  const RetryStats& retry_stats() const { return retry_stats_; }
 
  private:
   FixedPointCodec codec_;
   MonitorConfig config_;
   UpperBoundMonitor bound_monitor_;
   std::vector<WindowSummary> history_;
+  RetryStats retry_stats_;
   double trailing_estimate_sum_ = 0.0;
   int64_t trailing_estimate_count_ = 0;
   int64_t windows_flagged_ = 0;

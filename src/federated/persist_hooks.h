@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "federated/report.h"
+#include "federated/resilience.h"
 #include "federated/server.h"
 
 namespace bitpush {
@@ -44,6 +45,12 @@ class QueryRecorder {
   // The server accepted one report into the round's tally.
   virtual void OnReportAccepted(int64_t /*round_id*/,
                                 const BitReport& /*report*/) {}
+
+  // One resilience decision (retry scheduled, hedge issued or cancelled,
+  // breaker transition; see federated/resilience.h). Emitted in execution
+  // order so the replay layer can verify a recovered run reproduces the
+  // exact recovery schedule of the original.
+  virtual void OnResilienceEvent(const ResilienceEvent& /*event*/) {}
 };
 
 }  // namespace bitpush

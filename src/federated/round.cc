@@ -60,6 +60,45 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   const RandomizedResponse rr =
       RandomizedResponse::FromEpsilon(config.adaptive.epsilon);
 
+  // The query's deadline budget is split across the two rounds by cohort
+  // share — the same delta that splits the cohort splits the time.
+  const double round1_share = static_cast<double>(n1) / static_cast<double>(n);
+
+  // Runs (or restores) one round with the breaker bracketing it: cooldowns
+  // advance before assignment, and the round's recorded outcome lists are
+  // applied at the boundary. Restored rounds take the same path — the
+  // lists live in the journaled outcome — so a recovered breaker is
+  // byte-identical to a live one. Open/close transitions are folded into
+  // the query-level RetryStats.
+  const auto run_or_restore_round =
+      [&](int64_t round_id, const RoundConfig& round_config,
+          const std::vector<int64_t>& round_cohort, Rng& round_rng,
+          RoundOutcome* outcome) {
+        if (config.health != nullptr) config.health->BeginRound();
+        if (config.recorder == nullptr ||
+            !config.recorder->RestoreRound(round_id, outcome)) {
+          *outcome =
+              server.RunRound(clients, round_cohort, round_config, meter,
+                              round_rng);
+          if (config.recorder != nullptr) {
+            config.recorder->OnRoundClosed(round_id, *outcome);
+          }
+        }
+        if (config.health != nullptr) {
+          const int64_t opens_before = config.health->opens();
+          const int64_t closes_before = config.health->closes();
+          config.health->ObserveRound(round_id, outcome->succeeded_client_ids,
+                                      outcome->failed_client_ids,
+                                      config.recorder);
+          result.retry.breaker_opens += config.health->opens() - opens_before;
+          result.retry.breaker_closes +=
+              config.health->closes() - closes_before;
+        }
+        result.comm.MergeFrom(outcome->comm);
+        result.faults.MergeFrom(outcome->faults);
+        result.retry.MergeFrom(outcome->retry);
+      };
+
   // Round 1: input-independent geometric probe.
   RoundConfig round1_config;
   round1_config.probabilities =
@@ -73,16 +112,11 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   round1_config.fault_policy = config.fault_policy;
   round1_config.backfill_pool = std::move(pool1);
   round1_config.recorder = config.recorder;
-  if (config.recorder == nullptr ||
-      !config.recorder->RestoreRound(1, &result.round1)) {
-    result.round1 =
-        server.RunRound(clients, cohort1, round1_config, meter, round1_rng);
-    if (config.recorder != nullptr) {
-      config.recorder->OnRoundClosed(1, result.round1);
-    }
-  }
-  result.comm.MergeFrom(result.round1.comm);
-  result.faults.MergeFrom(result.round1.faults);
+  round1_config.resilience = config.resilience;
+  round1_config.resilience.budget = config.resilience.budget.Fraction(
+      round1_share);
+  round1_config.health = config.health;
+  run_or_restore_round(1, round1_config, cohort1, round1_rng, &result.round1);
 
   // Learn the round-2 allocation — unless round 1 lost more than the
   // policy threshold, in which case the probe's means are too thin to
@@ -135,16 +169,10 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   round2_config.round_id = 2;
   round2_config.backfill_pool = std::move(pool2);
   round2_config.already_assigned = &assigned_round1;
-  if (config.recorder == nullptr ||
-      !config.recorder->RestoreRound(2, &result.round2)) {
-    result.round2 = server.RunRound(clients, cohort2_full, round2_config,
-                                    meter, round2_rng);
-    if (config.recorder != nullptr) {
-      config.recorder->OnRoundClosed(2, result.round2);
-    }
-  }
-  result.comm.MergeFrom(result.round2.comm);
-  result.faults.MergeFrom(result.round2.faults);
+  round2_config.resilience.budget =
+      config.resilience.budget.Fraction(1.0 - round1_share);
+  run_or_restore_round(2, round2_config, cohort2_full, round2_rng,
+                       &result.round2);
 
   // Final aggregation, with caching per the protocol config.
   BitHistogram pooled = result.round1.histogram;

@@ -43,6 +43,16 @@ struct FederatedQueryConfig {
   // restore an already-journaled round instead of re-running it; see
   // federated/persist_hooks.h for the recovery model.
   QueryRecorder* recorder = nullptr;
+  // Active recovery (federated/resilience.h). `resilience.budget` is this
+  // *query's* deadline budget; each round receives the share proportional
+  // to its cohort fraction. The default disables everything.
+  ResilienceConfig resilience;
+  // Per-client circuit breaker, owned by the caller (typically the
+  // campaign, so quarantine spans queries). The query consults it during
+  // assignment and applies each round's succeeded/failed outcome lists at
+  // the round boundary — for restored rounds too, which is what keeps the
+  // breaker byte-identical across a crash/recovery cycle.
+  HealthTracker* health = nullptr;
 };
 
 struct FederatedQueryResult {
@@ -64,6 +74,9 @@ struct FederatedQueryResult {
   // round-2 allocation fell back to the static weighted policy instead of
   // the learned rebalance.
   bool used_static_fallback = false;
+  // Pooled recovery-layer counters across both rounds, including the
+  // breaker transitions this query's outcomes caused.
+  RetryStats retry;
 };
 
 // Runs the full two-round query over `clients`. `meter` may be null.

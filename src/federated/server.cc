@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "federated/latency.h"
 #include "federated/persist_hooks.h"
 #include "federated/secure_agg.h"
 #include "rng/qmc.h"
@@ -29,6 +31,42 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
     outcome.intended_counts.assign(static_cast<size_t>(bits), 0);
   }
 
+  // Resilience setup. With the default (disabled) config every knob below
+  // is inert — zero service minutes, infinite budget, no retries, no
+  // hedging, no breaker — and the round reproduces pre-resilience behavior
+  // byte for byte, RNG stream included.
+  const ResilienceConfig& res = config.resilience;
+  const bool resilience_on = res.Enabled();
+  const bool breaker_on =
+      config.health != nullptr && config.health->policy().enabled();
+  const RetrySchedule schedule = res.retry.enabled()
+                                     ? RetrySchedule(res.seed, res.retry)
+                                     : RetrySchedule();
+  // Virtual round clock, in simulated minutes: each contact costs the
+  // expected per-device collection time, retries add their backoff on top,
+  // and the whole round is bounded by the deadline budget.
+  const double service_minutes =
+      resilience_on ? ExpectedCollectionMinutes(res.latency, 1) : 0.0;
+  const double budget_minutes = res.budget.minutes;
+  // The budget clamps the flat straggler deadline: whichever is tighter
+  // decides what "late" means this round.
+  const double effective_deadline =
+      res.budget.ClampDeadline(config.fault_policy.report_deadline_minutes);
+  double clock = 0.0;
+  int64_t round_retries = 0;
+
+  const auto emit = [&](ResilienceEventType type, int64_t client_id,
+                        int64_t attempt, double minutes) {
+    if (config.recorder == nullptr) return;
+    ResilienceEvent event;
+    event.type = type;
+    event.round_id = config.round_id;
+    event.client_id = client_id;
+    event.attempt = attempt;
+    event.minutes = minutes;
+    config.recorder->OnResilienceEvent(event);
+  };
+
   // Check-in: clients already assigned in an earlier round of this query
   // (crash-then-recheckin) are rejected before any assignment is issued.
   std::vector<int64_t> active;
@@ -46,13 +84,197 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
   std::vector<BitReport> reports;
   reports.reserve(active.size());
 
-  // One collection pass: assign bits to `batch` (QMC partition per pass),
-  // send requests, and run each report through the fault pipeline —
-  // client-side loss, then the wire leg, then the deadline cutoff, then the
-  // server's protocol validation.
-  const auto collect = [&](const std::vector<int64_t>& batch,
-                           bool backfill) {
-    const int64_t k = static_cast<int64_t>(batch.size());
+  enum class SlotResult {
+    kAccepted,
+    kFailed,
+    // The report exists but its predicted arrival misses the effective
+    // deadline — the hedge-eligible failure mode.
+    kStraggledLate,
+  };
+
+  // The full request pipeline for one assignment slot: contact, client-side
+  // loss (with retries — a fresh fault roll per attempt), the wire leg
+  // (with retransmissions of the already-computed report), the deadline
+  // cutoff, and the server's protocol validation. Privacy-meter contract:
+  // HandleRequest runs at most once per slot — a retry after dropout
+  // re-requests the *undisclosed* bit, a retransmission re-sends the
+  // already-metered report — so no slot is ever charged twice.
+  const auto run_slot = [&](int64_t idx, const BitRequest& request,
+                            bool allow_retries, bool is_hedge,
+                            bool backfill) -> SlotResult {
+    const Client& client = clients[static_cast<size_t>(idx)];
+    outcome.assigned_clients.push_back(idx);
+    ++outcome.contacted;
+    ++outcome.comm.requests_sent;
+    outcome.comm.payload_bytes += RequestPayloadBytes();
+    if (backfill) ++outcome.faults.backfill_requests;
+
+    std::optional<BitReport> report;
+    int64_t attempt = 0;
+    // Gatekeeper for another attempt: per-client cap, per-round cap, then
+    // the deadline budget (the backoff plus one more service interval must
+    // still fit). Charges the backoff to the clock on success.
+    const auto try_schedule_retry = [&](bool retransmit) -> bool {
+      if (!allow_retries || !res.retry.enabled()) return false;
+      const int64_t next = attempt + 1;
+      if (next > res.retry.max_retries_per_client) {
+        ++outcome.retry.retries_exhausted;
+        return false;
+      }
+      if (round_retries >= res.retry.max_retries_per_round) {
+        ++outcome.retry.retry_budget_denied;
+        return false;
+      }
+      const double backoff =
+          schedule.BackoffMinutes(config.round_id, client.id(), next);
+      if (clock + backoff + service_minutes > budget_minutes) {
+        ++outcome.retry.deadline_denied;
+        return false;
+      }
+      clock += backoff;
+      outcome.retry.backoff_minutes += backoff;
+      ++round_retries;
+      if (retransmit) {
+        ++outcome.retry.retransmits_requested;
+        emit(ResilienceEventType::kRetransmitScheduled, client.id(), next,
+             backoff);
+      } else {
+        ++outcome.retry.retries_scheduled;
+        emit(ResilienceEventType::kRetryScheduled, client.id(), next, backoff);
+      }
+      attempt = next;
+      return true;
+    };
+
+    while (true) {
+      clock += service_minutes;
+      const FaultType fault =
+          config.fault_plan != nullptr
+              ? config.fault_plan->DecideAttempt(config.round_id, client.id(),
+                                                 attempt)
+              : FaultType::kNone;
+      if (fault == FaultType::kRoundBoundaryCrash) {
+        // Fatal for the slot whether it struck the first attempt or a
+        // retransmission: the device is gone until it re-checks-in.
+        ++outcome.faults.injected_crashes;
+        outcome.crashed_clients.push_back(idx);
+        return SlotResult::kFailed;
+      }
+      if (fault == FaultType::kMidRoundDropout) {
+        // The device vanished before this leg completed. On attempt 0
+        // nothing was disclosed and the meter was never charged; on a
+        // retransmission only the wire leg was lost.
+        ++outcome.faults.injected_dropouts;
+        if (try_schedule_retry(/*retransmit=*/report.has_value())) continue;
+        return SlotResult::kFailed;
+      }
+      if (!report.has_value()) {
+        report = client.HandleRequest(request, codec_,
+                                      !config.central_randomness, meter, rng);
+        // Organic loss (client-side dropout or meter denial) is not an
+        // injected fault and is not retried: the device made its decision.
+        if (!report.has_value()) return SlotResult::kFailed;
+      }
+      std::optional<BitReport> delivered = report;
+      if (fault == FaultType::kCorruptMessage ||
+          fault == FaultType::kTruncateMessage) {
+        // The report was sent (and metered); the wire leg garbles it. A
+        // rejected frame is recovered by *retransmission* — the client
+        // re-sends the same report, so the meter is not consulted again.
+        delivered = DeliverFaultedReport(*config.fault_plan, config.round_id,
+                                         client.id(), attempt, fault, *report,
+                                         &outcome.faults);
+        if (!delivered.has_value()) {
+          if (try_schedule_retry(/*retransmit=*/true)) continue;
+          return SlotResult::kFailed;
+        }
+      }
+      if (fault == FaultType::kStraggler) {
+        ++outcome.faults.injected_stragglers;
+        if (std::isfinite(effective_deadline)) {
+          ++outcome.faults.late_reports_rejected;
+          return SlotResult::kStraggledLate;
+        }
+        ++outcome.faults.late_reports_accepted;
+      }
+      BitReport accepted = *delivered;
+      if (config.central_randomness) {
+        // Defense: tally under the server's assignment, not the claim.
+        accepted.bit_index = request.bit_index;
+      } else if (accepted.bit_index < 0 || accepted.bit_index >= bits ||
+                 (accepted.bit != 0 && accepted.bit != 1)) {
+        // Under local randomness the index (and bit) are client-supplied;
+        // reject anything outside the protocol's domain.
+        ++outcome.malformed_reports;
+        return SlotResult::kFailed;
+      }
+      ++outcome.comm.reports_received;
+      ++outcome.comm.private_bits;
+      outcome.comm.payload_bytes += ReportPayloadBytes();
+      if (backfill) ++outcome.faults.backfill_reports;
+      if (is_hedge) {
+        ++outcome.retry.hedge_reports;
+        emit(ResilienceEventType::kHedgeWon, client.id(), 0, 0.0);
+      } else if (attempt > 0) {
+        ++outcome.retry.retry_reports_recovered;
+        emit(ResilienceEventType::kRetryRecovered, client.id(), attempt, 0.0);
+      }
+      if (config.recorder != nullptr) {
+        config.recorder->OnReportAccepted(config.round_id, accepted);
+      }
+      reports.push_back(accepted);
+      return SlotResult::kAccepted;
+    }
+  };
+
+  // Fresh-client source for hedges, shared with the backfill passes so no
+  // client is drawn twice. Quarantined clients are skipped here like
+  // everywhere else.
+  size_t pool_pos = 0;
+  const auto next_pool_client = [&]() -> std::optional<int64_t> {
+    while (pool_pos < config.backfill_pool.size()) {
+      const int64_t idx = config.backfill_pool[pool_pos++];
+      if (breaker_on) {
+        const int64_t id = clients[static_cast<size_t>(idx)].id();
+        const AssignmentDecision decision = config.health->Decision(id);
+        if (decision == AssignmentDecision::kSkip) {
+          ++outcome.retry.breaker_skips;
+          emit(ResilienceEventType::kBreakerSkip, id, 0, 0.0);
+          continue;
+        }
+        if (decision == AssignmentDecision::kProbe) {
+          ++outcome.retry.breaker_probes;
+          emit(ResilienceEventType::kBreakerProbe, id, 0, 0.0);
+        }
+      }
+      return idx;
+    }
+    return std::nullopt;
+  };
+
+  // One collection pass: filter the batch through the circuit breaker,
+  // assign bits (QMC partition per pass), then drive every slot through the
+  // pipeline — hedging slots that fail or straggle when the policy allows.
+  const auto collect = [&](const std::vector<int64_t>& batch, bool backfill) {
+    std::vector<int64_t> eligible;
+    eligible.reserve(batch.size());
+    for (const int64_t idx : batch) {
+      if (breaker_on) {
+        const int64_t id = clients[static_cast<size_t>(idx)].id();
+        const AssignmentDecision decision = config.health->Decision(id);
+        if (decision == AssignmentDecision::kSkip) {
+          ++outcome.retry.breaker_skips;
+          emit(ResilienceEventType::kBreakerSkip, id, 0, 0.0);
+          continue;
+        }
+        if (decision == AssignmentDecision::kProbe) {
+          ++outcome.retry.breaker_probes;
+          emit(ResilienceEventType::kBreakerProbe, id, 0, 0.0);
+        }
+      }
+      eligible.push_back(idx);
+    }
+    const int64_t k = static_cast<int64_t>(eligible.size());
     if (k == 0) return;
     const std::vector<int> assignment =
         config.central_randomness
@@ -65,72 +287,71 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
     }
     if (config.recorder != nullptr) {
       std::vector<int64_t> assigned_ids;
-      assigned_ids.reserve(batch.size());
-      for (const int64_t idx : batch) {
+      assigned_ids.reserve(eligible.size());
+      for (const int64_t idx : eligible) {
         assigned_ids.push_back(clients[static_cast<size_t>(idx)].id());
       }
       config.recorder->OnCohortAssigned(config.round_id, assigned_ids);
     }
     for (int64_t i = 0; i < k; ++i) {
-      const Client& client = clients[static_cast<size_t>(batch[i])];
-      outcome.assigned_clients.push_back(batch[i]);
+      const int64_t idx = eligible[static_cast<size_t>(i)];
+      const int64_t client_id = clients[static_cast<size_t>(idx)].id();
       const BitRequest request{config.round_id, config.value_id,
                                assignment[static_cast<size_t>(i)],
                                config.epsilon};
-      ++outcome.comm.requests_sent;
-      outcome.comm.payload_bytes += RequestPayloadBytes();
-      const FaultType fault =
-          config.fault_plan != nullptr
-              ? config.fault_plan->Decide(config.round_id, client.id())
-              : FaultType::kNone;
-      if (fault == FaultType::kMidRoundDropout) {
-        // The device vanished before computing its report: no private bit
-        // was disclosed, so the meter is never charged.
-        ++outcome.faults.injected_dropouts;
-        continue;
-      }
-      if (fault == FaultType::kRoundBoundaryCrash) {
-        ++outcome.faults.injected_crashes;
-        outcome.crashed_clients.push_back(batch[i]);
-        continue;
-      }
-      std::optional<BitReport> report = client.HandleRequest(
-          request, codec_, !config.central_randomness, meter, rng);
-      if (!report.has_value()) continue;
-      if (fault == FaultType::kCorruptMessage ||
-          fault == FaultType::kTruncateMessage) {
-        // The report was sent (and metered); the wire leg garbles it.
-        report = DeliverFaultedReport(*config.fault_plan, config.round_id,
-                                      client.id(), fault, *report,
-                                      &outcome.faults);
-        if (!report.has_value()) continue;
-      }
-      if (fault == FaultType::kStraggler) {
-        ++outcome.faults.injected_stragglers;
-        if (std::isfinite(config.fault_policy.report_deadline_minutes)) {
-          ++outcome.faults.late_reports_rejected;
-          continue;
+      // Pre-emptive hedging: once the budget is nearly spent, every slot
+      // gets a duplicate assignment reserved up front. Decided *before* the
+      // slot runs so the hedge models a duplicate issued alongside the
+      // original, not hindsight.
+      const bool hedge_planned =
+          res.hedge.enabled && res.budget.finite() &&
+          clock >= res.hedge.trigger_budget_fraction * budget_minutes &&
+          outcome.retry.hedges_issued < res.hedge.max_hedges_per_round;
+      const SlotResult primary = run_slot(idx, request, /*allow_retries=*/true,
+                                          /*is_hedge=*/false, backfill);
+      if (primary == SlotResult::kAccepted) {
+        outcome.succeeded_client_ids.push_back(client_id);
+        if (hedge_planned) {
+          // First complete wins: the original arrived, so the duplicate is
+          // cancelled before the hedge client computes anything — it never
+          // discloses a bit, is never metered, and stays in the pool.
+          ++outcome.retry.hedges_issued;
+          ++outcome.retry.hedges_cancelled;
+          emit(ResilienceEventType::kHedgeIssued, client_id, 0, 0.0);
+          emit(ResilienceEventType::kHedgeCancelled, client_id, 0, 0.0);
         }
-        ++outcome.faults.late_reports_accepted;
-      }
-      if (config.central_randomness) {
-        // Defense: tally under the server's assignment, not the claim.
-        report->bit_index = request.bit_index;
-      } else if (report->bit_index < 0 || report->bit_index >= bits ||
-                 (report->bit != 0 && report->bit != 1)) {
-        // Under local randomness the index (and bit) are client-supplied;
-        // reject anything outside the protocol's domain.
-        ++outcome.malformed_reports;
         continue;
       }
-      ++outcome.comm.reports_received;
-      ++outcome.comm.private_bits;
-      outcome.comm.payload_bytes += ReportPayloadBytes();
-      if (backfill) ++outcome.faults.backfill_reports;
-      if (config.recorder != nullptr) {
-        config.recorder->OnReportAccepted(config.round_id, *report);
+      outcome.failed_client_ids.push_back(client_id);
+      // Reactive hedging: a straggler's report is *predicted late* the
+      // moment its delay is known, so the duplicate goes out even before
+      // the budget-pressure trigger fires.
+      const bool hedge_wanted =
+          res.hedge.enabled &&
+          (hedge_planned || primary == SlotResult::kStraggledLate) &&
+          outcome.retry.hedges_issued < res.hedge.max_hedges_per_round;
+      if (!hedge_wanted) continue;
+      const std::optional<int64_t> hedge_idx = next_pool_client();
+      if (!hedge_idx.has_value()) continue;
+      const int64_t hedge_id =
+          clients[static_cast<size_t>(*hedge_idx)].id();
+      ++outcome.retry.hedges_issued;
+      emit(ResilienceEventType::kHedgeIssued, client_id, 0, 0.0);
+      const SlotResult hedged =
+          run_slot(*hedge_idx, request, /*allow_retries=*/false,
+                   /*is_hedge=*/true, /*backfill=*/false);
+      if (hedged == SlotResult::kAccepted) {
+        outcome.succeeded_client_ids.push_back(hedge_id);
+        if (primary == SlotResult::kStraggledLate) {
+          // The original's late duplicate is discarded by dedup: exactly
+          // one report per work item enters the tally.
+          ++outcome.retry.hedge_dedup_drops;
+        }
+      } else {
+        ++outcome.retry.hedge_failures;
+        emit(ResilienceEventType::kHedgeFailed, hedge_id, 0, 0.0);
+        outcome.failed_client_ids.push_back(hedge_id);
       }
-      reports.push_back(*report);
     }
   };
 
@@ -141,7 +362,6 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
   // out. Replacements run the same pipeline (faults included) and are
   // metered on response like any reporter.
   const int64_t target = static_cast<int64_t>(active.size());
-  size_t pool_pos = 0;
   for (int64_t pass = 0; pass < config.fault_policy.max_backfill_rounds &&
                          static_cast<int64_t>(reports.size()) < target &&
                          pool_pos < config.backfill_pool.size();
@@ -154,12 +374,11 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
       draw.push_back(config.backfill_pool[pool_pos++]);
     }
     ++outcome.faults.backfill_rounds_used;
-    outcome.faults.backfill_requests += static_cast<int64_t>(draw.size());
     collect(draw, /*backfill=*/true);
   }
 
-  outcome.contacted = target + outcome.faults.backfill_requests;
   outcome.responded = static_cast<int64_t>(reports.size());
+  if (resilience_on) outcome.retry.elapsed_minutes = clock;
   outcome.dropout_rate =
       outcome.contacted > 0
           ? 1.0 - static_cast<double>(outcome.responded) /
@@ -210,6 +429,9 @@ void EncodeRoundOutcome(const RoundOutcome& outcome,
   EncodeFaultStats(outcome.faults, out);
   bytes::PutInt64Vector(outcome.assigned_clients, out);
   bytes::PutInt64Vector(outcome.crashed_clients, out);
+  EncodeRetryStats(outcome.retry, out);
+  bytes::PutInt64Vector(outcome.succeeded_client_ids, out);
+  bytes::PutInt64Vector(outcome.failed_client_ids, out);
 }
 
 bool DecodeRoundOutcome(const std::vector<uint8_t>& buffer, size_t* offset,
@@ -227,7 +449,11 @@ bool DecodeRoundOutcome(const std::vector<uint8_t>& buffer, size_t* offset,
       !bytes::GetInt64Vector(buffer, &cursor, &outcome.intended_counts) ||
       !DecodeFaultStats(buffer, &cursor, &outcome.faults) ||
       !bytes::GetInt64Vector(buffer, &cursor, &outcome.assigned_clients) ||
-      !bytes::GetInt64Vector(buffer, &cursor, &outcome.crashed_clients)) {
+      !bytes::GetInt64Vector(buffer, &cursor, &outcome.crashed_clients) ||
+      !DecodeRetryStats(buffer, &cursor, &outcome.retry) ||
+      !bytes::GetInt64Vector(buffer, &cursor,
+                             &outcome.succeeded_client_ids) ||
+      !bytes::GetInt64Vector(buffer, &cursor, &outcome.failed_client_ids)) {
     return false;
   }
   if (outcome.contacted < 0 || outcome.responded < 0 ||

@@ -15,6 +15,7 @@
 #include "federated/client.h"
 #include "federated/faults.h"
 #include "federated/report.h"
+#include "federated/resilience.h"
 #include "rng/rng.h"
 
 namespace bitpush {
@@ -51,6 +52,16 @@ struct RoundConfig {
   // Durability hook (nullptr disables journaling): receives assignment and
   // accepted-report events as they happen; see federated/persist_hooks.h.
   QueryRecorder* recorder = nullptr;
+  // Active recovery (federated/resilience.h): retries, hedged assignments,
+  // and the round's deadline budget. The default disables everything and
+  // reproduces pre-resilience behavior byte for byte.
+  ResilienceConfig resilience;
+  // Per-client circuit breaker consulted (read-only) during assignment;
+  // quarantined clients are excluded from the cohort, backfill, and hedges.
+  // Owned by the caller (typically the campaign); nullptr disables it. The
+  // round never mutates it — the caller applies the outcome's
+  // succeeded/failed lists at the round boundary.
+  const HealthTracker* health = nullptr;
 };
 
 struct RoundOutcome {
@@ -74,6 +85,17 @@ struct RoundOutcome {
   // Indices that crashed after assignment (kRoundBoundaryCrash) — the
   // clients that will attempt to re-check-in next round.
   std::vector<int64_t> crashed_clients;
+  // Recovery-layer counters for this round (all zero when resilience is
+  // disabled).
+  RetryStats retry;
+  // Client ids whose assignment ultimately produced an accepted report,
+  // and ids whose assignment ultimately failed (dropout after retries,
+  // rejected report, crash, late straggler), in decision order. These feed
+  // HealthTracker::ObserveRound at the round boundary — recorded here, not
+  // applied in-round, so a restored round updates the breaker identically
+  // to a live one.
+  std::vector<int64_t> succeeded_client_ids;
+  std::vector<int64_t> failed_client_ids;
 };
 
 // Serialization of a completed round's full outcome, used by the journal's

@@ -27,6 +27,8 @@ CollectionSession::CollectionSession(const FixedPointCodec& codec,
   BITPUSH_CHECK_GE(config_.target_reports, 0);
   BITPUSH_CHECK(!(config_.report_deadline < 0.0))
       << "report_deadline must be non-negative";
+  BITPUSH_CHECK(!(config_.deadline_budget_minutes < 0.0))
+      << "deadline_budget_minutes must be non-negative";
 }
 
 bool CollectionSession::IssueAssignment(int64_t client_id,
@@ -81,7 +83,10 @@ ReportRejection CollectionSession::SubmitReport(const BitReport& report,
     ++rejected_;
     return ReportRejection::kSessionClosed;
   }
-  if (arrival_time > config_.report_deadline) {
+  // Inclusive boundary: arrival_time == the effective deadline (the
+  // tighter of report_deadline and the propagated budget) is on time;
+  // only strictly later arrivals are rejected.
+  if (arrival_time > config_.effective_deadline()) {
     ++rejected_;
     ++late_;
     return ReportRejection::kLate;
@@ -134,6 +139,7 @@ void CollectionSession::EncodeTo(std::vector<uint8_t>* out) const {
   bytes::PutInt64(config_.round_id, out);
   bytes::PutInt64(config_.value_id, out);
   bytes::PutDouble(config_.report_deadline, out);
+  bytes::PutDouble(config_.deadline_budget_minutes, out);
   bytes::PutByte(static_cast<uint8_t>(state_), out);
 
   std::vector<int64_t> assigned_ids;
@@ -180,6 +186,7 @@ bool CollectionSession::Decode(const std::vector<uint8_t>& buffer,
       !bytes::GetInt64(buffer, &cursor, &config.round_id) ||
       !bytes::GetInt64(buffer, &cursor, &config.value_id) ||
       !bytes::GetDouble(buffer, &cursor, &config.report_deadline) ||
+      !bytes::GetDouble(buffer, &cursor, &config.deadline_budget_minutes) ||
       !bytes::GetByte(buffer, &cursor, &state)) {
     return false;
   }
@@ -190,6 +197,8 @@ bool CollectionSession::Decode(const std::vector<uint8_t>& buffer,
       static_cast<int64_t>(config.probabilities.size()) != bits ||
       !std::isfinite(config.epsilon) || config.target_reports < 0 ||
       std::isnan(config.report_deadline) || config.report_deadline < 0.0 ||
+      std::isnan(config.deadline_budget_minutes) ||
+      config.deadline_budget_minutes < 0.0 ||
       state > static_cast<uint8_t>(SessionState::kClosed)) {
     return false;
   }

@@ -52,8 +52,22 @@ struct SessionConfig {
   int64_t value_id = 0;
   // Straggler cutoff: reports whose arrival time exceeds this are rejected
   // as kLate (same clock as the arrival_time passed to SubmitReport;
-  // infinity disables the deadline).
+  // infinity disables the deadline). The boundary is *inclusive*: a report
+  // with arrival_time == report_deadline is accepted — only strictly later
+  // arrivals are rejected. Pinned by SessionTest.DeadlineBoundaryIsInclusive.
   double report_deadline = std::numeric_limits<double>::infinity();
+  // Deadline budget propagated from the scheduling hierarchy above the
+  // session (campaign -> query -> round -> session; see
+  // federated/resilience.h). The effective cutoff is
+  // min(report_deadline, deadline_budget_minutes), with the same inclusive
+  // boundary; infinity (the default) leaves report_deadline in charge.
+  double deadline_budget_minutes = std::numeric_limits<double>::infinity();
+
+  // The cutoff SubmitReport actually enforces.
+  double effective_deadline() const {
+    return report_deadline < deadline_budget_minutes ? report_deadline
+                                                     : deadline_budget_minutes;
+  }
 };
 
 class CollectionSession {

@@ -21,7 +21,7 @@ constexpr size_t kFrameCrcSize = 4;
 
 bool ValidRecordType(uint8_t type) {
   return type >= static_cast<uint8_t>(JournalRecordType::kQueryStarted) &&
-         type <= static_cast<uint8_t>(JournalRecordType::kCampaignTick);
+         type <= static_cast<uint8_t>(JournalRecordType::kResilienceEvent);
 }
 
 std::string IoError(const std::string& action, const std::string& path) {
@@ -371,6 +371,25 @@ bool DecodeCampaignTickRecord(const std::vector<uint8_t>& payload,
     return false;
   }
   if (record.tick < 0) return false;
+  *out = record;
+  return true;
+}
+
+void EncodeResilienceEventRecord(const ResilienceEventRecord& record,
+                                 std::vector<uint8_t>* out) {
+  BITPUSH_CHECK(out != nullptr);
+  EncodeResilienceEvent(record.event, out);
+}
+
+bool DecodeResilienceEventRecord(const std::vector<uint8_t>& payload,
+                                 ResilienceEventRecord* out) {
+  BITPUSH_CHECK(out != nullptr);
+  size_t cursor = 0;
+  ResilienceEventRecord record;
+  if (!DecodeResilienceEvent(payload, &cursor, &record.event) ||
+      cursor != payload.size()) {
+    return false;
+  }
   *out = record;
   return true;
 }

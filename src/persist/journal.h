@@ -34,6 +34,7 @@
 
 #include "federated/campaign.h"
 #include "federated/report.h"
+#include "federated/resilience.h"
 #include "federated/server.h"
 
 namespace bitpush {
@@ -46,6 +47,7 @@ enum class JournalRecordType : uint8_t {
   kRoundClosed = 5,
   kQueryFinished = 6,
   kCampaignTick = 7,
+  kResilienceEvent = 8,
 };
 
 struct JournalRecord {
@@ -215,6 +217,21 @@ void EncodeCampaignTickRecord(const CampaignTickRecord& record,
                               std::vector<uint8_t>* out);
 bool DecodeCampaignTickRecord(const std::vector<uint8_t>& payload,
                               CampaignTickRecord* out);
+
+// One retry / hedge / breaker decision made by the resilience layer
+// (federated/resilience.h) during a live round. Journaled in execution
+// order so replay can verify the recovery layer re-derives the exact same
+// decisions from the same seed.
+struct ResilienceEventRecord {
+  ResilienceEvent event;
+
+  friend bool operator==(const ResilienceEventRecord&,
+                         const ResilienceEventRecord&) = default;
+};
+void EncodeResilienceEventRecord(const ResilienceEventRecord& record,
+                                 std::vector<uint8_t>* out);
+bool DecodeResilienceEventRecord(const std::vector<uint8_t>& payload,
+                                 ResilienceEventRecord* out);
 
 }  // namespace bitpush
 

@@ -30,11 +30,11 @@ bool SameDoubleBits(double a, double b) {
 
 DurableCampaignRunner::DurableCampaignRunner(
     std::vector<CampaignQuery> queries, const MeterPolicy& policy,
-    DurableCampaignOptions options)
+    DurableCampaignOptions options, ResilienceConfig resilience)
     : policy_(policy),
       options_(std::move(options)),
       meter_(policy),
-      campaign_(std::move(queries), &meter_),
+      campaign_(std::move(queries), &meter_, resilience),
       rng_(options_.seed) {
   BITPUSH_CHECK(!options_.state_dir.empty()) << "state_dir is required";
 }
@@ -96,6 +96,20 @@ bool DurableCampaignRunner::Open(std::string* error) {
         return false;
       }
       sessions_.push_back(std::move(*session));
+    }
+    if (!snapshot.health_blob.empty()) {
+      HealthTracker* health = campaign_.mutable_health();
+      if (health == nullptr) {
+        *error = "snapshot has breaker state but the campaign has no breaker";
+        return false;
+      }
+      size_t health_offset = 0;
+      if (!HealthTracker::DecodeFrom(snapshot.health_blob, &health_offset,
+                                     health) ||
+          health_offset != snapshot.health_blob.size()) {
+        *error = "snapshot breaker state failed validation";
+        return false;
+      }
     }
     completed_ticks_ = snapshot.completed_ticks;
     expected_seq = snapshot.journal_next_seq;
@@ -241,10 +255,40 @@ bool DurableCampaignRunner::ApplyJournal(
         prefix_start = records.size();
         break;
       }
+      case JournalRecordType::kResilienceEvent: {
+        // Contextual, like the round records: a decision the resilience
+        // layer made inside the in-flight query. Validated here; the
+        // re-execution re-derives it and verifies byte equality.
+        ResilienceEventRecord event;
+        if (!DecodeResilienceEventRecord(record.payload, &event) ||
+            !in_query) {
+          *error = "journal: malformed or misplaced resilience-event record";
+          return false;
+        }
+        break;
+      }
     }
   }
   prefix_.assign(records.begin() + static_cast<ptrdiff_t>(prefix_start),
                  records.end());
+
+  // Rounds of *finished* queries never re-execute (RestoreQueryResult
+  // serves their summaries), so their breaker observations are replayed
+  // here from the journaled outcomes; the in-flight query's rounds — the
+  // replay prefix — are applied by the round layer during re-execution,
+  // and pre-snapshot history came in with the snapshot's health blob.
+  if (HealthTracker* health = campaign_.mutable_health(); health != nullptr) {
+    for (size_t i = 0; i < prefix_start; ++i) {
+      if (records[i].type != JournalRecordType::kRoundClosed) continue;
+      RoundClosedRecord record;
+      BITPUSH_CHECK(DecodeRoundClosedRecord(records[i].payload, &record));
+      health->BeginRound();
+      health->ObserveRound(record.round_id,
+                           record.outcome.succeeded_client_ids,
+                           record.outcome.failed_client_ids,
+                           /*recorder=*/nullptr);
+    }
+  }
   return true;
 }
 
@@ -349,6 +393,9 @@ bool DurableCampaignRunner::Snapshot(std::string* error) {
     std::vector<uint8_t> blob;
     session.EncodeTo(&blob);
     snapshot.open_sessions.push_back(std::move(blob));
+  }
+  if (const HealthTracker* health = campaign_.health(); health != nullptr) {
+    health->EncodeTo(&snapshot.health_blob);
   }
   if (!WriteSnapshotFile(snapshot_path_, snapshot, error)) return false;
 
@@ -485,6 +532,12 @@ void DurableCampaignRunner::OnReportAccepted(int64_t round_id,
   std::vector<uint8_t> payload;
   EncodeReportAcceptedRecord(ReportAcceptedRecord{round_id, report}, &payload);
   VerifyOrAppend(JournalRecordType::kReportAccepted, payload);
+}
+
+void DurableCampaignRunner::OnResilienceEvent(const ResilienceEvent& event) {
+  std::vector<uint8_t> payload;
+  EncodeResilienceEventRecord(ResilienceEventRecord{event}, &payload);
+  VerifyOrAppend(JournalRecordType::kResilienceEvent, payload);
 }
 
 std::optional<bool> DurableCampaignRunner::OnChargeAttempt(int64_t client_id,

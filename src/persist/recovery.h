@@ -92,9 +92,15 @@ struct RecoveryInfo {
 class DurableCampaignRunner : private CampaignRecorder,
                               private PrivacyMeter::Journal {
  public:
+  // `resilience` is forwarded to the campaign (see MeasurementCampaign).
+  // Every retry / hedge / breaker decision is journaled as a
+  // kResilienceEvent record, so replay verifies the recovered schedule
+  // decision by decision; the breaker's state is snapshot-persisted and
+  // rebuilt from the journaled round outcomes in between.
   DurableCampaignRunner(std::vector<CampaignQuery> queries,
                         const MeterPolicy& policy,
-                        DurableCampaignOptions options);
+                        DurableCampaignOptions options,
+                        ResilienceConfig resilience = {});
   ~DurableCampaignRunner() override = default;
 
   // Loads the snapshot, replays the journal, and prepares the journal for
@@ -155,6 +161,7 @@ class DurableCampaignRunner : private CampaignRecorder,
   void OnCohortAssigned(int64_t round_id,
                         const std::vector<int64_t>& client_ids) override;
   void OnReportAccepted(int64_t round_id, const BitReport& report) override;
+  void OnResilienceEvent(const ResilienceEvent& event) override;
   // PrivacyMeter::Journal:
   std::optional<bool> OnChargeAttempt(int64_t client_id, int64_t value_id,
                                       double epsilon) override;

@@ -47,6 +47,9 @@ void EncodeBody(const CoordinatorSnapshot& snapshot,
     bytes::PutUint32(static_cast<uint32_t>(session.size()), out);
     out->insert(out->end(), session.begin(), session.end());
   }
+  bytes::PutUint32(static_cast<uint32_t>(snapshot.health_blob.size()), out);
+  out->insert(out->end(), snapshot.health_blob.begin(),
+              snapshot.health_blob.end());
 }
 
 bool GetBlob(const std::vector<uint8_t>& buffer, size_t* cursor,
@@ -129,6 +132,8 @@ bool DecodeBody(const std::vector<uint8_t>& buffer, size_t* offset,
     if (!GetBlob(buffer, &cursor, &session)) return false;
     snapshot.open_sessions.push_back(std::move(session));
   }
+
+  if (!GetBlob(buffer, &cursor, &snapshot.health_blob)) return false;
 
   *out = std::move(snapshot);
   *offset = cursor;

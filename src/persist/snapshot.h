@@ -59,6 +59,11 @@ struct CoordinatorSnapshot {
   std::vector<BitMeansEntry> bit_means;
   // Open CollectionSession blobs (CollectionSession::EncodeTo), kept opaque.
   std::vector<std::vector<uint8_t>> open_sessions;
+  // Circuit-breaker state (HealthTracker::EncodeTo, kept opaque; empty when
+  // the campaign runs without a breaker). Restoring it from the snapshot
+  // preserves failure history older than the journal tail, so quarantine
+  // decisions after recovery match an uninterrupted run.
+  std::vector<uint8_t> health_blob;
 };
 
 // Full-file encode/decode (magic + version + body + CRC). Decode returns

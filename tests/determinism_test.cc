@@ -223,6 +223,164 @@ TEST_F(DeterminismTest, DurableCampaignReproducesAcrossRunsAndCrashes) {
   std::filesystem::remove_all(base);
 }
 
+TEST_F(DeterminismTest, ResilientQueryReproducesTheRecoverySchedule) {
+  // With the resilience layer armed (retries, hedging under a finite
+  // budget, breaker) the seed contract extends to the recovery schedule:
+  // identical seeds reproduce the estimate AND every RetryStats counter,
+  // backoff minutes included. The backoff jitter is keyed on the resilience
+  // seed alone, so changing just that seed re-times the retries without
+  // touching the protocol stream.
+  FaultRates rates;
+  rates.mid_round_dropout = 0.15;
+  rates.straggler = 0.1;
+  rates.corrupt_message = 0.05;
+  const FaultPlan plan(97, rates);
+  const std::vector<Client> clients =
+      MakePopulation(ages_.values(), ClientConfig{});
+  const FixedPointCodec codec = FixedPointCodec::Integer(7);
+  FederatedQueryConfig config;
+  config.adaptive.bits = 7;
+  config.cohort.max_cohort_size = 3000;
+  config.fault_plan = &plan;
+  config.fault_policy.report_deadline_minutes = 30.0;
+  config.resilience.seed = 55;
+  config.resilience.retry.max_retries_per_client = 3;
+  config.resilience.hedge.enabled = true;
+
+  Rng a(31);
+  Rng b(31);
+  Rng c(32);
+  const FederatedQueryResult first =
+      RunFederatedMeanQuery(clients, codec, config, nullptr, a);
+  const FederatedQueryResult second =
+      RunFederatedMeanQuery(clients, codec, config, nullptr, b);
+  EXPECT_DOUBLE_EQ(first.estimate, second.estimate);
+  EXPECT_EQ(first.retry, second.retry);
+  EXPECT_EQ(first.round1.retry, second.round1.retry);
+  EXPECT_EQ(first.round2.retry, second.round2.retry);
+  EXPECT_EQ(first.faults, second.faults);
+  EXPECT_GT(first.retry.RecoveredTotal(), 0);
+
+  const FederatedQueryResult other =
+      RunFederatedMeanQuery(clients, codec, config, nullptr, c);
+  EXPECT_NE(first.estimate, other.estimate);
+
+  FederatedQueryConfig retimed = config;
+  retimed.resilience.seed = 56;
+  Rng d(31);
+  const FederatedQueryResult rescheduled =
+      RunFederatedMeanQuery(clients, codec, retimed, nullptr, d);
+  EXPECT_NE(rescheduled.retry.backoff_minutes, first.retry.backoff_minutes);
+
+  // And the off switch still reproduces the schedule-free baseline.
+  FederatedQueryConfig off = config;
+  off.resilience = ResilienceConfig{};
+  Rng e(31);
+  const FederatedQueryResult disabled =
+      RunFederatedMeanQuery(clients, codec, off, nullptr, e);
+  EXPECT_EQ(disabled.retry, RetryStats{});
+}
+
+TEST_F(DeterminismTest, ResilientDurableCampaignReproducesAcrossCrashes) {
+  // The crash-recovery determinism contract with every resilience
+  // mechanism on: a recovered run converges on the history, ledger, AND
+  // the exact journal — the replayed retry/hedge/breaker schedule — of an
+  // uninterrupted run.
+  FaultRates rates;
+  rates.mid_round_dropout = 0.15;
+  rates.straggler = 0.1;
+  static const FaultPlan plan(59, rates);
+  const std::vector<Client> clients =
+      MakePopulation(ages_.values(), ClientConfig{});
+  const std::vector<const std::vector<Client>*> populations = {&clients};
+  const std::vector<FixedPointCodec> codecs = {FixedPointCodec::Integer(7)};
+  CampaignQuery query;
+  query.name = "ages";
+  query.value_id = 0;
+  query.query.adaptive.bits = 7;
+  query.query.cohort.max_cohort_size = 400;
+  query.query.fault_plan = &plan;
+  query.query.fault_policy.report_deadline_minutes = 30.0;
+  MeterPolicy policy;
+  policy.max_bits_per_value = 2;
+  ResilienceConfig resilience;
+  resilience.seed = 91;
+  resilience.retry.max_retries_per_client = 2;
+  resilience.hedge.enabled = true;
+  resilience.breaker.consecutive_failures_to_open = 2;
+  resilience.breaker.cooldown_rounds = 2;
+
+  struct RunResult {
+    std::vector<CampaignTickResult> history;
+    std::vector<uint8_t> meter;
+    std::vector<JournalRecord> journal;
+    bool recovered = false;
+  };
+  auto run = [&](const std::string& dir, int64_t ticks) {
+    DurableCampaignOptions options;
+    options.state_dir = dir;
+    options.seed = 654;
+    options.fsync = false;
+    DurableCampaignRunner runner({query}, policy, options, resilience);
+    std::string error;
+    EXPECT_TRUE(runner.Open(&error)) << error;
+    for (int64_t tick = 0; tick < ticks; ++tick) {
+      runner.RunTick(tick, populations, codecs);
+    }
+    RunResult result;
+    result.history = runner.campaign().history();
+    runner.meter().EncodeTo(&result.meter);
+    result.recovered = runner.recovery_info().recovered;
+    JournalReadResult journal;
+    EXPECT_TRUE(ReadJournal(dir + "/journal.wal", 0, &journal, &error))
+        << error;
+    result.journal = std::move(journal.records);
+    return result;
+  };
+  const std::string base = ::testing::TempDir() + "/determinism_res";
+  std::filesystem::remove_all(base);
+  const RunResult first = run(base + "/a", 2);
+  const RunResult second = run(base + "/b", 2);
+  EXPECT_EQ(first.history, second.history);
+  EXPECT_EQ(first.meter, second.meter);
+
+  // The run actually journaled resilience decisions.
+  int64_t resilience_records = 0;
+  for (const JournalRecord& record : first.journal) {
+    if (record.type == JournalRecordType::kResilienceEvent) {
+      ++resilience_records;
+    }
+  }
+  EXPECT_GT(resilience_records, 0);
+
+  // Crash run c halfway through its journal, recover, and finish.
+  run(base + "/c", 2);
+  JournalReadResult journal;
+  std::string error;
+  ASSERT_TRUE(
+      ReadJournal(base + "/c/journal.wal", 0, &journal, &error)) << error;
+  std::vector<uint8_t> half;
+  for (size_t i = 0; i < journal.records.size() / 2; ++i) {
+    AppendJournalFrame(journal.records[i].type, journal.records[i].seq,
+                       journal.records[i].payload, &half);
+  }
+  std::FILE* file = std::fopen((base + "/c/journal.wal").c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(half.data(), 1, half.size(), file), half.size());
+  std::fclose(file);
+
+  const RunResult recovered = run(base + "/c", 2);
+  EXPECT_TRUE(recovered.recovered);
+  EXPECT_EQ(recovered.history, first.history);
+  EXPECT_EQ(recovered.meter, first.meter);
+  ASSERT_EQ(recovered.journal.size(), first.journal.size());
+  for (size_t i = 0; i < first.journal.size(); ++i) {
+    EXPECT_EQ(recovered.journal[i].type, first.journal[i].type) << i;
+    EXPECT_EQ(recovered.journal[i].payload, first.journal[i].payload) << i;
+  }
+  std::filesystem::remove_all(base);
+}
+
 TEST_F(DeterminismTest, FederatedQueryWithDropout) {
   ClientConfig flaky;
   flaky.dropout_probability = 0.3;

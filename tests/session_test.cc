@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -115,6 +116,47 @@ TEST(SessionTest, AutoClosesAtTargetAndRejectsLateReports) {
             ReportRejection::kSessionClosed);
   BitRequest late;
   EXPECT_FALSE(session.IssueAssignment(4, &late));
+}
+
+TEST(SessionTest, DeadlineBoundaryIsInclusive) {
+  // Pins the documented contract in SessionConfig: a report arriving
+  // *exactly at* the deadline is accepted; only strictly later arrivals
+  // are late. The same inclusive boundary applies when the deadline budget
+  // is the binding cutoff.
+  const FixedPointCodec codec = FixedPointCodec::Integer(4);
+  SessionConfig config = Config(4);
+  config.report_deadline = 30.0;
+  ASSERT_EQ(config.effective_deadline(), 30.0);
+  CollectionSession session(codec, config);
+  BitRequest r1;
+  BitRequest r2;
+  session.IssueAssignment(1, &r1);
+  session.IssueAssignment(2, &r2);
+  EXPECT_EQ(session.SubmitReport(BitReport{1, r1.bit_index, 1}, 30.0),
+            ReportRejection::kAccepted);
+  EXPECT_EQ(session.SubmitReport(BitReport{2, r2.bit_index, 1},
+                                 std::nextafter(30.0, 31.0)),
+            ReportRejection::kLate);
+  EXPECT_EQ(session.accepted_reports(), 1);
+  EXPECT_EQ(session.late_reports(), 1);
+
+  // A tighter deadline budget takes over as the effective cutoff, with the
+  // same inclusive boundary.
+  SessionConfig budgeted = Config(4);
+  budgeted.report_deadline = 30.0;
+  budgeted.deadline_budget_minutes = 20.0;
+  ASSERT_EQ(budgeted.effective_deadline(), 20.0);
+  CollectionSession clamped(codec, budgeted);
+  BitRequest r3;
+  BitRequest r4;
+  clamped.IssueAssignment(3, &r3);
+  clamped.IssueAssignment(4, &r4);
+  EXPECT_EQ(clamped.SubmitReport(BitReport{3, r3.bit_index, 0}, 20.0),
+            ReportRejection::kAccepted);
+  EXPECT_EQ(clamped.SubmitReport(BitReport{4, r4.bit_index, 0},
+                                 std::nextafter(20.0, 21.0)),
+            ReportRejection::kLate);
+  EXPECT_EQ(clamped.late_reports(), 1);
 }
 
 TEST(SessionTest, EndToEndEstimateMatchesTruth) {
