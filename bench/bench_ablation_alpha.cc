@@ -22,13 +22,14 @@ int Main(int argc, char** argv) {
   int64_t bits = 16;
   int64_t seed = 20240406;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_alpha");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: adaptive exponents gamma and alpha",
+  output.Header("Ablation: adaptive exponents gamma and alpha",
                      "census ages",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
@@ -61,8 +62,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

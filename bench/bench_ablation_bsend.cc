@@ -22,13 +22,14 @@ int Main(int argc, char** argv) {
   int64_t bits = 8;
   int64_t seed = 20240407;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_bsend");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: bits per client (b_send)", "census ages",
+  output.Header("Ablation: bits per client (b_send)", "census ages",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
                          std::to_string(reps));
@@ -60,8 +61,8 @@ int Main(int argc, char** argv) {
         .AddDouble(variance, 4)
         .AddDouble(base_variance / variance, 3);
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -21,12 +21,13 @@ int Main(int argc, char** argv) {
   int64_t reps = 100;
   int64_t seed = 20240404;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_caching");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: round pooling (caching)", "census ages",
+  output.Header("Ablation: round pooling (caching)", "census ages",
                      "n=" + std::to_string(n) + " reps=" +
                          std::to_string(reps));
 
@@ -55,8 +56,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -21,13 +21,14 @@ int Main(int argc, char** argv) {
   int64_t bits = 16;
   int64_t seed = 20240405;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_delta");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: round-1 split delta", "census ages",
+  output.Header("Ablation: round-1 split delta", "census ages",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
                          std::to_string(reps));
@@ -55,8 +56,8 @@ int Main(int argc, char** argv) {
         .AddDouble(stats.nrmse)
         .AddDouble(stats.stderr_nrmse, 3);
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -28,6 +28,7 @@ int Main(int argc, char** argv) {
   double delta = 1e-6;
   int64_t seed = 20240410;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_distributed_dp");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
@@ -35,7 +36,7 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: local vs distributed DP architectures",
+  output.Header("Ablation: local vs distributed DP architectures",
                      "census ages",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
@@ -119,8 +120,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

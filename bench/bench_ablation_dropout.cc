@@ -23,13 +23,14 @@ int Main(int argc, char** argv) {
   int64_t bits = 8;
   int64_t seed = 20240409;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_dropout");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: dropout robustness and auto-adjustment",
+  output.Header("Ablation: dropout robustness and auto-adjustment",
                      "census ages",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
@@ -64,13 +65,13 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
+  output.AddTable(table);
 
   // Fault sweep: the same total fault rate split across the five injected
   // types (dropout / straggler / corrupt / truncate / crash), under the
   // server's reaction policy — 30-minute report deadline, two backfill
   // passes from the unselected pool, static fallback past 60% round-1 loss.
-  bench::PrintHeader(
+  output.Header(
       "Ablation: injected report faults under the reaction policy",
       "census ages",
       "deadline=30min backfill=2 max_round1_loss=0.6");
@@ -116,7 +117,7 @@ int Main(int argc, char** argv) {
         .AddInt(backfill / reps)
         .AddInt(fallbacks);
   }
-  fault_table.Print();
+  output.AddTable(fault_table);
 
   // Resilience ablation: the same fault mix, with the recovery layer armed
   // one mechanism at a time — deterministic retries with backoff, then
@@ -125,7 +126,7 @@ int Main(int argc, char** argv) {
   // would share it across queries). Expected: each mechanism converts
   // faulted slots back into tallied reports (recovered grows, fallbacks
   // shrink) at the cost of extra simulated collection minutes.
-  bench::PrintHeader(
+  output.Header(
       "Ablation: resilience mechanisms under a fixed fault mix",
       "census ages",
       "dropout=0.2 straggler=0.15 corrupt=0.1 truncate=0.05 deadline=30min");
@@ -193,8 +194,8 @@ int Main(int argc, char** argv) {
         .AddInt(fallbacks)
         .AddDouble(retry.elapsed_minutes / static_cast<double>(reps), 2);
   }
-  res_table.Print();
-  return 0;
+  output.AddTable(res_table);
+  return output.Finish();
 }
 
 }  // namespace

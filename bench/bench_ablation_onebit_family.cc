@@ -43,12 +43,13 @@ int Main(int argc, char** argv) {
   int64_t reps = 100;
   int64_t seed = 20240413;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_onebit_family");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: the one-bit encoding family",
+  output.Header("Ablation: the one-bit encoding family",
                      "census ages",
                      "n=" + std::to_string(n) + " reps=" +
                          std::to_string(reps));
@@ -76,8 +77,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -25,13 +25,14 @@ int Main(int argc, char** argv) {
   int64_t bits = 16;
   int64_t seed = 20240408;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_poisoning");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: poisoning, local vs central randomness",
+  output.Header("Ablation: poisoning, local vs central randomness",
                      "census ages + top-bit adversaries",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
@@ -81,8 +82,8 @@ int Main(int argc, char** argv) {
           .AddDouble(acc.mean() / data.truth().mean, 4);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

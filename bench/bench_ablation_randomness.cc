@@ -24,13 +24,14 @@ int Main(int argc, char** argv) {
   int64_t bits = 8;
   int64_t seed = 20240412;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_randomness");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: central (QMC) vs local randomness",
+  output.Header("Ablation: central (QMC) vs local randomness",
                      "census ages",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
@@ -69,8 +70,8 @@ int Main(int argc, char** argv) {
           .AddDouble(top_counts.population_stddev(), 4);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -25,12 +25,13 @@ int Main(int argc, char** argv) {
   int64_t reps = 30;
   int64_t seed = 20240411;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "ablation_robust_median");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Ablation: mean vs clipped mean vs median",
+  output.Header("Ablation: mean vs clipped mean vs median",
                      "binary metric with heavy-tailed outliers",
                      "n=" + std::to_string(n) + " reps=" +
                          std::to_string(reps));
@@ -82,8 +83,8 @@ int Main(int argc, char** argv) {
           .AddDouble(typical, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

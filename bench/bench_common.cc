@@ -9,6 +9,7 @@
 #include "ldp/duchi.h"
 #include "ldp/laplace.h"
 #include "ldp/piecewise.h"
+#include "obs/export.h"
 #include "stats/repetition.h"
 
 namespace bitpush {
@@ -144,6 +145,91 @@ void PrintHeader(const std::string& figure, const std::string& workload,
                  const std::string& parameters) {
   std::printf("=== %s ===\nworkload: %s\nparams:   %s\n\n", figure.c_str(),
               workload.c_str(), parameters.c_str());
+}
+
+BenchOutput::BenchOutput(FlagSet* flags, std::string bench_name)
+    : name_(std::move(bench_name)) {
+  flags->AddString("format", &format_,
+                   "output format: text (default, prints as before) | "
+                   "json | csv (also write BENCH_<name>.<ext> or --out)");
+  flags->AddString("out", &out_,
+                   "output path for --format=json/csv (default "
+                   "BENCH_<name>.<ext>; - = stdout)");
+}
+
+void BenchOutput::Header(const std::string& figure,
+                         const std::string& workload,
+                         const std::string& parameters) {
+  if (format_ == "text") PrintHeader(figure, workload, parameters);
+  sections_.push_back(Section{figure, workload, parameters, {}});
+}
+
+void BenchOutput::AddTable(const Table& table) {
+  if (format_ == "text") table.Print();
+  if (sections_.empty()) sections_.push_back(Section{});
+  sections_.back().tables.push_back(table);
+}
+
+int BenchOutput::Finish() {
+  if (format_ == "text") return 0;
+  if (format_ != "json" && format_ != "csv") {
+    std::fprintf(stderr, "unknown --format=%s (text, json, csv)\n",
+                 format_.c_str());
+    return 1;
+  }
+  std::string path = out_;
+  if (path.empty()) path = "BENCH_" + name_ + "." + format_;
+  std::string content;
+  if (format_ == "json") {
+    content = "{\"name\":\"" + obs::JsonEscape(name_) +
+              "\",\"format_version\":1,\"sections\":[";
+    for (size_t s = 0; s < sections_.size(); ++s) {
+      const Section& section = sections_[s];
+      if (s > 0) content += ",";
+      content += "{\"figure\":\"" + obs::JsonEscape(section.figure) +
+                 "\",\"workload\":\"" + obs::JsonEscape(section.workload) +
+                 "\",\"params\":\"" + obs::JsonEscape(section.parameters) +
+                 "\",\"tables\":[";
+      for (size_t t = 0; t < section.tables.size(); ++t) {
+        const Table& table = section.tables[t];
+        if (t > 0) content += ",";
+        content += "{\"columns\":[";
+        for (size_t c = 0; c < table.headers().size(); ++c) {
+          if (c > 0) content += ",";
+          content += "\"" + obs::JsonEscape(table.headers()[c]) + "\"";
+        }
+        content += "],\"rows\":[";
+        for (size_t r = 0; r < table.rows().size(); ++r) {
+          if (r > 0) content += ",";
+          content += "[";
+          const std::vector<std::string>& row = table.rows()[r];
+          for (size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) content += ",";
+            content += "\"" + obs::JsonEscape(row[c]) + "\"";
+          }
+          content += "]";
+        }
+        content += "]}";
+      }
+      content += "]}";
+    }
+    content += "]}\n";
+  } else {
+    for (const Section& section : sections_) {
+      for (const Table& table : section.tables) {
+        if (!content.empty()) content += "\n";
+        content += table.ToCsv();
+      }
+    }
+  }
+  std::string error;
+  if (!obs::WriteTextFile(path, content, &error)) {
+    std::fprintf(stderr, "--format=%s: %s\n", format_.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (path != "-") std::printf("wrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace bench

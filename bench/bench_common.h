@@ -22,6 +22,8 @@
 #include "data/dataset.h"
 #include "rng/rng.h"
 #include "stats/metrics.h"
+#include "util/flags.h"
+#include "util/table.h"
 
 namespace bitpush {
 namespace bench {
@@ -81,6 +83,49 @@ ErrorStats EvaluateMethodAgainst(const MethodSpec& method,
 // Prints the standard experiment banner (figure id, workload, parameters).
 void PrintHeader(const std::string& figure, const std::string& workload,
                  const std::string& parameters);
+
+// Output-format selection shared by every bench binary. Registers
+// --format=text|json|csv and --out on the binary's FlagSet; text is the
+// default and prints exactly what the binaries printed before this helper
+// existed. json/csv additionally write the collected tables to --out, or
+// to BENCH_<name>.json / BENCH_<name>.csv in the working directory when
+// --out is empty ("-" writes to stdout).
+//
+//   FlagSet flags;
+//   bench::BenchOutput output(&flags, "fig1a_mean_vs_mu");
+//   ...
+//   flags.Parse(argc, argv);
+//   output.Header(figure, workload, params);   // instead of PrintHeader
+//   output.AddTable(table);                    // instead of table.Print()
+//   return output.Finish();                    // instead of return 0
+//
+// Header starts a new section; each AddTable attaches to the current
+// section, so multi-experiment binaries map to multiple JSON sections.
+class BenchOutput {
+ public:
+  BenchOutput(FlagSet* flags, std::string bench_name);
+
+  void Header(const std::string& figure, const std::string& workload,
+              const std::string& parameters);
+  void AddTable(const Table& table);
+
+  // Flushes json/csv output and returns the process exit code (nonzero on
+  // unknown --format or I/O failure). Call once, last.
+  int Finish();
+
+ private:
+  struct Section {
+    std::string figure;
+    std::string workload;
+    std::string parameters;
+    std::vector<Table> tables;
+  };
+
+  std::string name_;
+  std::string format_ = "text";
+  std::string out_;
+  std::vector<Section> sections_;
+};
 
 }  // namespace bench
 }  // namespace bitpush

@@ -22,6 +22,7 @@ int Main(int argc, char** argv) {
   double sigma = 100.0;
   int64_t seed = 20240325;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig1a_mean_vs_mu");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
@@ -29,7 +30,7 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Figure 1a: estimating mean with mu varying",
+  output.Header("Figure 1a: estimating mean with mu varying",
                      "Normal(mu, sigma=" + std::to_string(sigma) + ")",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
@@ -51,8 +52,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -63,6 +63,7 @@ int Main(int argc, char** argv) {
   double sigma = 100.0;
   int64_t seed = 20240326;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig1b_variance_vs_mu");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b for the input domain");
@@ -70,7 +71,7 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Figure 1b: estimating variance with mu varying",
+  output.Header("Figure 1b: estimating variance with mu varying",
                      "Normal(mu, sigma=" + std::to_string(sigma) + ")",
                      "n=" + std::to_string(n) + " bits=" +
                          std::to_string(bits) + " reps=" +
@@ -100,8 +101,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -25,6 +25,7 @@ int Main(int argc, char** argv) {
   int64_t max_bits = 20;
   int64_t seed = 20240327;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig1c_mean_vs_bitdepth");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddDouble("mu", &mu, "mean of the Normal workload");
@@ -34,7 +35,7 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader(
+  output.Header(
       "Figure 1c: estimating mean with varying bit depth",
       "Normal(" + std::to_string(mu) + ", " + std::to_string(sigma) + ")",
       "n=" + std::to_string(n) + " reps=" + std::to_string(reps));
@@ -55,8 +56,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -21,12 +21,13 @@ int Main(int argc, char** argv) {
   int64_t bits = 8;
   int64_t seed = 20240328;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig2a_census_mean_vs_n");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Figure 2a: estimating mean with varying n",
+  output.Header("Figure 2a: estimating mean with varying n",
                      "census ages",
                      "bits=" + std::to_string(bits) + " reps=" +
                          std::to_string(reps));
@@ -49,8 +50,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -55,12 +55,13 @@ int Main(int argc, char** argv) {
   int64_t bits = 7;
   int64_t seed = 20240329;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig2b_census_var_vs_n");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Figure 2b: estimating variance with varying n",
+  output.Header("Figure 2b: estimating variance with varying n",
                      "census ages",
                      "bits=" + std::to_string(bits) + " reps=" +
                          std::to_string(reps));
@@ -90,8 +91,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   int64_t max_bits = 20;
   int64_t seed = 20240330;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig2c_census_bitdepth");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("min_bits", &min_bits, "smallest bit depth");
@@ -28,7 +29,7 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Figure 2c: estimating mean with varying bit depth",
+  output.Header("Figure 2c: estimating mean with varying bit depth",
                      "census ages",
                      "n=" + std::to_string(n) + " reps=" +
                          std::to_string(reps));
@@ -49,8 +50,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -28,6 +28,7 @@ int Main(int argc, char** argv) {
   int64_t bits = 8;
   int64_t seed = 20240331;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig3_dp_epsilon");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
@@ -41,7 +42,7 @@ int Main(int argc, char** argv) {
 
   const auto run_regime = [&](const std::string& figure,
                               const std::vector<double>& epsilons) {
-    bench::PrintHeader(figure, "census ages",
+    output.Header(figure, "census ages",
                        "n=" + std::to_string(n) + " bits=" +
                            std::to_string(bits) + " reps=" +
                            std::to_string(reps));
@@ -60,7 +61,7 @@ int Main(int argc, char** argv) {
             .AddDouble(stats.stderr_nrmse, 3);
       }
     }
-    table.Print();
+    output.AddTable(table);
     std::printf("\n");
   };
 
@@ -68,7 +69,7 @@ int Main(int argc, char** argv) {
              {0.1, 0.2, 0.4, 0.6, 0.8});
   run_regime("Figure 3b: moderate privacy regime (epsilon >= 1)",
              {1.0, 1.5, 2.0, 3.0, 4.0});
-  return 0;
+  return output.Finish();
 }
 
 }  // namespace

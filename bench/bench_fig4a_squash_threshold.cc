@@ -28,6 +28,7 @@ int Main(int argc, char** argv) {
   double sigma = 100.0;
   int64_t seed = 20240401;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig4a_squash_threshold");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddInt64("bits", &bits, "bit depth b");
@@ -37,7 +38,7 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader(
+  output.Header(
       "Figure 4a: RMSE vs bit-squashing threshold under DP",
       "Normal(" + std::to_string(mu) + ", " + std::to_string(sigma) + ")",
       "n=" + std::to_string(n) + " bits=" + std::to_string(bits) +
@@ -64,7 +65,7 @@ int Main(int argc, char** argv) {
         .AddDouble(stats.nrmse)
         .AddDouble(stats.stderr_nrmse, 3);
   }
-  absolute.Print();
+  output.AddTable(absolute);
   std::printf("\n");
 
   Table multiple({"threshold(xnoise)", "rmse", "nrmse", "stderr"});
@@ -82,8 +83,8 @@ int Main(int argc, char** argv) {
         .AddDouble(stats.nrmse)
         .AddDouble(stats.stderr_nrmse, 3);
   }
-  multiple.Print();
-  return 0;
+  output.AddTable(multiple);
+  return output.Finish();
 }
 
 }  // namespace

@@ -27,6 +27,7 @@ int Main(int argc, char** argv) {
   double sigma = 100.0;
   int64_t seed = 20240402;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig4b_bitmeans_histogram");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("bits", &bits, "bit depth b");
   flags.AddDouble("epsilon", &epsilon, "LDP epsilon");
@@ -36,7 +37,7 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader(
+  output.Header(
       "Figure 4b: histogram of estimated bit means under DP",
       "Normal(" + std::to_string(mu) + ", " + std::to_string(sigma) + ")",
       "n=" + std::to_string(n) + " bits=" + std::to_string(bits) +
@@ -73,11 +74,11 @@ int Main(int argc, char** argv) {
         .AddDouble(exact[static_cast<size_t>(j)], 4)
         .AddCell(result.kept[static_cast<size_t>(j)] ? "yes" : "squashed");
   }
-  table.Print();
+  output.AddTable(table);
   std::printf(
       "\nestimate (squash on):  %.2f\ntrue mean:             %.2f\n",
       codec.Decode(result.estimate_codeword), data.truth().mean);
-  return 0;
+  return output.Finish();
 }
 
 }  // namespace

@@ -25,6 +25,7 @@ int Main(int argc, char** argv) {
   int64_t step = 2;
   int64_t seed = 20240403;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "fig4c_bitdepth_dp");
   flags.AddInt64("n", &n, "number of clients");
   flags.AddInt64("reps", &reps, "repetitions per point");
   flags.AddDouble("epsilon", &epsilon, "LDP epsilon");
@@ -36,7 +37,7 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader(
+  output.Header(
       "Figure 4c: varying bit depth under DP",
       "Normal(" + std::to_string(mu) + ", " + std::to_string(sigma) + ")",
       "n=" + std::to_string(n) + " eps=" + std::to_string(epsilon) +
@@ -67,8 +68,8 @@ int Main(int argc, char** argv) {
           .AddDouble(stats.stderr_nrmse, 3);
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

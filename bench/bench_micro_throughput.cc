@@ -1,11 +1,20 @@
 // Micro-benchmarks of the protocol hot paths (google-benchmark): encoding,
 // bit-report generation, QMC assignment, full basic and adaptive protocol
-// runs, and randomized response.
+// runs, and randomized response. After the benchmarks, main runs the obs
+// overhead guard: enabling the metrics registry (no exporters attached)
+// must cost less than 2% on the instrumented EncodeAll hot path, enforced
+// with a nonzero exit code.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include <benchmark/benchmark.h>
+
+#include "obs/metrics.h"
 
 #include "core/adaptive.h"
 #include "core/bit_probabilities.h"
@@ -163,7 +172,67 @@ void BM_MemoizedReport(benchmark::State& state) {
 }
 BENCHMARK(BM_MemoizedReport);
 
+// The guard times FixedPointCodec::EncodeAll — a hot path carrying an
+// obs::ScopedTimer — with the registry disabled and enabled, and checks
+// the enabled/disabled ratio. Min-of-trials per side plus retry rounds
+// keep scheduler noise from failing a healthy build; the threshold can be
+// loosened for slow CI machines via BITPUSH_OBS_OVERHEAD_MAX.
+int RunObsOverheadGuard() {
+  const FixedPointCodec codec = FixedPointCodec::Integer(16);
+  const std::vector<double>& values = BenchAges().values();
+  constexpr int kInnerIterations = 20;
+  constexpr int kTrials = 7;
+  constexpr int kRounds = 5;
+
+  const auto time_once = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kInnerIterations; ++i) {
+      benchmark::DoNotOptimize(codec.EncodeAll(values));
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const auto best_of_trials = [&] {
+    double best = time_once();
+    for (int t = 1; t < kTrials; ++t) best = std::min(best, time_once());
+    return best;
+  };
+
+  double threshold = 1.02;
+  if (const char* env = std::getenv("BITPUSH_OBS_OVERHEAD_MAX")) {
+    threshold = std::atof(env);
+  }
+
+  double ratio = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    obs::SetEnabled(false);
+    const double disabled = best_of_trials();
+    obs::SetEnabled(true);
+    const double enabled = best_of_trials();
+    obs::SetEnabled(false);
+    ratio = enabled / disabled;
+    std::printf("obs_overhead_ratio %.4f (threshold %.4f, round %d/%d)\n",
+                ratio, threshold, round + 1, kRounds);
+    if (ratio < threshold) {
+      std::printf("obs_overhead_guard PASS\n");
+      return 0;
+    }
+  }
+  std::fprintf(stderr,
+               "obs_overhead_guard FAIL: ratio %.4f >= %.4f after %d "
+               "rounds\n",
+               ratio, threshold, kRounds);
+  return 1;
+}
+
 }  // namespace
 }  // namespace bitpush
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return bitpush::RunObsOverheadGuard();
+}

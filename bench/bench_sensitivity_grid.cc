@@ -20,11 +20,12 @@ int Main(int argc, char** argv) {
   int64_t reps = 40;
   int64_t seed = 20240414;
   FlagSet flags;
+  bench::BenchOutput output(&flags, "sensitivity_grid");
   flags.AddInt64("reps", &reps, "repetitions per cell");
   flags.AddInt64("seed", &seed, "base seed");
   flags.Parse(argc, argv);
 
-  bench::PrintHeader("Sensitivity grid: n x bits x gamma", "census ages",
+  output.Header("Sensitivity grid: n x bits x gamma", "census ages",
                      "reps=" + std::to_string(reps));
 
   Rng data_rng(static_cast<uint64_t>(seed));
@@ -51,8 +52,8 @@ int Main(int argc, char** argv) {
       }
     }
   }
-  table.Print();
-  return 0;
+  output.AddTable(table);
+  return output.Finish();
 }
 
 }  // namespace

@@ -6,14 +6,21 @@
 // collecting.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/fixed_point.h"
 #include "federated/campaign.h"
 #include "federated/telemetry.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "rng/rng.h"
 
 int main() {
+  // Observability on: the campaign publishes coordinator counters (rounds,
+  // wire traffic, meter spend) which we dump at the end in Prometheus
+  // format — the only inspectable artifact of a private collection.
+  bitpush::obs::SetEnabled(true);
   bitpush::Rng rng(31);
   const int64_t fleet = 8000;
 
@@ -84,5 +91,25 @@ int main() {
               static_cast<long long>(meter.total_bits()),
               static_cast<long long>(meter.denied_charges()),
               meter.ClientEpsilon(0), policy.max_epsilon_per_client);
+
+  // The coordinator's execution trail, as a scrape endpoint would see it
+  // (counters only, to keep the demo output short).
+  std::printf("\ncoordinator metrics (Prometheus excerpt):\n");
+  const std::string prometheus = bitpush::obs::PrometheusText();
+  size_t start = 0;
+  while (start < prometheus.size()) {
+    size_t end = prometheus.find('\n', start);
+    if (end == std::string::npos) end = prometheus.size();
+    const std::string line = prometheus.substr(start, end - start);
+    if (line.rfind("bitpush_rounds_total", 0) == 0 ||
+        line.rfind("bitpush_wire_requests_total", 0) == 0 ||
+        line.rfind("bitpush_wire_reports_total", 0) == 0 ||
+        line.rfind("bitpush_wire_payload_bytes_total", 0) == 0 ||
+        line.rfind("bitpush_meter_", 0) == 0 ||
+        line.rfind("bitpush_queries_", 0) == 0) {
+      std::printf("  %s\n", line.c_str());
+    }
+    start = end + 1;
+  }
   return 0;
 }

@@ -14,27 +14,32 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # exercise the decode and failure paths, so run them under ASan+UBSan too.
 cmake -B "$BUILD_DIR-asan" -G Ninja -DBITPUSH_SANITIZE=address,undefined
 cmake --build "$BUILD_DIR-asan" \
-  --target fault_tests wire_fuzz_tests persist_tests persist_fuzz_tests
+  --target fault_tests wire_fuzz_tests persist_tests persist_fuzz_tests \
+  obs_tests
 ctest --test-dir "$BUILD_DIR-asan" --output-on-failure \
-  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz)'
+  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz|Obs)'
 
 # TSan pass: the concurrent aggregator/health-tracker and fleet suites are
 # the thread-heavy ones, and the resilience suite shares their state
 # machines — run all three under ThreadSanitizer.
 cmake -B "$BUILD_DIR-tsan" -G Ninja -DBITPUSH_SANITIZE=thread
-cmake --build "$BUILD_DIR-tsan" --target concurrency_tests resilience_tests
+cmake --build "$BUILD_DIR-tsan" \
+  --target concurrency_tests resilience_tests obs_tests
 ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
   -R '(Concurrent|Fleet|Resilience)'
 
 # Crash-recovery stage: run a durable campaign, SIGKILL it mid-campaign at
 # a journal-record boundary, restart against the same state directory, and
-# require the recovered stdout to be byte-identical to an uninterrupted run.
+# require the recovered stdout — and the deterministic metrics snapshot —
+# to be byte-identical to an uninterrupted run.
 STATE_ROOT="$(mktemp -d)"
 trap 'rm -rf "$STATE_ROOT"' EXIT
 SIM="$BUILD_DIR/tools/bitpush_sim"
 SIM_ARGS=(--task=campaign --n=400 --ticks=4 --seed=99)
 
 "$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/clean" \
+  --metrics_out="$STATE_ROOT/clean.snapshot" \
+  --trace_out="$STATE_ROOT/clean.trace.json" \
   > "$STATE_ROOT/clean.out"
 
 set +e
@@ -48,13 +53,50 @@ if [[ "$CRASH_STATUS" -ne 137 ]]; then
 fi
 
 "$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/crashed" \
+  --metrics_out="$STATE_ROOT/recovered.snapshot" \
+  --trace_out="$STATE_ROOT/recovered.trace.json" \
   > "$STATE_ROOT/recovered.out" 2> "$STATE_ROOT/recovered.err"
 grep -q 'recovered state:' "$STATE_ROOT/recovered.err"
 diff -u "$STATE_ROOT/clean.out" "$STATE_ROOT/recovered.out"
 echo "crash-recovery: recovered run is byte-identical to the clean run"
 
+# Exporter-validation stage. The stable metrics must survive the crash
+# (deterministic-snapshot diff, plus the checked-in golden), the
+# Prometheus export must carry the documented metric families, and the
+# trace export must be well-formed Chrome trace-event JSON with events.
+diff -u "$STATE_ROOT/clean.snapshot" "$STATE_ROOT/recovered.snapshot"
+diff -u tests/golden/campaign_metrics.snapshot "$STATE_ROOT/clean.snapshot"
+echo "exporters: metrics snapshot is crash-exact and matches the golden"
+
+"$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/prom" \
+  --metrics_out="$STATE_ROOT/metrics.prom" > /dev/null
+for metric in bitpush_rounds_total bitpush_campaign_ticks_total \
+    bitpush_wire_payload_bytes_total bitpush_meter_epsilon_spent \
+    bitpush_journal_records_total bitpush_round_sim_minutes_bucket; do
+  grep -q "^$metric" "$STATE_ROOT/metrics.prom" \
+    || { echo "exporters: $metric missing from Prometheus output" >&2; exit 1; }
+done
+python3 - "$STATE_ROOT/clean.trace.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace export has no events"
+for event in events:
+    assert event["ph"] == "X" and "ts" in event and "dur" in event, event
+print(f"exporters: trace JSON well-formed ({len(events)} events)")
+PYEOF
+
 for b in "$BUILD_DIR"/bench/*; do
   echo "### $b"
-  "$b"
+  if [[ "$(basename "$b")" == bench_micro_throughput ]]; then
+    # Also emit the machine-readable benchmark dump; the binary's own
+    # obs-overhead guard runs after the benchmarks and fails the stage if
+    # enabling metrics costs >= 2% on the EncodeAll hot path.
+    "$b" --benchmark_out="$BUILD_DIR/BENCH_micro_throughput.json" \
+      --benchmark_out_format=json
+  else
+    "$b"
+  fi
   echo
 done

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/fixed_point.h"
+#include "obs/metrics.h"
 #include "rng/qmc.h"
 #include "util/bytes.h"
 #include "util/check.h"
@@ -150,6 +151,13 @@ BitPushingResult RunBasicBitPushing(const std::vector<uint64_t>& codewords,
   const RandomizedResponse rr =
       RandomizedResponse::FromEpsilon(config.epsilon);
   const int64_t n = static_cast<int64_t>(codewords.size());
+
+  static obs::Histogram* aggregation_seconds =
+      obs::Registry::Default().GetHistogram(
+          "bitpush_bit_aggregation_seconds",
+          "Wall-clock time of one RunBasicBitPushing aggregation.",
+          obs::LatencySecondsBounds(), obs::Determinism::kVolatile);
+  const obs::ScopedTimer timer(aggregation_seconds);
 
   BitPushingResult result;
   result.histogram = BitHistogram(bits);

@@ -4,9 +4,22 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace bitpush {
+
+namespace {
+
+obs::Histogram* EncodeAllHistogram() {
+  static obs::Histogram* histogram = obs::Registry::Default().GetHistogram(
+      "bitpush_encode_all_seconds",
+      "Wall-clock time of FixedPointCodec::EncodeAll.",
+      obs::LatencySecondsBounds(), obs::Determinism::kVolatile);
+  return histogram;
+}
+
+}  // namespace
 
 FixedPointCodec::FixedPointCodec(int bits, double low, double high)
     : bits_(bits), low_(low), high_(high) {
@@ -34,6 +47,7 @@ uint64_t FixedPointCodec::Encode(double x) const {
 
 std::vector<uint64_t> FixedPointCodec::EncodeAll(
     const std::vector<double>& values) const {
+  const obs::ScopedTimer timer(EncodeAllHistogram());
   std::vector<uint64_t> encoded;
   encoded.reserve(values.size());
   for (const double v : values) encoded.push_back(Encode(v));

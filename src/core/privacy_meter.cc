@@ -3,10 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
+
+void PrivacyMeter::RefreshObsGauges() const {
+  if (!obs::Enabled()) return;
+  obs::Registry& registry = obs::Registry::Default();
+  static obs::Gauge* bits = registry.GetGauge(
+      "bitpush_meter_bits_spent", "Total private bits disclosed.",
+      obs::Determinism::kStable);
+  static obs::Gauge* epsilon = registry.GetGauge(
+      "bitpush_meter_epsilon_spent",
+      "Cumulative randomized-response epsilon granted (basic composition).",
+      obs::Determinism::kStable);
+  static obs::Gauge* denied = registry.GetGauge(
+      "bitpush_meter_denied_charges",
+      "Charges denied by a cap or an invalid epsilon.",
+      obs::Determinism::kStable);
+  bits->Set(static_cast<double>(total_bits_));
+  epsilon->Set(total_epsilon_);
+  denied->Set(static_cast<double>(denied_charges_));
+}
 
 PrivacyMeter::PrivacyMeter(MeterPolicy policy) : policy_(policy) {
   BITPUSH_CHECK_GE(policy_.max_bits_per_value, 1);
@@ -46,12 +66,15 @@ bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
   }
   if (!granted) {
     ++denied_charges_;
+    RefreshObsGauges();
     return false;
   }
   ++ledger->bits_per_value[value_id];
   ++ledger->bits;
   ledger->epsilon += epsilon;
   ++total_bits_;
+  total_epsilon_ += epsilon;
+  RefreshObsGauges();
   return true;
 }
 
@@ -136,6 +159,7 @@ bool PrivacyMeter::DecodeFrom(const std::vector<uint8_t>& buffer,
   std::unordered_map<int64_t, ClientLedger> ledgers;
   ledgers.reserve(client_count);
   int64_t ledger_bit_sum = 0;
+  double ledger_epsilon_sum = 0.0;
   for (uint32_t c = 0; c < client_count; ++c) {
     int64_t client_id = 0;
     ClientLedger ledger;
@@ -167,6 +191,7 @@ bool PrivacyMeter::DecodeFrom(const std::vector<uint8_t>& buffer,
     // Consistency: per-value bits must account for the client total.
     if (value_bit_sum != ledger.bits) return false;
     ledger_bit_sum += ledger.bits;
+    ledger_epsilon_sum += ledger.epsilon;
     if (!ledgers.emplace(client_id, std::move(ledger)).second) {
       return false;  // duplicate client entry
     }
@@ -176,7 +201,13 @@ bool PrivacyMeter::DecodeFrom(const std::vector<uint8_t>& buffer,
   out->policy_ = policy;
   out->ledgers_ = std::move(ledgers);
   out->total_bits_ = total_bits;
+  // Recomputed in the canonical (sorted-client) encoding order; may differ
+  // from a live run's charge-order sum by FP rounding, which is why the
+  // deterministic-metrics contract is scoped to journal-only recovery
+  // (replay re-charges in the original order).
+  out->total_epsilon_ = ledger_epsilon_sum;
   out->denied_charges_ = denied_charges;
+  out->RefreshObsGauges();
   *offset = cursor;
   return true;
 }

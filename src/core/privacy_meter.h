@@ -78,6 +78,10 @@ class PrivacyMeter {
 
   // Total bits disclosed across all clients.
   int64_t total_bits() const { return total_bits_; }
+  // Total randomized-response epsilon granted across all clients (basic
+  // composition; the cumulative privacy spend the observability layer
+  // publishes).
+  double total_epsilon() const { return total_epsilon_; }
   // Bits disclosed by one client so far.
   int64_t ClientBits(int64_t client_id) const;
   // Accumulated epsilon for one client.
@@ -106,9 +110,15 @@ class PrivacyMeter {
     std::unordered_map<int64_t, int64_t> bits_per_value;
   };
 
+  // Publishes the ledger totals as obs gauges (core/privacy_meter.cc);
+  // called after every ledger mutation and after DecodeFrom so live,
+  // replayed, and snapshot-restored meters all report the same spend.
+  void RefreshObsGauges() const;
+
   MeterPolicy policy_;
   std::unordered_map<int64_t, ClientLedger> ledgers_;
   int64_t total_bits_ = 0;
+  double total_epsilon_ = 0.0;
   int64_t denied_charges_ = 0;
   Journal* journal_ = nullptr;
 };

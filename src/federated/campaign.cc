@@ -3,6 +3,8 @@
 #include <cmath>
 #include <set>
 
+#include "federated/obs_hooks.h"
+#include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
@@ -84,6 +86,11 @@ std::vector<CampaignTickResult> MeasurementCampaign::RunTick(
       scheduled_count > 0 ? resilience_.budget.Split(scheduled_count)
                           : resilience_.budget;
 
+  obs::Span tick_span("tick", "campaign");
+  tick_span.set_ids(tick, -1, -1);
+  tick_span.AddNumeric("scheduled", static_cast<double>(scheduled_count));
+  ObserveCampaignTick();
+
   std::vector<CampaignTickResult> results;
   for (size_t q = 0; q < queries_.size(); ++q) {
     const CampaignQuery& scheduled = queries_[q];
@@ -102,6 +109,10 @@ std::vector<CampaignTickResult> MeasurementCampaign::RunTick(
     CampaignTickResult result;
     result.tick = tick;
     result.query_name = scheduled.name;
+
+    obs::Span query_span("query", "campaign");
+    query_span.set_ids(tick, static_cast<int64_t>(q), -1);
+    query_span.AddString("query_name", scheduled.name);
 
     if (recorder_ == nullptr ||
         !recorder_->RestoreQueryResult(tick, q, &result)) {
@@ -133,6 +144,17 @@ std::vector<CampaignTickResult> MeasurementCampaign::RunTick(
         recorder_->OnQueryFinished(tick, q, result, outcome);
       }
     }
+    // Query-boundary metrics live on this common tail so a query restored
+    // from the journal counts exactly like one that ran live.
+    ObserveQueryResult(result);
+    query_span.AddString(
+        "status",
+        result.status == CampaignTickResult::Status::kRan
+            ? "ran"
+            : (result.status == CampaignTickResult::Status::kSkippedCohort
+                   ? "skipped_cohort"
+                   : "skipped_budget"));
+    query_span.End();
     if (result.status == CampaignTickResult::Status::kRan) {
       ++runs_;
     } else {

@@ -1,17 +1,49 @@
 #include "federated/concurrent_server.h"
 
+#include "obs/metrics.h"
+
 namespace bitpush {
+
+namespace {
+
+// Totals are thread-schedule-invariant (every report lands exactly once
+// regardless of interleaving), so the counters are kStable even though the
+// aggregator is driven from worker threads.
+struct AggregatorInstruments {
+  obs::Counter* reports;
+  obs::Counter* merges;
+};
+
+const AggregatorInstruments& GetAggregatorInstruments() {
+  static const AggregatorInstruments instruments = [] {
+    obs::Registry& r = obs::Registry::Default();
+    const obs::Determinism s = obs::Determinism::kStable;
+    AggregatorInstruments i;
+    i.reports = r.GetCounter("bitpush_concurrent_reports_total",
+                             "Reports tallied by concurrent aggregators.", s);
+    i.merges = r.GetCounter("bitpush_concurrent_merges_total",
+                            "Histogram batches merged concurrently.", s);
+    return i;
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 ConcurrentAggregator::ConcurrentAggregator(int bits) : histogram_(bits) {}
 
 void ConcurrentAggregator::Add(int bit_index, int reported_bit) {
   const std::lock_guard<std::mutex> lock(mutex_);
   histogram_.Add(bit_index, reported_bit);
+  GetAggregatorInstruments().reports->Increment();
 }
 
 void ConcurrentAggregator::Merge(const BitHistogram& batch) {
   const std::lock_guard<std::mutex> lock(mutex_);
   histogram_.Merge(batch);
+  const AggregatorInstruments& obs = GetAggregatorInstruments();
+  obs.merges->Increment();
+  obs.reports->Add(batch.TotalReports());
 }
 
 void ConcurrentAggregator::MergeRetryStats(const RetryStats& batch) {

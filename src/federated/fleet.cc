@@ -4,9 +4,41 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace bitpush {
+
+namespace {
+
+// Fleet-window metrics are kStable: the fleet simulation is fully seeded
+// and its clock is the simulated LatencyModel clock.
+struct FleetInstruments {
+  obs::Counter* windows;
+  obs::Counter* readings;
+  obs::Histogram* window_minutes;
+};
+
+const FleetInstruments& GetFleetInstruments() {
+  static const FleetInstruments instruments = [] {
+    obs::Registry& r = obs::Registry::Default();
+    const obs::Determinism s = obs::Determinism::kStable;
+    FleetInstruments i;
+    i.windows = r.GetCounter("bitpush_fleet_windows_total",
+                             "Fleet collection windows executed.", s);
+    i.readings = r.GetCounter("bitpush_fleet_readings_total",
+                              "Device readings collected across windows.", s);
+    i.window_minutes = r.GetHistogram(
+        "bitpush_fleet_window_sim_minutes",
+        "Simulated window duration on the LatencyModel clock (minutes).",
+        obs::SimMinutesBounds(), s);
+    return i;
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 FleetSimulator::FleetSimulator(const FleetConfig& config, uint64_t seed)
     : config_(config),
@@ -47,6 +79,8 @@ std::vector<double> FleetSimulator::CollectWindow(int64_t max_cohort) {
   BITPUSH_CHECK_GE(max_cohort, 0);
   const double availability = Availability();
   const int64_t window = ++window_index_;
+  obs::Span span("collect_window", "fleet");
+  span.AddNumeric("window", static_cast<double>(window));
   const bool retries_on = retry_schedule_.has_value();
   // Serial virtual clock for the window, in LatencyModel minutes: each
   // transport attempt costs one expected single-report collection, each
@@ -179,6 +213,12 @@ std::vector<double> FleetSimulator::CollectWindow(int64_t max_cohort) {
     retry_stats_.breaker_closes += health_->closes() - closes_before;
   }
   retry_stats_.elapsed_minutes += clock;
+  const FleetInstruments& obs = GetFleetInstruments();
+  obs.windows->Increment();
+  obs.readings->Add(static_cast<int64_t>(readings.size()));
+  obs.window_minutes->Observe(clock);
+  span.set_sim_minutes(clock);
+  span.AddNumeric("readings", static_cast<double>(readings.size()));
   if (config_.model_latency) {
     // A fresh per-window generator (never the main stream) keeps clean-run
     // determinism: enabling latency modelling does not shift readings.

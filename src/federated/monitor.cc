@@ -2,9 +2,47 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace bitpush {
+
+namespace {
+
+// Monitor windows run on seeded inputs, so their totals are kStable.
+struct MonitorInstruments {
+  obs::Counter* windows;
+  obs::Counter* skipped;
+  obs::Counter* flagged;
+  obs::Counter* recovered_reports;
+  obs::Counter* regressions;
+};
+
+const MonitorInstruments& GetMonitorInstruments() {
+  static const MonitorInstruments instruments = [] {
+    obs::Registry& r = obs::Registry::Default();
+    const obs::Determinism s = obs::Determinism::kStable;
+    MonitorInstruments i;
+    i.windows = r.GetCounter("bitpush_monitor_windows_total",
+                             "Windows ingested by metric monitors.", s);
+    i.skipped = r.GetCounter(
+        "bitpush_monitor_windows_skipped_total",
+        "Windows skipped because the cohort was below the privacy minimum.",
+        s);
+    i.flagged = r.GetCounter("bitpush_monitor_windows_flagged_total",
+                             "Windows that raised a bound or drift flag.", s);
+    i.recovered_reports = r.GetCounter(
+        "bitpush_monitor_recovered_reports_total",
+        "Recovered reports attributed to monitor windows.", s);
+    i.regressions = r.GetCounter(
+        "bitpush_monitor_retry_stats_regressions_total",
+        "Windows whose ingested RetryStats went backwards.", s);
+    return i;
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 MetricMonitor::MetricMonitor(const FixedPointCodec& codec,
                              const MonitorConfig& config)
@@ -21,8 +59,11 @@ WindowSummary MetricMonitor::IngestWindow(const std::vector<double>& values,
   WindowSummary summary;
   summary.window_index = static_cast<int64_t>(history_.size());
   summary.clients = static_cast<int64_t>(values.size());
+  const MonitorInstruments& obs = GetMonitorInstruments();
+  obs.windows->Increment();
   if (summary.clients < config_.min_window_size) {
     summary.skipped = true;
+    obs.skipped->Increment();
     history_.push_back(summary);
     return summary;
   }
@@ -46,7 +87,10 @@ WindowSummary MetricMonitor::IngestWindow(const std::vector<double>& values,
   trailing_estimate_sum_ += summary.estimate;
   ++trailing_estimate_count_;
 
-  if (summary.bound_flagged || summary.drift_flagged) ++windows_flagged_;
+  if (summary.bound_flagged || summary.drift_flagged) {
+    ++windows_flagged_;
+    obs.flagged->Increment();
+  }
   history_.push_back(summary);
   return summary;
 }
@@ -57,12 +101,20 @@ WindowSummary MetricMonitor::IngestWindow(
   const int64_t recovered_before = retry_stats_.RecoveredTotal();
   WindowSummary summary = IngestWindow(values, rng);
   retry_stats_ = cumulative_retry_stats;
-  const int64_t recovered =
-      retry_stats_.RecoveredTotal() - recovered_before;
-  BITPUSH_CHECK_GE(recovered, 0)
-      << "retry stats must be cumulative across windows";
+  int64_t recovered = retry_stats_.RecoveredTotal() - recovered_before;
+  if (recovered < 0) {
+    // The caller's RetryStats went backwards (reset or non-cumulative
+    // counters). Degrade gracefully: attribute no recoveries to the window
+    // and mark the monotonicity violation on the summary so dashboards can
+    // surface it, rather than aborting the coordinator mid-campaign.
+    recovered = 0;
+    summary.retry_stats_regressed = true;
+    history_.back().retry_stats_regressed = true;
+    GetMonitorInstruments().regressions->Increment();
+  }
   summary.recovered_reports = recovered;
   history_.back().recovered_reports = recovered;
+  GetMonitorInstruments().recovered_reports->Add(recovered);
   return summary;
 }
 

@@ -45,6 +45,11 @@ struct WindowSummary {
   // this window (0 unless the caller ingests its RetryStats; see
   // federated/resilience.h).
   int64_t recovered_reports = 0;
+  // True when the ingested RetryStats went backwards relative to the
+  // previous window (the caller handed the monitor non-cumulative or reset
+  // counters). The recovered-report delta is clamped to 0 for the window
+  // instead of aborting the coordinator.
+  bool retry_stats_regressed = false;
 };
 
 class MetricMonitor {

@@ -1,0 +1,39 @@
+// Shared metric-application helpers for the federated stack. Round- and
+// query-boundary metrics must be applied exactly once per round/query on
+// every execution path — live run, journal-restored round (round.cc), and
+// recovery replay of finished queries (persist/recovery.cc ApplyJournal) —
+// or a crash-recovered rerun would diverge from an uninterrupted one.
+// Centralizing the application here keeps the three call sites identical;
+// docs/OBSERVABILITY.md documents the contract and the metric catalog.
+
+#ifndef BITPUSH_FEDERATED_OBS_HOOKS_H_
+#define BITPUSH_FEDERATED_OBS_HOOKS_H_
+
+namespace bitpush {
+
+struct RoundOutcome;
+struct CampaignTickResult;
+class HealthTracker;
+
+// Applies one closed round's counters (rounds, cohort reach, wire bytes,
+// fault reactions, retry/hedge recovery, simulated round duration). All
+// kStable: derived from the journaled outcome, so restored rounds apply
+// the exact values a live run would.
+void ObserveRoundOutcome(const RoundOutcome& outcome);
+
+// Publishes the circuit breaker's current state as gauges (opens, closes,
+// quarantined and tracked clients). Gauges are set from the tracker, not
+// accumulated, so replayed breaker transitions land on the same values.
+void ObserveBreakerState(const HealthTracker& health);
+
+// Applies one scheduled query's terminal counters (ran/skipped and
+// accepted reports). Call on the campaign's common path so restored and
+// live queries count identically.
+void ObserveQueryResult(const CampaignTickResult& result);
+
+// Counts one campaign tick.
+void ObserveCampaignTick();
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_OBS_HOOKS_H_

@@ -7,7 +7,9 @@
 #include "core/bit_probabilities.h"
 #include "core/bit_pushing.h"
 #include "core/bit_squashing.h"
+#include "federated/obs_hooks.h"
 #include "federated/persist_hooks.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace bitpush {
@@ -74,16 +76,35 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
       [&](int64_t round_id, const RoundConfig& round_config,
           const std::vector<int64_t>& round_cohort, Rng& round_rng,
           RoundOutcome* outcome) {
+        obs::Span span("round", "federated");
+        span.set_ids(-1, -1, round_id);
         if (config.health != nullptr) config.health->BeginRound();
+        bool restored = true;
         if (config.recorder == nullptr ||
             !config.recorder->RestoreRound(round_id, outcome)) {
+          restored = false;
+          obs::Span collect("collect", "federated");
+          collect.set_ids(-1, -1, round_id);
           *outcome =
               server.RunRound(clients, round_cohort, round_config, meter,
                               round_rng);
+          collect.set_sim_minutes(outcome->retry.elapsed_minutes);
+          collect.AddNumeric("responded",
+                             static_cast<double>(outcome->responded));
+          collect.End();
           if (config.recorder != nullptr) {
             config.recorder->OnRoundClosed(round_id, *outcome);
           }
         }
+        // Round-boundary metrics, applied from the (possibly journaled)
+        // outcome so restored rounds count exactly like live ones. Rounds
+        // of queries that finished before a crash never reach this lambda;
+        // recovery re-applies those from the journal (persist/recovery.cc).
+        ObserveRoundOutcome(*outcome);
+        span.set_sim_minutes(outcome->retry.elapsed_minutes);
+        span.AddNumeric("contacted", static_cast<double>(outcome->contacted));
+        span.AddNumeric("responded", static_cast<double>(outcome->responded));
+        span.AddString("source", restored ? "restored" : "live");
         if (config.health != nullptr) {
           const int64_t opens_before = config.health->opens();
           const int64_t closes_before = config.health->closes();
@@ -93,6 +114,7 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
           result.retry.breaker_opens += config.health->opens() - opens_before;
           result.retry.breaker_closes +=
               config.health->closes() - closes_before;
+          ObserveBreakerState(*config.health);
         }
         result.comm.MergeFrom(outcome->comm);
         result.faults.MergeFrom(outcome->faults);
@@ -175,6 +197,9 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
                        &result.round2);
 
   // Final aggregation, with caching per the protocol config.
+  obs::Span aggregate_span("aggregate", "federated");
+  aggregate_span.AddNumeric("value_id",
+                            static_cast<double>(config.value_id));
   BitHistogram pooled = result.round1.histogram;
   pooled.Merge(result.round2.histogram);
   std::vector<int64_t> final_counts;

@@ -3,10 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
+
+namespace {
+
+// Session counters are kVolatile: a snapshot-restored session resumes with
+// its accepted/rejected tallies intact, but the events themselves fired in
+// the previous process, so these process-local counters legitimately
+// differ across a clean/recovered pair.
+struct SessionInstruments {
+  obs::Counter* assignments;
+  obs::Counter* accepted;
+  obs::Counter* rejected;
+  obs::Counter* late;
+};
+
+const SessionInstruments& GetSessionInstruments() {
+  static const SessionInstruments instruments = [] {
+    obs::Registry& r = obs::Registry::Default();
+    const obs::Determinism v = obs::Determinism::kVolatile;
+    SessionInstruments i;
+    i.assignments = r.GetCounter("bitpush_session_assignments_total",
+                                 "Fresh session assignments issued.", v);
+    i.accepted = r.GetCounter("bitpush_session_reports_accepted_total",
+                              "Session reports accepted.", v);
+    i.rejected = r.GetCounter("bitpush_session_reports_rejected_total",
+                              "Session reports rejected (all causes).", v);
+    i.late = r.GetCounter("bitpush_session_reports_late_total",
+                          "Session reports rejected for lateness.", v);
+    return i;
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 CollectionSession::CollectionSession(const FixedPointCodec& codec,
                                      const SessionConfig& config)
@@ -61,6 +95,7 @@ bool CollectionSession::IssueAssignment(int64_t client_id,
     BITPUSH_CHECK_GE(best_deficit, -1e9) << "no bit has positive probability";
     ++issued_[static_cast<size_t>(bit_index)];
     assigned_bits_.emplace(client_id, bit_index);
+    GetSessionInstruments().assignments->Increment();
   }
 
   request->round_id = config_.round_id;
@@ -81,6 +116,7 @@ ReportRejection CollectionSession::SubmitReport(const BitReport& report,
                                                 double arrival_time) {
   if (state_ != SessionState::kCollecting) {
     ++rejected_;
+    GetSessionInstruments().rejected->Increment();
     return ReportRejection::kSessionClosed;
   }
   // Inclusive boundary: arrival_time == the effective deadline (the
@@ -89,28 +125,35 @@ ReportRejection CollectionSession::SubmitReport(const BitReport& report,
   if (arrival_time > config_.effective_deadline()) {
     ++rejected_;
     ++late_;
+    GetSessionInstruments().rejected->Increment();
+    GetSessionInstruments().late->Increment();
     return ReportRejection::kLate;
   }
   const auto assigned = assigned_bits_.find(report.client_id);
   if (assigned == assigned_bits_.end()) {
     ++rejected_;
+    GetSessionInstruments().rejected->Increment();
     return ReportRejection::kUnknownClient;
   }
   if (reported_.contains(report.client_id)) {
     ++rejected_;
+    GetSessionInstruments().rejected->Increment();
     return ReportRejection::kDuplicate;
   }
   if (report.bit_index != assigned->second) {
     ++rejected_;
+    GetSessionInstruments().rejected->Increment();
     return ReportRejection::kWrongIndex;
   }
   if (report.bit != 0 && report.bit != 1) {
     ++rejected_;
+    GetSessionInstruments().rejected->Increment();
     return ReportRejection::kMalformedBit;
   }
   reported_.insert(report.client_id);
   histogram_.Add(report.bit_index, report.bit);
   ++accepted_;
+  GetSessionInstruments().accepted->Increment();
   if (journal_ != nullptr) journal_->OnReportAccepted(report);
   if (config_.target_reports > 0 && accepted_ >= config_.target_reports) {
     Close();

@@ -3,10 +3,52 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
+
+namespace {
+
+// Batch codec instruments. Raw wire-layer counts are kVolatile: batches
+// are also encoded by tooling, tests, and recovery replay, so their totals
+// are process-local (the round-boundary bitpush_wire_* counters in
+// federated/obs_hooks.cc are the deterministic view).
+struct WireInstruments {
+  obs::Histogram* encode_seconds;
+  obs::Histogram* decode_seconds;
+  obs::Counter* batches_encoded;
+  obs::Counter* batches_decoded;
+  obs::Counter* decode_rejects;
+};
+
+const WireInstruments& GetWireInstruments() {
+  static const WireInstruments instruments = [] {
+    obs::Registry& r = obs::Registry::Default();
+    const obs::Determinism v = obs::Determinism::kVolatile;
+    WireInstruments i;
+    i.encode_seconds =
+        r.GetHistogram("bitpush_wire_encode_seconds",
+                       "Wall-clock time to encode one request/report batch.",
+                       obs::LatencySecondsBounds(), v);
+    i.decode_seconds =
+        r.GetHistogram("bitpush_wire_decode_seconds",
+                       "Wall-clock time to decode one request/report batch.",
+                       obs::LatencySecondsBounds(), v);
+    i.batches_encoded = r.GetCounter("bitpush_wire_batches_encoded_total",
+                                     "Wire batches encoded.", v);
+    i.batches_decoded = r.GetCounter("bitpush_wire_batches_decoded_total",
+                                     "Wire batches decoded successfully.", v);
+    i.decode_rejects = r.GetCounter("bitpush_wire_decode_rejects_total",
+                                    "Wire batches rejected by the decoder.",
+                                    v);
+    return i;
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 void EncodeBitRequest(const BitRequest& request, std::vector<uint8_t>* out) {
   BITPUSH_CHECK(out != nullptr);
@@ -90,6 +132,9 @@ bool DecodeBitReport(const std::vector<uint8_t>& buffer, size_t* offset,
 void EncodeRequestBatch(const std::vector<BitRequest>& requests,
                         std::vector<uint8_t>* out) {
   BITPUSH_CHECK(out != nullptr);
+  const WireInstruments& obs = GetWireInstruments();
+  const obs::ScopedTimer timer(obs.encode_seconds);
+  obs.batches_encoded->Increment();
   bytes::PutByte(kWireFormatVersion, out);
   bytes::PutUint32(static_cast<uint32_t>(requests.size()), out);
   for (const BitRequest& request : requests) {
@@ -100,30 +145,40 @@ void EncodeRequestBatch(const std::vector<BitRequest>& requests,
 bool DecodeRequestBatch(const std::vector<uint8_t>& buffer,
                         std::vector<BitRequest>* out) {
   BITPUSH_CHECK(out != nullptr);
+  const WireInstruments& obs = GetWireInstruments();
+  const obs::ScopedTimer timer(obs.decode_seconds);
+  const auto reject = [&obs] {
+    obs.decode_rejects->Increment();
+    return false;
+  };
   size_t offset = 0;
   uint8_t version = 0;
   uint32_t count = 0;
-  if (!bytes::GetByte(buffer, &offset, &version)) return false;
-  if (version != kWireFormatVersion) return false;  // unknown format version
-  if (!bytes::GetUint32(buffer, &offset, &count)) return false;
+  if (!bytes::GetByte(buffer, &offset, &version)) return reject();
+  if (version != kWireFormatVersion) return reject();  // unknown version
+  if (!bytes::GetUint32(buffer, &offset, &count)) return reject();
   if ((buffer.size() - offset) / kBitRequestWireSize <
       static_cast<size_t>(count)) {
-    return false;
+    return reject();
   }
   std::vector<BitRequest> requests;
   requests.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     BitRequest request;
-    if (!DecodeBitRequest(buffer, &offset, &request)) return false;
+    if (!DecodeBitRequest(buffer, &offset, &request)) return reject();
     requests.push_back(request);
   }
   *out = std::move(requests);
+  obs.batches_decoded->Increment();
   return true;
 }
 
 void EncodeReportBatch(const std::vector<BitReport>& reports,
                        std::vector<uint8_t>* out) {
   BITPUSH_CHECK(out != nullptr);
+  const WireInstruments& obs = GetWireInstruments();
+  const obs::ScopedTimer timer(obs.encode_seconds);
+  obs.batches_encoded->Increment();
   bytes::PutByte(kWireFormatVersion, out);
   bytes::PutUint32(static_cast<uint32_t>(reports.size()), out);
   for (const BitReport& report : reports) EncodeBitReport(report, out);
@@ -132,24 +187,31 @@ void EncodeReportBatch(const std::vector<BitReport>& reports,
 bool DecodeReportBatch(const std::vector<uint8_t>& buffer,
                        std::vector<BitReport>* out) {
   BITPUSH_CHECK(out != nullptr);
+  const WireInstruments& obs = GetWireInstruments();
+  const obs::ScopedTimer timer(obs.decode_seconds);
+  const auto reject = [&obs] {
+    obs.decode_rejects->Increment();
+    return false;
+  };
   size_t offset = 0;
   uint8_t version = 0;
   uint32_t count = 0;
-  if (!bytes::GetByte(buffer, &offset, &version)) return false;
-  if (version != kWireFormatVersion) return false;  // unknown format version
-  if (!bytes::GetUint32(buffer, &offset, &count)) return false;
+  if (!bytes::GetByte(buffer, &offset, &version)) return reject();
+  if (version != kWireFormatVersion) return reject();  // unknown version
+  if (!bytes::GetUint32(buffer, &offset, &count)) return reject();
   if ((buffer.size() - offset) / kBitReportWireSize <
       static_cast<size_t>(count)) {
-    return false;
+    return reject();
   }
   std::vector<BitReport> reports;
   reports.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     BitReport report;
-    if (!DecodeBitReport(buffer, &offset, &report)) return false;
+    if (!DecodeBitReport(buffer, &offset, &report)) return reject();
     reports.push_back(report);
   }
   *out = std::move(reports);
+  obs.batches_decoded->Increment();
   return true;
 }
 

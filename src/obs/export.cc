@@ -1,0 +1,407 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace bitpush::obs {
+namespace {
+
+// Canonical double formatting for determinism-sensitive output: %.17g
+// round-trips every finite double to the same bytes on every run.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// Short form for histogram bucket bounds (they are registered constants,
+// not computed values, so %g is stable).
+std::string FormatBound(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+const char* KindName(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const char* DeterminismName(Determinism determinism) {
+  return determinism == Determinism::kStable ? "stable" : "volatile";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(const Registry& registry) {
+  std::string out;
+  registry.Visit([&](const InstrumentInfo& info, const Counter* counter,
+                     const Gauge* gauge, const Histogram* histogram) {
+    out += "# HELP " + info.name + " " + info.help + "\n";
+    out += "# TYPE " + info.name + " ";
+    out += KindName(info.kind);
+    out += "\n";
+    const std::string label =
+        std::string("{determinism=\"") + DeterminismName(info.determinism) +
+        "\"}";
+    if (counter != nullptr) {
+      out += info.name + label + " " + std::to_string(counter->value()) + "\n";
+    } else if (gauge != nullptr) {
+      out += info.name + label + " " + FormatDouble(gauge->value()) + "\n";
+    } else if (histogram != nullptr) {
+      const std::string prefix = std::string("{determinism=\"") +
+                                 DeterminismName(info.determinism) +
+                                 "\",le=\"";
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < histogram->bounds().size(); ++i) {
+        cumulative += histogram->bucket_value(i);
+        out += info.name + "_bucket" + prefix +
+               FormatBound(histogram->bounds()[i]) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      cumulative += histogram->bucket_value(histogram->bounds().size());
+      out += info.name + "_bucket" + prefix + "+Inf\"} " +
+             std::to_string(cumulative) + "\n";
+      out += info.name + "_sum" + label + " " +
+             FormatDouble(histogram->sum()) + "\n";
+      out += info.name + "_count" + label + " " +
+             std::to_string(histogram->count()) + "\n";
+    }
+  });
+  return out;
+}
+
+std::string MetricsJsonl(const Registry& registry) {
+  std::string out;
+  registry.Visit([&](const InstrumentInfo& info, const Counter* counter,
+                     const Gauge* gauge, const Histogram* histogram) {
+    std::string line = "{\"name\":\"" + JsonEscape(info.name) +
+                       "\",\"kind\":\"" + KindName(info.kind) +
+                       "\",\"determinism\":\"" +
+                       DeterminismName(info.determinism) + "\",\"help\":\"" +
+                       JsonEscape(info.help) + "\"";
+    if (counter != nullptr) {
+      line += ",\"value\":" + std::to_string(counter->value());
+    } else if (gauge != nullptr) {
+      line += ",\"value\":" + FormatDouble(gauge->value());
+    } else if (histogram != nullptr) {
+      line += ",\"count\":" + std::to_string(histogram->count());
+      line += ",\"sum\":" + FormatDouble(histogram->sum());
+      line += ",\"buckets\":[";
+      for (size_t i = 0; i <= histogram->bounds().size(); ++i) {
+        if (i > 0) line += ",";
+        line += "{\"le\":";
+        if (i < histogram->bounds().size()) {
+          line += FormatBound(histogram->bounds()[i]);
+        } else {
+          line += "\"+Inf\"";
+        }
+        line += ",\"count\":" + std::to_string(histogram->bucket_value(i)) +
+                "}";
+      }
+      line += "]";
+    }
+    line += "}\n";
+    out += line;
+  });
+  return out;
+}
+
+std::string DeterministicMetricsSnapshot(const Registry& registry) {
+  std::string out = "# bitpush deterministic metrics snapshot v1\n";
+  registry.Visit([&](const InstrumentInfo& info, const Counter* counter,
+                     const Gauge* gauge, const Histogram* histogram) {
+    if (info.determinism != Determinism::kStable) return;
+    if (counter != nullptr) {
+      out += "counter " + info.name + " " + std::to_string(counter->value()) +
+             "\n";
+    } else if (gauge != nullptr) {
+      out += "gauge " + info.name + " " + FormatDouble(gauge->value()) + "\n";
+    } else if (histogram != nullptr) {
+      out += "histogram " + info.name +
+             " count=" + std::to_string(histogram->count()) +
+             " sum=" + FormatDouble(histogram->sum()) + " buckets=";
+      for (size_t i = 0; i <= histogram->bounds().size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(histogram->bucket_value(i));
+      }
+      out += "\n";
+    }
+  });
+  return out;
+}
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(span.name) + "\",\"cat\":\"" +
+           JsonEscape(span.category) + "\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(span.wall_start_us) +
+           ",\"dur\":" + std::to_string(span.wall_duration_us) +
+           ",\"pid\":1,\"tid\":" +
+           std::to_string(span.thread_id % 1000000) + ",\"args\":{";
+    bool first_arg = true;
+    const auto add_arg = [&](const std::string& body) {
+      if (!first_arg) out += ",";
+      first_arg = false;
+      out += body;
+    };
+    if (span.tick >= 0) add_arg("\"tick\":" + std::to_string(span.tick));
+    if (span.query_index >= 0) {
+      add_arg("\"query\":" + std::to_string(span.query_index));
+    }
+    if (span.round_id >= 0) {
+      add_arg("\"round\":" + std::to_string(span.round_id));
+    }
+    if (span.has_sim_minutes) {
+      add_arg("\"sim_minutes\":" + FormatDouble(span.sim_minutes));
+    }
+    for (const auto& [key, value] : span.numeric_args) {
+      add_arg("\"" + JsonEscape(key) + "\":" + FormatDouble(value));
+    }
+    for (const auto& [key, value] : span.string_args) {
+      add_arg("\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"");
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool ok = written == content.size() && std::fclose(file) == 0;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+namespace {
+
+// Minimal recursive-descent JSON syntax checker.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Check(std::string* error) {
+    SkipWhitespace();
+    if (!Value(0)) {
+      if (error != nullptr) {
+        *error = "invalid JSON near offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing content at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) return false;
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  bool Object(int depth) {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (!String()) return false;
+      SkipWhitespace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWhitespace();
+      if (!Value(depth + 1)) return false;
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (!Value(depth + 1)) return false;
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !IsHex(text_[pos_])) return false;
+          }
+        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
+          return false;
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!IsDigit(Peek())) return false;
+    while (IsDigit(Peek())) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) != word) return false;
+    pos_ += len;
+    return true;
+  }
+
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool IsHex(char c) {
+    return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonIsWellFormed(std::string_view text, std::string* error) {
+  return JsonChecker(text).Check(error);
+}
+
+}  // namespace bitpush::obs

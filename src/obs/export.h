@@ -1,0 +1,53 @@
+// Exporters for the obs registry and tracer.
+//
+//  - PrometheusText: the Prometheus text exposition format (# HELP/# TYPE
+//    plus one line per sample; histograms expand to _bucket{le=...}/_sum/
+//    _count). Every metric carries a determinism="stable|volatile" label.
+//  - MetricsJsonl: one JSON object per line per instrument — the
+//    machine-readable dump for the BENCH_*/metrics trajectory.
+//  - DeterministicMetricsSnapshot: kStable instruments only, canonical
+//    formatting (%.17g doubles, name order). Two runs of the same seeded
+//    campaign — including a crash-recovered rerun — must produce
+//    byte-identical snapshots; tests/determinism_test.cc enforces this.
+//  - ChromeTraceJson: the tracer's spans as Chrome trace-event JSON
+//    ("X" complete events), loadable in Perfetto / chrome://tracing. Wall
+//    clock drives ts/dur; the simulated clock and hierarchy ids ride in
+//    each event's args.
+
+#ifndef BITPUSH_OBS_EXPORT_H_
+#define BITPUSH_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bitpush::obs {
+
+std::string PrometheusText(const Registry& registry = Registry::Default());
+
+std::string MetricsJsonl(const Registry& registry = Registry::Default());
+
+std::string DeterministicMetricsSnapshot(
+    const Registry& registry = Registry::Default());
+
+std::string ChromeTraceJson(const Tracer& tracer = Tracer::Default());
+
+// Writes `content` to `path` ("-" means stdout). Returns false and fills
+// `*error` (if non-null) on failure.
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error);
+
+// JSON string escaping for the exporters (quotes not included).
+std::string JsonEscape(std::string_view text);
+
+// Minimal JSON well-formedness check (syntax only: values, objects,
+// arrays, strings with escapes, numbers). Used by the exporter self-tests
+// and scripts/check.sh to validate trace output without an external
+// parser. Fills `*error` (if non-null) with a position-stamped message.
+bool JsonIsWellFormed(std::string_view text, std::string* error);
+
+}  // namespace bitpush::obs
+
+#endif  // BITPUSH_OBS_EXPORT_H_

@@ -8,12 +8,33 @@
 #include <cstring>
 
 #include "federated/wire.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
 namespace bitpush {
 
 namespace {
+
+// Journal I/O counters are kVolatile: a recovered run re-appends only the
+// records the crash lost, so its totals legitimately differ from a clean
+// run's.
+void ObserveJournalAppend(size_t frame_bytes, bool fsynced) {
+  if (!obs::Enabled()) return;
+  obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter* records = registry.GetCounter(
+      "bitpush_journal_records_total", "Journal records appended.",
+      obs::Determinism::kVolatile);
+  static obs::Counter* bytes = registry.GetCounter(
+      "bitpush_journal_bytes_total", "Journal frame bytes written.",
+      obs::Determinism::kVolatile);
+  static obs::Counter* fsyncs = registry.GetCounter(
+      "bitpush_journal_fsyncs_total", "Journal fsync calls issued.",
+      obs::Determinism::kVolatile);
+  records->Increment();
+  bytes->Add(static_cast<int64_t>(frame_bytes));
+  if (fsynced) fsyncs->Increment();
+}
 
 // version + type + seq + len.
 constexpr size_t kFrameHeaderSize = 1 + 1 + 8 + 4;
@@ -68,6 +89,7 @@ bool JournalWriter::Append(JournalRecordType type,
   }
   if (std::fflush(file_) != 0) return false;
   if (fsync_ && fsync(fileno(file_)) != 0) return false;
+  ObserveJournalAppend(frame.size(), fsync_);
   ++next_seq_;
   ++appended_;
   if (crash_after_records_ > 0 && appended_ >= crash_after_records_) {

@@ -7,11 +7,39 @@
 #include <cstring>
 #include <filesystem>
 
+#include "federated/obs_hooks.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace bitpush {
 
 namespace {
+
+// Replay-progress counters are kVolatile by nature: an uninterrupted run
+// replays nothing, so they can never match across a clean/recovered pair.
+void ObserveRecovery(const RecoveryInfo& info) {
+  if (!obs::Enabled()) return;
+  obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter* opens = registry.GetCounter(
+      "bitpush_recovery_opens_total", "Durable runner opens.",
+      obs::Determinism::kVolatile);
+  static obs::Counter* recovered = registry.GetCounter(
+      "bitpush_recovery_recovered_total",
+      "Opens that found prior durable state.", obs::Determinism::kVolatile);
+  static obs::Counter* replayed = registry.GetCounter(
+      "bitpush_recovery_replayed_records_total",
+      "Journal records validated and replayed on open.",
+      obs::Determinism::kVolatile);
+  static obs::Counter* torn = registry.GetCounter(
+      "bitpush_recovery_torn_tails_total",
+      "Opens that discarded a torn journal tail.",
+      obs::Determinism::kVolatile);
+  opens->Increment();
+  if (info.recovered) recovered->Increment();
+  replayed->Add(info.replayed_records);
+  if (info.torn_tail) torn->Increment();
+}
 
 constexpr const char* kJournalFile = "journal.wal";
 constexpr const char* kSnapshotFile = "snapshot.bin";
@@ -42,6 +70,7 @@ DurableCampaignRunner::DurableCampaignRunner(
 bool DurableCampaignRunner::Open(std::string* error) {
   BITPUSH_CHECK(error != nullptr);
   BITPUSH_CHECK(!open_) << "runner already open";
+  obs::Span span("recovery.open", "persist");
 
   std::error_code ec;
   std::filesystem::create_directories(options_.state_dir, ec);
@@ -140,6 +169,10 @@ bool DurableCampaignRunner::Open(std::string* error) {
   info_.completed_ticks = completed_ticks_;
   rng_ = Rng(options_.seed);
   open_ = true;
+  ObserveRecovery(info_);
+  span.AddNumeric("replayed_records",
+                  static_cast<double>(info_.replayed_records));
+  span.AddString("recovered", info_.recovered ? "yes" : "no");
   return true;
 }
 
@@ -273,15 +306,20 @@ bool DurableCampaignRunner::ApplyJournal(
                  records.end());
 
   // Rounds of *finished* queries never re-execute (RestoreQueryResult
-  // serves their summaries), so their breaker observations are replayed
-  // here from the journaled outcomes; the in-flight query's rounds — the
-  // replay prefix — are applied by the round layer during re-execution,
-  // and pre-snapshot history came in with the snapshot's health blob.
-  if (HealthTracker* health = campaign_.mutable_health(); health != nullptr) {
-    for (size_t i = 0; i < prefix_start; ++i) {
-      if (records[i].type != JournalRecordType::kRoundClosed) continue;
-      RoundClosedRecord record;
-      BITPUSH_CHECK(DecodeRoundClosedRecord(records[i].payload, &record));
+  // serves their summaries), so their breaker observations and their
+  // round-boundary metrics are replayed here from the journaled outcomes;
+  // the in-flight query's rounds — the replay prefix — are applied by the
+  // round layer during re-execution, and pre-snapshot history came in
+  // with the snapshot's health blob (round metrics truncated with the
+  // journal are gone — the deterministic-metrics contract is scoped to
+  // journal-only recovery; see docs/OBSERVABILITY.md).
+  HealthTracker* health = campaign_.mutable_health();
+  for (size_t i = 0; i < prefix_start; ++i) {
+    if (records[i].type != JournalRecordType::kRoundClosed) continue;
+    RoundClosedRecord record;
+    BITPUSH_CHECK(DecodeRoundClosedRecord(records[i].payload, &record));
+    ObserveRoundOutcome(record.outcome);
+    if (health != nullptr) {
       health->BeginRound();
       health->ObserveRound(record.round_id,
                            record.outcome.succeeded_client_ids,
@@ -289,6 +327,7 @@ bool DurableCampaignRunner::ApplyJournal(
                            /*recorder=*/nullptr);
     }
   }
+  if (health != nullptr) ObserveBreakerState(*health);
   return true;
 }
 

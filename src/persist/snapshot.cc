@@ -9,6 +9,8 @@
 #include <cstring>
 
 #include "federated/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
@@ -177,8 +179,27 @@ bool WriteSnapshotFile(const std::string& path,
                        const CoordinatorSnapshot& snapshot,
                        std::string* error) {
   BITPUSH_CHECK(error != nullptr);
+  // Snapshot I/O metrics are kVolatile: how many snapshots a run takes
+  // (and their wall-clock cost) depends on where crashes landed.
+  obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter* writes = registry.GetCounter(
+      "bitpush_snapshot_writes_total", "Snapshot files written.",
+      obs::Determinism::kVolatile);
+  static obs::Gauge* size_bytes = registry.GetGauge(
+      "bitpush_snapshot_bytes", "Size of the last snapshot written.",
+      obs::Determinism::kVolatile);
+  static obs::Histogram* duration = registry.GetHistogram(
+      "bitpush_snapshot_write_seconds",
+      "Wall-clock time to encode, write, and fsync one snapshot.",
+      obs::LatencySecondsBounds(), obs::Determinism::kVolatile);
+  obs::ScopedTimer timer(duration);
+  obs::Span span("snapshot.write", "persist");
+
   std::vector<uint8_t> encoded;
   EncodeCoordinatorSnapshot(snapshot, &encoded);
+  writes->Increment();
+  size_bytes->Set(static_cast<double>(encoded.size()));
+  span.AddNumeric("bytes", static_cast<double>(encoded.size()));
 
   const std::string temp_path = path + ".tmp";
   std::FILE* file = std::fopen(temp_path.c_str(), "wb");

@@ -36,6 +36,11 @@ class Table {
   // Appends ToCsv() to `path`; returns false on I/O failure.
   bool WriteCsv(const std::string& path) const;
 
+  // Raw cells, for exporters that re-serialize the table (see
+  // bench/bench_common.h).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -18,6 +18,8 @@
 #include "core/vector_aggregation.h"
 #include "data/census.h"
 #include "federated/round.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "persist/journal.h"
 #include "persist/recovery.h"
 #include "rng/rng.h"
@@ -378,6 +380,84 @@ TEST_F(DeterminismTest, ResilientDurableCampaignReproducesAcrossCrashes) {
     EXPECT_EQ(recovered.journal[i].type, first.journal[i].type) << i;
     EXPECT_EQ(recovered.journal[i].payload, first.journal[i].payload) << i;
   }
+  std::filesystem::remove_all(base);
+}
+
+TEST_F(DeterminismTest, MetricsSnapshotReproducesAcrossRunsAndCrashes) {
+  // The deterministic metrics snapshot (kStable instruments only,
+  // canonical formatting) is part of the seed contract: two clean runs of
+  // the same seeded campaign, and a run crashed mid-journal and recovered,
+  // must all export byte-identical snapshots. Journal-only mode: a
+  // snapshot would truncate the journal and with it the pre-crash round
+  // records the recovered export re-applies.
+  FaultRates rates;
+  rates.mid_round_dropout = 0.15;
+  rates.straggler = 0.1;
+  static const FaultPlan plan(59, rates);
+  const std::vector<Client> clients =
+      MakePopulation(ages_.values(), ClientConfig{});
+  const std::vector<const std::vector<Client>*> populations = {&clients};
+  const std::vector<FixedPointCodec> codecs = {FixedPointCodec::Integer(7)};
+  CampaignQuery query;
+  query.name = "ages";
+  query.value_id = 0;
+  query.query.adaptive.bits = 7;
+  query.query.cohort.max_cohort_size = 400;
+  query.query.fault_plan = &plan;
+  query.query.fault_policy.report_deadline_minutes = 30.0;
+  MeterPolicy policy;
+  policy.max_bits_per_value = 2;
+  ResilienceConfig resilience;
+  resilience.seed = 91;
+  resilience.retry.max_retries_per_client = 2;
+  resilience.hedge.enabled = true;
+  resilience.breaker.consecutive_failures_to_open = 2;
+  resilience.breaker.cooldown_rounds = 2;
+
+  auto run = [&](const std::string& dir, int64_t ticks) {
+    obs::Registry::Default().Reset();
+    obs::SetEnabled(true);
+    DurableCampaignOptions options;
+    options.state_dir = dir;
+    options.seed = 654;
+    options.fsync = false;
+    DurableCampaignRunner runner({query}, policy, options, resilience);
+    std::string error;
+    EXPECT_TRUE(runner.Open(&error)) << error;
+    for (int64_t tick = 0; tick < ticks; ++tick) {
+      runner.RunTick(tick, populations, codecs);
+    }
+    obs::SetEnabled(false);
+    return obs::DeterministicMetricsSnapshot();
+  };
+  const std::string base = ::testing::TempDir() + "/determinism_obs";
+  std::filesystem::remove_all(base);
+  const std::string first = run(base + "/a", 2);
+  const std::string second = run(base + "/b", 2);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("counter bitpush_campaign_ticks_total 2"),
+            std::string::npos);
+  EXPECT_EQ(first.find("bitpush_campaign_ticks_total 0"),
+            std::string::npos);
+
+  // Crash run c halfway through its journal, recover, and re-export.
+  run(base + "/c", 2);
+  JournalReadResult journal;
+  std::string error;
+  ASSERT_TRUE(
+      ReadJournal(base + "/c/journal.wal", 0, &journal, &error)) << error;
+  std::vector<uint8_t> half;
+  for (size_t i = 0; i < journal.records.size() / 2; ++i) {
+    AppendJournalFrame(journal.records[i].type, journal.records[i].seq,
+                       journal.records[i].payload, &half);
+  }
+  std::FILE* file = std::fopen((base + "/c/journal.wal").c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(half.data(), 1, half.size(), file), half.size());
+  std::fclose(file);
+
+  const std::string recovered = run(base + "/c", 2);
+  EXPECT_EQ(recovered, first);
   std::filesystem::remove_all(base);
 }
 

@@ -82,6 +82,120 @@ TEST(MetricMonitorTest, DriftDisabledByDefault) {
   EXPECT_FALSE(jumped.drift_flagged);
 }
 
+// Constant, noise-free windows (epsilon off, every client holds the same
+// integer) make the estimate exact, so the drift arithmetic can be pinned
+// to the threshold boundary.
+std::vector<double> Constant(int64_t n, double value) {
+  return std::vector<double>(static_cast<size_t>(n), value);
+}
+
+TEST(MetricMonitorTest, DriftThresholdIsStrict) {
+  Rng rng(6);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MonitorConfig config = Config(10);
+  config.drift_threshold = 0.5;
+  {
+    // |150 - 100| / 100 == 0.5: exactly at the threshold must not flag
+    // (the comparison is strict).
+    MetricMonitor at_boundary(codec, config);
+    at_boundary.IngestWindow(Constant(4000, 100.0), rng);
+    const WindowSummary summary =
+        at_boundary.IngestWindow(Constant(4000, 150.0), rng);
+    EXPECT_DOUBLE_EQ(summary.estimate, 150.0);
+    EXPECT_FALSE(summary.drift_flagged);
+  }
+  {
+    // |151 - 100| / 100 > 0.5: one codeword past the boundary flags.
+    MetricMonitor past_boundary(codec, config);
+    past_boundary.IngestWindow(Constant(4000, 100.0), rng);
+    const WindowSummary summary =
+        past_boundary.IngestWindow(Constant(4000, 151.0), rng);
+    EXPECT_DOUBLE_EQ(summary.estimate, 151.0);
+    EXPECT_TRUE(summary.drift_flagged);
+  }
+}
+
+TEST(MetricMonitorTest, SkippedWindowsExcludedFromTrailingAverage) {
+  Rng rng(7);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MonitorConfig config = Config(10);
+  config.drift_threshold = 0.5;
+  config.min_window_size = 1000;
+  MetricMonitor monitor(codec, config);
+  monitor.IngestWindow(Constant(4000, 100.0), rng);
+  // Below the privacy minimum: contributes nothing to the trailing
+  // average. Were its zero-valued estimate averaged in, the trailing mean
+  // would drop to 50 and the next window (149, a 1.98 relative change)
+  // would flag.
+  EXPECT_TRUE(monitor.IngestWindow(Constant(10, 100.0), rng).skipped);
+  const WindowSummary summary =
+      monitor.IngestWindow(Constant(4000, 149.0), rng);
+  EXPECT_FALSE(summary.drift_flagged);
+}
+
+TEST(MetricMonitorTest, RecoveredReportsAttributedAcrossSkippedWindows) {
+  Rng rng(8);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MonitorConfig config = Config(10);
+  config.min_window_size = 1000;
+  MetricMonitor monitor(codec, config);
+
+  RetryStats cumulative;
+  cumulative.retry_reports_recovered = 5;
+  EXPECT_EQ(
+      monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng)
+          .recovered_reports,
+      5);
+
+  // The skipped window still receives its share of the cumulative delta,
+  // so recoveries that landed during it are not credited to the next one.
+  cumulative.retry_reports_recovered = 6;
+  cumulative.hedge_reports = 2;
+  const WindowSummary skipped =
+      monitor.IngestWindow(Constant(10, 100.0), cumulative, rng);
+  EXPECT_TRUE(skipped.skipped);
+  EXPECT_EQ(skipped.recovered_reports, 3);
+
+  cumulative.hedge_reports = 3;
+  const WindowSummary last =
+      monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng);
+  EXPECT_EQ(last.recovered_reports, 1);
+  EXPECT_EQ(monitor.history()[1].recovered_reports, 3);
+  EXPECT_EQ(monitor.retry_stats().RecoveredTotal(), 9);
+}
+
+TEST(MetricMonitorTest, NonCumulativeRetryStatsDegradeGracefully) {
+  Rng rng(9);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MetricMonitor monitor(codec, Config(10));
+
+  RetryStats cumulative;
+  cumulative.retry_reports_recovered = 10;
+  EXPECT_EQ(
+      monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng)
+          .recovered_reports,
+      10);
+
+  // A caller handing per-window (reset) stats makes the cumulative total
+  // go backwards. The monitor must not abort: the delta clamps to 0 and
+  // the violation is flagged on the summary.
+  RetryStats per_window;
+  per_window.retry_reports_recovered = 4;
+  const WindowSummary regressed =
+      monitor.IngestWindow(Constant(4000, 100.0), per_window, rng);
+  EXPECT_EQ(regressed.recovered_reports, 0);
+  EXPECT_TRUE(regressed.retry_stats_regressed);
+  EXPECT_TRUE(monitor.history().back().retry_stats_regressed);
+
+  // The monitor re-baselines on the ingested stats, so subsequent
+  // cumulative deltas resume from there.
+  per_window.retry_reports_recovered = 7;
+  const WindowSummary resumed =
+      monitor.IngestWindow(Constant(4000, 100.0), per_window, rng);
+  EXPECT_EQ(resumed.recovered_reports, 3);
+  EXPECT_FALSE(resumed.retry_stats_regressed);
+}
+
 TEST(MetricMonitorDeathTest, ConfigValidation) {
   const FixedPointCodec codec = FixedPointCodec::Integer(8);
   MonitorConfig mismatched = Config(10);

@@ -1,0 +1,274 @@
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bitpush {
+namespace {
+
+// Every test flips the global switches; restore the library default
+// (everything off) so unrelated suites in this binary see a cold registry.
+class ObsTest : public ::testing::Test {
+ protected:
+  ObsTest() {
+    obs::Registry::Default().Reset();
+    obs::Tracer::Default().Reset();
+    obs::SetEnabled(true);
+  }
+  ~ObsTest() override {
+    obs::SetEnabled(false);
+    obs::SetTracingEnabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterIsMonotonic) {
+  obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "test_counter_total", "help", obs::Determinism::kStable);
+  counter->Increment();
+  counter->Add(4);
+  counter->Add(-10);  // ignored: counters never regress
+  counter->Add(0);
+  EXPECT_EQ(counter->value(), 5);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  obs::Gauge* gauge = obs::Registry::Default().GetGauge(
+      "test_gauge", "help", obs::Determinism::kStable);
+  gauge->Set(2.5);
+  gauge->Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 1.5);
+}
+
+TEST_F(ObsTest, HistogramUsesLeBuckets) {
+  obs::Histogram* histogram = obs::Registry::Default().GetHistogram(
+      "test_histogram", "help", {1.0, 2.0, 5.0}, obs::Determinism::kStable);
+  histogram->Observe(0.5);   // le=1
+  histogram->Observe(1.0);   // le=1 (less-or-equal)
+  histogram->Observe(1.5);   // le=2
+  histogram->Observe(100.0); // +Inf overflow
+  EXPECT_EQ(histogram->bucket_value(0), 2);
+  EXPECT_EQ(histogram->bucket_value(1), 1);
+  EXPECT_EQ(histogram->bucket_value(2), 0);
+  EXPECT_EQ(histogram->bucket_value(3), 1);
+  EXPECT_EQ(histogram->count(), 4);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 103.0);
+}
+
+TEST_F(ObsTest, DisabledInstrumentsAreNoOps) {
+  obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "test_disabled_total", "help", obs::Determinism::kStable);
+  obs::Gauge* gauge = obs::Registry::Default().GetGauge(
+      "test_disabled_gauge", "help", obs::Determinism::kStable);
+  obs::Histogram* histogram = obs::Registry::Default().GetHistogram(
+      "test_disabled_histogram", "help", {1.0}, obs::Determinism::kStable);
+  obs::SetEnabled(false);
+  counter->Increment();
+  gauge->Set(3.0);
+  histogram->Observe(0.5);
+  {
+    const obs::ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(histogram->count(), 0);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameInstrumentAndSurvivesReset) {
+  obs::Registry& registry = obs::Registry::Default();
+  obs::Counter* first = registry.GetCounter("test_cached_total", "help",
+                                            obs::Determinism::kStable);
+  obs::Counter* second = registry.GetCounter("test_cached_total", "help",
+                                             obs::Determinism::kStable);
+  EXPECT_EQ(first, second);
+  first->Add(7);
+  registry.Reset();
+  // Reset zeroes values but keeps the instrument: cached pointers stay
+  // valid and usable.
+  EXPECT_EQ(first->value(), 0);
+  first->Increment();
+  EXPECT_EQ(second->value(), 1);
+}
+
+TEST_F(ObsTest, ScopedTimerObservesSeconds) {
+  obs::Histogram* histogram = obs::Registry::Default().GetHistogram(
+      "test_timer_seconds", "help", obs::LatencySecondsBounds(),
+      obs::Determinism::kVolatile);
+  {
+    const obs::ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram->count(), 1);
+  EXPECT_GE(histogram->sum(), 0.0);
+  EXPECT_LT(histogram->sum(), 10.0);
+}
+
+TEST_F(ObsTest, VisitIsNameOrdered) {
+  obs::Registry registry;
+  registry.GetCounter("b_total", "help", obs::Determinism::kStable);
+  registry.GetGauge("a_gauge", "help", obs::Determinism::kVolatile);
+  registry.GetHistogram("c_histogram", "help", {1.0},
+                        obs::Determinism::kStable);
+  std::vector<std::string> names;
+  registry.Visit([&](const obs::InstrumentInfo& info, const obs::Counter*,
+                     const obs::Gauge*, const obs::Histogram*) {
+    names.push_back(info.name);
+  });
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"a_gauge", "b_total", "c_histogram"}));
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST_F(ObsTest, PrometheusTextFormat) {
+  obs::Registry registry;
+  registry.GetCounter("demo_total", "Demo counter.",
+                      obs::Determinism::kStable)->Add(3);
+  registry.GetGauge("demo_gauge", "Demo gauge.", obs::Determinism::kVolatile)
+      ->Set(1.5);
+  obs::Histogram* histogram = registry.GetHistogram(
+      "demo_seconds", "Demo histogram.", {1.0, 2.0},
+      obs::Determinism::kStable);
+  histogram->Observe(0.5);
+  histogram->Observe(9.0);
+  const std::string text = obs::PrometheusText(registry);
+  EXPECT_NE(text.find("# HELP demo_total Demo counter.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_total{determinism=\"stable\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_gauge{determinism=\"volatile\"} 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("demo_seconds_bucket{determinism=\"stable\",le=\"1\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "demo_seconds_bucket{determinism=\"stable\",le=\"+Inf\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_count{determinism=\"stable\"} 2\n"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonlIsWellFormedPerLine) {
+  obs::Registry registry;
+  registry.GetCounter("demo_total", "Demo \"quoted\" help.",
+                      obs::Determinism::kStable)->Add(2);
+  registry.GetHistogram("demo_seconds", "Demo histogram.", {1.0},
+                        obs::Determinism::kVolatile)->Observe(0.5);
+  const std::string jsonl = obs::MetricsJsonl(registry);
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(start, end - start);
+    std::string error;
+    EXPECT_TRUE(obs::JsonIsWellFormed(line, &error)) << line << ": "
+                                                     << error;
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"name\":\"demo_total\""), std::string::npos);
+  EXPECT_NE(jsonl.find("Demo \\\"quoted\\\" help."), std::string::npos);
+}
+
+TEST_F(ObsTest, DeterministicSnapshotDropsVolatileInstruments) {
+  obs::Registry registry;
+  registry.GetCounter("stable_total", "help", obs::Determinism::kStable)
+      ->Add(4);
+  registry.GetCounter("volatile_total", "help", obs::Determinism::kVolatile)
+      ->Add(9);
+  const std::string snapshot = obs::DeterministicMetricsSnapshot(registry);
+  EXPECT_NE(snapshot.find("# bitpush deterministic metrics snapshot v1"),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("counter stable_total 4"), std::string::npos);
+  EXPECT_EQ(snapshot.find("volatile_total"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonWellFormednessChecker) {
+  std::string error;
+  EXPECT_TRUE(obs::JsonIsWellFormed("{\"a\":[1,2.5,-3e2],\"b\":null}",
+                                    &error));
+  EXPECT_TRUE(obs::JsonIsWellFormed("\"esc \\\" \\u00e9\"", &error));
+  EXPECT_FALSE(obs::JsonIsWellFormed("{\"a\":}", &error));
+  EXPECT_FALSE(obs::JsonIsWellFormed("[1,2", &error));
+  EXPECT_FALSE(obs::JsonIsWellFormed("{} trailing", &error));
+  EXPECT_FALSE(obs::JsonIsWellFormed("", &error));
+}
+
+TEST_F(ObsTest, SpanRecordsIntoTracerAndExportsChromeJson) {
+  obs::SetTracingEnabled(true);
+  {
+    obs::Span span("round", "federated");
+    span.set_ids(3, 1, 2);
+    span.set_sim_minutes(12.5);
+    span.AddNumeric("responded", 40.0);
+    span.AddString("source", "live");
+  }
+  EXPECT_EQ(obs::Tracer::Default().span_count(), 1);
+  const std::vector<obs::SpanRecord> spans =
+      obs::Tracer::Default().Snapshot();
+  EXPECT_EQ(spans[0].name, "round");
+  EXPECT_EQ(spans[0].tick, 3);
+  EXPECT_EQ(spans[0].round_id, 2);
+  EXPECT_TRUE(spans[0].has_sim_minutes);
+
+  const std::string json = obs::ChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(obs::JsonIsWellFormed(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_minutes\":12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"source\":\"live\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledSpanIsInert) {
+  {
+    obs::Span span("round", "federated");
+    EXPECT_FALSE(span.active());
+    span.AddNumeric("ignored", 1.0);
+  }
+  EXPECT_EQ(obs::Tracer::Default().span_count(), 0);
+  // An empty tracer still exports a valid (empty) trace document.
+  std::string error;
+  EXPECT_TRUE(obs::JsonIsWellFormed(obs::ChromeTraceJson(), &error))
+      << error;
+}
+
+TEST_F(ObsTest, ConcurrentCountersDoNotDropIncrements) {
+  obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "test_threads_total", "help", obs::Determinism::kStable);
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), kThreads * kIncrements);
+}
+
+TEST_F(ObsTest, WriteTextFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/obs_write_test.txt";
+  std::string error;
+  ASSERT_TRUE(obs::WriteTextFile(path, "hello\n", &error)) << error;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char buffer[16] = {};
+  const size_t read = std::fread(buffer, 1, sizeof(buffer), file);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buffer, read), "hello\n");
+  EXPECT_FALSE(
+      obs::WriteTextFile("/nonexistent-dir/x.txt", "data", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace bitpush

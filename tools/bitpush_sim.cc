@@ -22,6 +22,9 @@
 #include "federated/debugging.h"
 #include "data/file_source.h"
 #include "data/synthetic.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rng/rng.h"
 #include "stats/repetition.h"
 #include "util/flags.h"
@@ -57,6 +60,50 @@ Dataset MakeWorkload(const std::string& workload, const std::string& input,
                workload.c_str());
   std::exit(EXIT_FAILURE);
 }
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+// Flushes the obs registry/tracer to the --metrics_out/--trace_out paths on
+// scope exit, so every task path (including early returns) exports. The
+// metrics format follows the extension: .prom -> Prometheus text, .jsonl /
+// .json -> JSONL, .snapshot -> deterministic kStable snapshot. "-" writes
+// to stdout. The trace is always Chrome trace-event JSON.
+class ObsExporter {
+ public:
+  ObsExporter(std::string metrics_out, std::string trace_out)
+      : metrics_out_(std::move(metrics_out)),
+        trace_out_(std::move(trace_out)) {}
+
+  ~ObsExporter() {
+    std::string error;
+    if (!metrics_out_.empty()) {
+      std::string text;
+      if (EndsWith(metrics_out_, ".snapshot")) {
+        text = obs::DeterministicMetricsSnapshot();
+      } else if (EndsWith(metrics_out_, ".jsonl") ||
+                 EndsWith(metrics_out_, ".json")) {
+        text = obs::MetricsJsonl();
+      } else {
+        text = obs::PrometheusText();
+      }
+      if (!obs::WriteTextFile(metrics_out_, text, &error)) {
+        std::fprintf(stderr, "--metrics_out: %s\n", error.c_str());
+      }
+    }
+    if (!trace_out_.empty() &&
+        !obs::WriteTextFile(trace_out_, obs::ChromeTraceJson(), &error)) {
+      std::fprintf(stderr, "--trace_out: %s\n", error.c_str());
+    }
+  }
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+};
 
 int Main(int argc, char** argv) {
   std::string task = "mean";
@@ -108,7 +155,20 @@ int Main(int argc, char** argv) {
   flags.AddDouble("epsilon", &epsilon, "LDP epsilon (0 = off)");
   flags.AddDouble("target_nrmse", &target_nrmse, "accuracy target (plan)");
   flags.AddInt64("seed", &seed, "base seed");
+  std::string metrics_out;
+  std::string trace_out;
+  flags.AddString("metrics_out", &metrics_out,
+                  "write metrics on exit (.prom = Prometheus text, "
+                  ".jsonl/.json = JSONL, .snapshot = deterministic "
+                  "snapshot; - = stdout)");
+  flags.AddString("trace_out", &trace_out,
+                  "write spans on exit as Chrome trace-event JSON "
+                  "(- = stdout)");
   flags.Parse(argc, argv);
+
+  if (!metrics_out.empty() || !trace_out.empty()) obs::SetEnabled(true);
+  if (!trace_out.empty()) obs::SetTracingEnabled(true);
+  const ObsExporter exporter(metrics_out, trace_out);
 
   Rng rng(static_cast<uint64_t>(seed));
   const FixedPointCodec codec =
