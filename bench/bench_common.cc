@@ -196,7 +196,9 @@ int BenchOutput::Finish() {
         content += "{\"columns\":[";
         for (size_t c = 0; c < table.headers().size(); ++c) {
           if (c > 0) content += ",";
-          content += "\"" + obs::JsonEscape(table.headers()[c]) + "\"";
+          content += "\"";
+          content += obs::JsonEscape(table.headers()[c]);
+          content += "\"";
         }
         content += "],\"rows\":[";
         for (size_t r = 0; r < table.rows().size(); ++r) {
@@ -205,7 +207,9 @@ int BenchOutput::Finish() {
           const std::vector<std::string>& row = table.rows()[r];
           for (size_t c = 0; c < row.size(); ++c) {
             if (c > 0) content += ",";
-            content += "\"" + obs::JsonEscape(row[c]) + "\"";
+            content += "\"";
+            content += obs::JsonEscape(row[c]);
+            content += "\"";
           }
           content += "]";
         }

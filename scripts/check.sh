@@ -7,6 +7,15 @@ BUILD_DIR="${1:-build}"
 cd "$(dirname "$0")/.."
 
 cmake -B "$BUILD_DIR" -G Ninja
+
+# Lint stage first: project-invariant violations (determinism, privacy
+# metering, wire exhaustiveness, obs stability, header hygiene) should
+# fail the run in seconds, before any expensive sanitizer build starts.
+# The waiver budget is printed so reviewers can watch it grow.
+cmake --build "$BUILD_DIR" --target bitpush_lint
+"$BUILD_DIR/tools/bitpush_lint" --root=. --list-waivers
+"$BUILD_DIR/tools/bitpush_lint" --root=.
+
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
@@ -20,13 +29,16 @@ ctest --test-dir "$BUILD_DIR-asan" --output-on-failure \
   -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz|Obs)'
 
 # TSan pass: the concurrent aggregator/health-tracker and fleet suites are
-# the thread-heavy ones, and the resilience suite shares their state
-# machines — run all three under ThreadSanitizer.
+# the thread-heavy ones, the resilience suite shares their state machines,
+# and the obs registry is hammered from multiple threads — run all four
+# under ThreadSanitizer. The `Obs` alternate matters: without it the
+# obs_tests binary was built for this stage but only its one
+# Concurrent-prefixed case ever ran.
 cmake -B "$BUILD_DIR-tsan" -G Ninja -DBITPUSH_SANITIZE=thread
 cmake --build "$BUILD_DIR-tsan" \
   --target concurrency_tests resilience_tests obs_tests
 ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
-  -R '(Concurrent|Fleet|Resilience)'
+  -R '(Concurrent|Fleet|Resilience|Obs)'
 
 # Crash-recovery stage: run a durable campaign, SIGKILL it mid-campaign at
 # a journal-record boundary, restart against the same state directory, and

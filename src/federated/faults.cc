@@ -226,6 +226,7 @@ std::optional<BitReport> DeliverFaultedReport(const FaultPlan& plan,
   BITPUSH_CHECK(fault == FaultType::kCorruptMessage ||
                 fault == FaultType::kTruncateMessage);
   std::vector<uint8_t> frame;
+  // bitpush-lint: allow(privacy-metering): fault injection re-encodes a report the client already paid a meter charge for; no new bit is disclosed here
   EncodeBitReport(report, &frame);
   if (fault == FaultType::kTruncateMessage) {
     ++stats->injected_truncations;

@@ -7,6 +7,8 @@
 #include "util/bytes.h"
 #include "util/check.h"
 
+// bitpush-lint: allow(privacy-metering): codec implementation; it serializes reports whose meter charge already happened in Client::HandleRequest before the report existed
+
 namespace bitpush {
 
 namespace {

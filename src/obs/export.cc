@@ -203,10 +203,19 @@ std::string ChromeTraceJson(const Tracer& tracer) {
       add_arg("\"sim_minutes\":" + FormatDouble(span.sim_minutes));
     }
     for (const auto& [key, value] : span.numeric_args) {
-      add_arg("\"" + JsonEscape(key) + "\":" + FormatDouble(value));
+      std::string body = "\"";
+      body += JsonEscape(key);
+      body += "\":";
+      body += FormatDouble(value);
+      add_arg(body);
     }
     for (const auto& [key, value] : span.string_args) {
-      add_arg("\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"");
+      std::string body = "\"";
+      body += JsonEscape(key);
+      body += "\":\"";
+      body += JsonEscape(value);
+      body += "\"";
+      add_arg(body);
     }
     out += "}}";
   }

@@ -231,8 +231,9 @@ bool WriteSnapshotFile(const std::string& path,
 bool SyncParentDir(const std::string& path, std::string* error) {
   BITPUSH_CHECK(error != nullptr);
   const size_t slash = path.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                          : slash == 0              ? std::string("/")
+                                                    : path.substr(0, slash);
   const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
     *error = IoError("open state dir", dir);

@@ -1,0 +1,12 @@
+// Three malformed annotations, one per failure mode: no colon/reason
+// clause at all, an unknown check name, and an empty reason string. Each
+// must surface as a waiver-syntax finding; none may enter the budget.
+
+// bitpush-lint: allow(determinism)
+static const int kOne = 1;
+
+// bitpush-lint: allow(nonsense): the check name does not exist
+static const int kTwo = 2;
+
+// bitpush-lint: allow(determinism):
+static const int kThree = 3;

@@ -1,0 +1,23 @@
+// Deliberately non-deterministic fixture: each banned construct sits on
+// its own line, so the determinism check must report exactly five
+// findings for this file.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned AmbientEntropy() {
+  std::random_device device;
+  std::mt19937 engine(device());
+  const long stamp = time(nullptr);
+  const auto tick = std::chrono::steady_clock::now();
+  const int leak = std::rand();
+  return engine() + static_cast<unsigned>(stamp) +
+         static_cast<unsigned>(tick.time_since_epoch().count()) +
+         static_cast<unsigned>(leak);
+}
+
+}  // namespace fixture

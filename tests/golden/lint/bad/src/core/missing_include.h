@@ -1,0 +1,6 @@
+#ifndef BITPUSH_CORE_MISSING_INCLUDE_H_
+#define BITPUSH_CORE_MISSING_INCLUDE_H_
+
+std::vector<int> FixtureMissingInclude();
+
+#endif  // BITPUSH_CORE_MISSING_INCLUDE_H_

@@ -1,0 +1,17 @@
+// Serializes a client bit report without ever referencing the
+// PrivacyMeter charge path: the privacy-metering check must fire once,
+// on the report-construction line.
+
+#include <vector>
+
+#include "federated/report.h"
+#include "federated/wire.h"
+
+namespace fixture {
+
+void Leak(std::vector<unsigned char>* out) {
+  const auto report = bitpush::BitReport{7, 3, 1};
+  EncodeBitReport(report, out);
+}
+
+}  // namespace fixture

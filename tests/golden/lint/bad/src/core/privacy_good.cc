@@ -1,0 +1,18 @@
+// The compliant shape of a disclosure site: the translation unit charges
+// the meter before the report exists, so privacy-metering stays silent.
+
+#include <vector>
+
+#include "core/privacy_meter.h"
+#include "federated/report.h"
+#include "federated/wire.h"
+
+namespace fixture {
+
+void Submit(bitpush::PrivacyMeter* meter, std::vector<unsigned char>* out) {
+  if (!meter->TryChargeBit(7, 3, 0.5)) return;
+  const bitpush::BitReport report{7, 3, 1};
+  EncodeBitReport(report, out);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// bitpush-lint: allow(privacy-metering): fixture demonstrates the file-scoped waiver; the reports below are synthetic
+
+#include <vector>
+
+#include "federated/report.h"
+#include "federated/wire.h"
+
+namespace fixture {
+
+void Replay(std::vector<unsigned char>* out) {
+  const bitpush::BitReport report{7, 3, 1};
+  EncodeBitReport(report, out);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// A waived wall-clock read makes this file wall-clock-capable, so its
+// Determinism::kStable registration below must trip obs-stability even
+// though the determinism finding itself is suppressed.
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace fixture {
+
+double Elapsed() {
+  // bitpush-lint: allow(determinism): fixture models a waived wall-clock read feeding a metric
+  const auto tick = std::chrono::steady_clock::now();
+  return static_cast<double>(tick.time_since_epoch().count());
+}
+
+void Register() {
+  bitpush::obs::Registry::Default().GetCounter(
+      "fixture_waived_total", "help", bitpush::obs::Determinism::kStable);
+}
+
+}  // namespace fixture

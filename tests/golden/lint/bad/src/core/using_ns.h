@@ -1,0 +1,8 @@
+#ifndef BITPUSH_CORE_USING_NS_H_
+#define BITPUSH_CORE_USING_NS_H_
+
+using namespace fixture;
+
+int FixtureUsingNamespace();
+
+#endif  // BITPUSH_CORE_USING_NS_H_

@@ -1,0 +1,14 @@
+// src/obs/ is on the wall-clock allowlist, so a Determinism::kStable
+// registration here must trip obs-stability: stable instruments belong
+// in deterministic code, not next to wall clocks.
+
+#include "obs/metrics.h"
+
+namespace fixture {
+
+void RegisterStableInObs() {
+  bitpush::obs::Registry::Default().GetCounter(
+      "fixture_obs_total", "help", bitpush::obs::Determinism::kStable);
+}
+
+}  // namespace fixture

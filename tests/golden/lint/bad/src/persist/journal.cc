@@ -1,0 +1,15 @@
+// Library reference for kCovered only; kGhost is deliberately absent so
+// the "never referenced by an encode/decode path" finding fires.
+
+#include "persist/journal.h"
+
+namespace fixture {
+
+int TouchCovered() {
+  int out = 0;
+  EncodeCoveredRecord(1, &out);
+  DecodeCoveredRecord(1, &out);
+  return static_cast<int>(JournalRecordType::kCovered);
+}
+
+}  // namespace fixture

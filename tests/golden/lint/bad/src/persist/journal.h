@@ -1,0 +1,20 @@
+#ifndef BITPUSH_PERSIST_JOURNAL_H_
+#define BITPUSH_PERSIST_JOURNAL_H_
+
+// Fixture format header. kCovered is fully wired: referenced by the
+// library, paired Encode/Decode, exercised by the fuzz fixture. kGhost is
+// broken four ways on purpose: no library reference, no fuzz coverage,
+// and an Encode declaration with no matching Decode.
+
+#include <cstdint>
+
+enum class JournalRecordType : uint8_t {
+  kCovered = 1,
+  kGhost = 2,
+};
+
+void EncodeCoveredRecord(int value, int* out);
+bool DecodeCoveredRecord(int value, int* out);
+void EncodeGhostRecord(int value, int* out);
+
+#endif  // BITPUSH_PERSIST_JOURNAL_H_

@@ -1,0 +1,14 @@
+// Coverage fixture (the "fuzz" in the filename marks it as corpus): it
+// exercises only the Covered record, leaving kGhost untested on purpose.
+
+#include "persist/journal.h"
+
+namespace fixture {
+
+int FuzzOnce() {
+  int out = 0;
+  EncodeCoveredRecord(1, &out);
+  return static_cast<int>(JournalRecordType::kCovered);
+}
+
+}  // namespace fixture

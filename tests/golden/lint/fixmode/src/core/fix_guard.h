@@ -1,0 +1,6 @@
+#ifndef BITPUSH_CORE_FIXGUARD_H_
+#define BITPUSH_CORE_FIXGUARD_H_
+
+int FixtureFixableGuard();
+
+#endif

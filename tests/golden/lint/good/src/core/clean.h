@@ -1,0 +1,16 @@
+#ifndef BITPUSH_CORE_CLEAN_H_
+#define BITPUSH_CORE_CLEAN_H_
+
+// Fully hygienic header: canonical guard, commented #endif, and direct
+// includes for every std vocabulary type it names.
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::string> CleanNames();
+
+}  // namespace fixture
+
+#endif  // BITPUSH_CORE_CLEAN_H_

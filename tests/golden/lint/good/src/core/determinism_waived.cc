@@ -1,0 +1,16 @@
+// The waiver below is the sanctioned escape hatch: the wall-clock read on
+// the following line must not be reported, and the waiver must appear in
+// the budget. The file registers no instruments, so the waiver-induced
+// wall-clock capability triggers nothing else.
+
+#include <chrono>
+
+namespace fixture {
+
+double WallSeconds() {
+  // bitpush-lint: allow(determinism): fixture exercises waiver suppression on the adjacent line
+  const auto tick = std::chrono::steady_clock::now();
+  return static_cast<double>(tick.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+#include "federated/wire.h"
+
+namespace fixture {
+
+int TouchFrame() {
+  int out = 0;
+  EncodeFrame(1, &out);
+  DecodeFrame(1, &out);
+  return static_cast<int>(FrameKind::kData);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+#ifndef BITPUSH_FEDERATED_WIRE_H_
+#define BITPUSH_FEDERATED_WIRE_H_
+
+// Fixture format header with everything in order: the enumerator is
+// referenced by the library and the fuzz fixture, and the Encode/Decode
+// declarations pair up.
+
+#include <cstdint>
+
+enum class FrameKind : uint8_t {
+  kData = 1,
+};
+
+void EncodeFrame(int value, int* out);
+bool DecodeFrame(int value, int* out);
+
+#endif  // BITPUSH_FEDERATED_WIRE_H_

@@ -1,0 +1,180 @@
+// Validates bitpush_lint against the fixture trees under
+// tests/golden/lint/. Each tree is a miniature lint root:
+//
+//   bad/      every check family fires a known number of times, and the
+//             waivers present suppress exactly what they claim to.
+//   good/     a fully compliant tree (including one budgeted waiver)
+//             produces zero findings.
+//   fixmode/  mechanically repairable problems; copied to a temp dir and
+//             run through --fix, which must leave the copy clean.
+//
+// A final case lints the real repository tree, so `ctest` itself fails if
+// an invariant violation lands without a waiver.
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bitpush_lint/lint.h"
+
+namespace bitpush::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FixtureRoot(const std::string& tree) {
+  return std::string(BITPUSH_LINT_FIXTURE_DIR) + "/" + tree;
+}
+
+std::map<Check, int> CountByCheck(const Result& result) {
+  std::map<Check, int> counts;
+  for (const Finding& finding : result.findings) ++counts[finding.check];
+  return counts;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(LintTest, BadTreeFiresEveryCheckFamily) {
+  const Result result = RunLint(FixtureRoot("bad"), Options{});
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+  EXPECT_EQ(result.files_scanned, 13);
+
+  const std::map<Check, int> counts = CountByCheck(result);
+  EXPECT_EQ(counts.at(Check::kDeterminism), 5)
+      << FormatReport(result);  // one per banned construct line
+  EXPECT_EQ(counts.at(Check::kPrivacyMetering), 1) << FormatReport(result);
+  EXPECT_EQ(counts.at(Check::kObsStability), 2) << FormatReport(result);
+  EXPECT_EQ(counts.at(Check::kHeaderHygiene), 3) << FormatReport(result);
+  EXPECT_EQ(counts.at(Check::kWireExhaustiveness), 5) << FormatReport(result);
+  EXPECT_EQ(counts.at(Check::kWaiverSyntax), 3) << FormatReport(result);
+  EXPECT_EQ(result.findings.size(), 19u) << FormatReport(result);
+}
+
+TEST(LintTest, BadTreeWaiversSuppressAndEnterTheBudget) {
+  const Result result = RunLint(FixtureRoot("bad"), Options{});
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+
+  // The two well-formed waivers (file-scoped privacy-metering, line-scoped
+  // determinism) are budgeted; the three malformed ones are not.
+  ASSERT_EQ(result.waivers.size(), 2u) << FormatWaiverReport(result);
+  for (const Finding& finding : result.findings) {
+    // privacy_waived.cc is fully covered by its file-scoped waiver, and
+    // timer_waived.cc's wall-clock read is covered by its line waiver (its
+    // kStable registration is not, but that is an obs-stability finding).
+    if (finding.path == "src/core/privacy_waived.cc") {
+      FAIL() << "waived file still reported: " << FormatReport(result);
+    }
+    if (finding.path == "src/core/timer_waived.cc") {
+      EXPECT_EQ(finding.check, Check::kObsStability) << FormatReport(result);
+    }
+  }
+  const std::string waiver_report = FormatWaiverReport(result);
+  EXPECT_NE(waiver_report.find("allow(privacy-metering)"), std::string::npos);
+  EXPECT_NE(waiver_report.find("allow(determinism)"), std::string::npos);
+}
+
+TEST(LintTest, BadTreeWireFindingsNameTheGhostRecord) {
+  const Result result = RunLint(FixtureRoot("bad"), Options{});
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+  int ghost_findings = 0;
+  for (const Finding& finding : result.findings) {
+    if (finding.check != Check::kWireExhaustiveness) continue;
+    EXPECT_EQ(finding.path, "src/persist/journal.h");
+    if (finding.message.find("Ghost") != std::string::npos) ++ghost_findings;
+  }
+  // kGhost breaks all five wire rules between the enumerator and the
+  // orphaned EncodeGhostRecord declaration; kCovered breaks none.
+  EXPECT_EQ(ghost_findings, 5) << FormatReport(result);
+}
+
+TEST(LintTest, ChecksFilterRestrictsFamiliesButNotWaiverSyntax) {
+  Options options;
+  options.checks = {Check::kDeterminism};
+  const Result result = RunLint(FixtureRoot("bad"), options);
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+  const std::map<Check, int> counts = CountByCheck(result);
+  EXPECT_EQ(counts.at(Check::kDeterminism), 5);
+  EXPECT_EQ(counts.at(Check::kWaiverSyntax), 3);  // always enabled
+  EXPECT_EQ(result.findings.size(), 8u) << FormatReport(result);
+}
+
+TEST(LintTest, GoodTreeIsCleanWithOneBudgetedWaiver) {
+  const Result result = RunLint(FixtureRoot("good"), Options{});
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+  EXPECT_TRUE(result.findings.empty()) << FormatReport(result);
+  EXPECT_EQ(result.waivers.size(), 1u) << FormatWaiverReport(result);
+  EXPECT_EQ(result.files_scanned, 6);
+}
+
+TEST(LintTest, FixModeRepairsGuardsAndNormalizesWaivers) {
+  const fs::path temp =
+      fs::path(::testing::TempDir()) / "bitpush_lint_fixmode";
+  fs::remove_all(temp);
+  fs::copy(FixtureRoot("fixmode"), temp, fs::copy_options::recursive);
+
+  // Pre-fix: a wrong guard, a malformed waiver, and the wall-clock read
+  // the waiver fails to suppress.
+  const Result before = RunLint(temp.string(), Options{});
+  ASSERT_FALSE(before.io_error) << before.io_error_message;
+  const std::map<Check, int> counts = CountByCheck(before);
+  EXPECT_EQ(counts.at(Check::kHeaderHygiene), 1) << FormatReport(before);
+  EXPECT_EQ(counts.at(Check::kWaiverSyntax), 1) << FormatReport(before);
+  EXPECT_EQ(counts.at(Check::kDeterminism), 1) << FormatReport(before);
+
+  Options fix_options;
+  fix_options.fix = true;
+  const Result fixed = RunLint(temp.string(), fix_options);
+  ASSERT_FALSE(fixed.io_error) << fixed.io_error_message;
+  EXPECT_EQ(fixed.fixed_paths.size(), 2u) << FormatReport(fixed);
+  EXPECT_TRUE(fixed.findings.empty()) << FormatReport(fixed);
+  EXPECT_EQ(fixed.waivers.size(), 1u) << FormatWaiverReport(fixed);
+
+  const std::string header = ReadFile(temp / "src/core/fix_guard.h");
+  EXPECT_NE(header.find("#ifndef BITPUSH_CORE_FIX_GUARD_H_"),
+            std::string::npos)
+      << header;
+  EXPECT_NE(header.find("#endif  // BITPUSH_CORE_FIX_GUARD_H_"),
+            std::string::npos)
+      << header;
+  const std::string waived = ReadFile(temp / "src/core/sloppy_waiver.cc");
+  EXPECT_NE(
+      waived.find(
+          "// bitpush-lint: allow(determinism): fixture exercises waiver "
+          "normalization"),
+      std::string::npos)
+      << waived;
+
+  // Idempotence: a second fix pass changes nothing.
+  const Result again = RunLint(temp.string(), fix_options);
+  ASSERT_FALSE(again.io_error) << again.io_error_message;
+  EXPECT_TRUE(again.fixed_paths.empty()) << FormatReport(again);
+  fs::remove_all(temp);
+}
+
+TEST(LintTest, MissingRootIsAnIoErrorNotACrash) {
+  const Result result = RunLint(FixtureRoot("does_not_exist"), Options{});
+  EXPECT_TRUE(result.io_error);
+  EXPECT_FALSE(result.io_error_message.empty());
+}
+
+// The real tree must stay lint-clean: this is the same gate as the lint
+// stage of scripts/check.sh, enforced here so a plain `ctest` run catches
+// an unwaived invariant violation too.
+TEST(LintTest, RealTreeHasNoUnwaivedViolations) {
+  const Result result = RunLint(BITPUSH_LINT_SOURCE_ROOT, Options{});
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+  EXPECT_TRUE(result.findings.empty()) << FormatReport(result);
+  EXPECT_GT(result.files_scanned, 100) << "lint walked a truncated tree";
+}
+
+}  // namespace
+}  // namespace bitpush::lint

@@ -6,6 +6,8 @@
 // silently drops a record in the middle, because a dropped record could be
 // a privacy-meter charge.
 
+// bitpush-lint: allow(privacy-metering): fuzz corpus builds synthetic reports; no client value is behind them
+
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -21,7 +23,11 @@
 namespace bitpush {
 namespace {
 
-// Builds a plausible journal: a query bracketed by charges and reports.
+// Builds a plausible journal exercising every JournalRecordType: a query
+// bracketed by a cohort assignment, meter charges, accepted reports, a
+// resilience decision, the closed round, the query result, and the
+// campaign tick. The wire-exhaustiveness lint check requires each record
+// type to pass through this fuzzer.
 std::vector<JournalRecord> SampleRecords(Rng& rng) {
   std::vector<JournalRecord> records;
   uint64_t seq = 0;
@@ -35,6 +41,17 @@ std::vector<JournalRecord> SampleRecords(Rng& rng) {
   std::vector<uint8_t> payload;
   EncodeQueryStartedRecord(QueryStartedRecord{0, 0, 7}, &payload);
   add(JournalRecordType::kQueryStarted, payload);
+
+  payload.clear();
+  CohortAssignedRecord cohort;
+  cohort.round_id = 1;
+  const size_t cohort_size = 1 + rng.NextBelow(5);
+  for (size_t i = 0; i < cohort_size; ++i) {
+    cohort.client_ids.push_back(static_cast<int64_t>(rng.NextBelow(1000)));
+  }
+  EncodeCohortAssignedRecord(cohort, &payload);
+  add(JournalRecordType::kCohortAssigned, payload);
+
   const size_t charges = 1 + rng.NextBelow(6);
   for (size_t i = 0; i < charges; ++i) {
     payload.clear();
@@ -45,7 +62,49 @@ std::vector<JournalRecord> SampleRecords(Rng& rng) {
     charge.granted = rng.NextBit() == 1;
     EncodeMeterChargeRecord(charge, &payload);
     add(JournalRecordType::kMeterCharge, payload);
+
+    payload.clear();
+    ReportAcceptedRecord accepted;
+    accepted.round_id = 1;
+    accepted.report = BitReport{charge.client_id,
+                                static_cast<int>(rng.NextBelow(16)),
+                                rng.NextBit()};
+    EncodeReportAcceptedRecord(accepted, &payload);
+    add(JournalRecordType::kReportAccepted, payload);
   }
+
+  payload.clear();
+  ResilienceEventRecord resilience;
+  resilience.event.type = ResilienceEventType::kRetryScheduled;
+  resilience.event.round_id = 1;
+  resilience.event.client_id = static_cast<int64_t>(rng.NextBelow(1000));
+  resilience.event.attempt = 1;
+  resilience.event.minutes = rng.NextDouble();
+  EncodeResilienceEventRecord(resilience, &payload);
+  add(JournalRecordType::kResilienceEvent, payload);
+
+  payload.clear();
+  RoundClosedRecord closed;
+  closed.round_id = 1;
+  closed.outcome.contacted = static_cast<int64_t>(cohort_size);
+  closed.outcome.responded = static_cast<int64_t>(charges);
+  closed.outcome.dropout_rate = rng.NextDouble();
+  EncodeRoundClosedRecord(closed, &payload);
+  add(JournalRecordType::kRoundClosed, payload);
+
+  payload.clear();
+  QueryFinishedRecord finished;
+  finished.tick = 0;
+  finished.query_index = 0;
+  finished.result.tick = 0;
+  finished.result.query_name = "metric";
+  finished.result.status = CampaignTickResult::Status::kRan;
+  finished.result.estimate = rng.NextDouble();
+  finished.result.reports = static_cast<int64_t>(charges);
+  finished.final_bit_means = {rng.NextDouble(), rng.NextDouble()};
+  EncodeQueryFinishedRecord(finished, &payload);
+  add(JournalRecordType::kQueryFinished, payload);
+
   payload.clear();
   EncodeCampaignTickRecord(CampaignTickRecord{0}, &payload);
   add(JournalRecordType::kCampaignTick, payload);
@@ -158,7 +217,9 @@ TEST_F(PersistFuzzTest, JournalReaderSurvivesPureGarbage) {
       // records must still satisfy the framing invariants.
       for (const JournalRecord& record : result.records) {
         ASSERT_GE(static_cast<uint8_t>(record.type), 1u) << iteration;
-        ASSERT_LE(static_cast<uint8_t>(record.type), 7u) << iteration;
+        ASSERT_LE(static_cast<uint8_t>(record.type),
+                  static_cast<uint8_t>(JournalRecordType::kResilienceEvent))
+            << iteration;
       }
     }
   }

@@ -2,6 +2,8 @@
 // torn-tail-vs-hard-corruption distinction, sequence discipline, stale
 // pre-snapshot prefixes, and the atomic snapshot file cycle.
 
+// bitpush-lint: allow(privacy-metering): format round-trip tests build synthetic reports; no client value is behind them
+
 #include <cmath>
 #include <cstdint>
 #include <cstdio>

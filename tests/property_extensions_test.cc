@@ -2,6 +2,8 @@
 // means, Shamir sharing, the wire format, and memoization — invariants
 // swept across parameter grids.
 
+// bitpush-lint: allow(privacy-metering): property sweeps build synthetic reports; no client value is behind them
+
 #include <cmath>
 #include <cstdint>
 #include <vector>

@@ -709,7 +709,7 @@ class ResilienceRecoveryTest : public ::testing::Test {
     std::vector<CampaignQuery> queries;
     for (int i = 0; i < 2; ++i) {
       CampaignQuery query;
-      query.name = i == 0 ? "a" : "b";
+      query.name = std::string(i == 0 ? "a" : "b");
       query.value_id = i;
       query.cadence_ticks = 1;
       query.query.adaptive.bits = 7;

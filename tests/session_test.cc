@@ -1,3 +1,5 @@
+// bitpush-lint: allow(privacy-metering): rejection-path tests submit deliberately forged reports; no client value is behind them
+
 #include <cmath>
 #include <cstdint>
 #include <optional>

@@ -8,6 +8,8 @@
 // from the iteration index. This suite is what caught the non-finite
 // rr_epsilon hole now rejected in DecodeBitRequest.
 
+// bitpush-lint: allow(privacy-metering): fuzz corpus builds synthetic reports; no client value is behind them
+
 #include <algorithm>
 #include <bit>
 #include <cmath>

@@ -1,3 +1,5 @@
+// bitpush-lint: allow(privacy-metering): codec round-trip tests build synthetic reports; no client value is behind them
+
 #include <cstdint>
 #include <vector>
 

@@ -1,0 +1,946 @@
+#include "bitpush_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bitpush::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Check names.
+
+struct CheckNameEntry {
+  Check check;
+  const char* name;
+};
+
+constexpr CheckNameEntry kCheckNames[] = {
+    {Check::kDeterminism, "determinism"},
+    {Check::kPrivacyMetering, "privacy-metering"},
+    {Check::kWireExhaustiveness, "wire-exhaustiveness"},
+    {Check::kObsStability, "obs-stability"},
+    {Check::kHeaderHygiene, "header-hygiene"},
+    {Check::kWaiverSyntax, "waiver-syntax"},
+};
+
+// ---------------------------------------------------------------------------
+// Source model: a file split into per-line code text (string/char-literal
+// contents and comments blanked out) and per-line comment text. The split
+// lets token checks run on code without tripping over patterns quoted in
+// string literals or prose, while waiver parsing sees only comments.
+
+struct SourceFile {
+  std::string rel_path;   // Relative to the lint root, '/'-separated.
+  std::string abs_path;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  std::vector<std::string> comment_lines;
+  bool is_header = false;
+};
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+// Single-pass lexer over the whole file. Tracks block comments, string /
+// char literals, and raw string literals across line boundaries.
+void LexFile(const std::vector<std::string>& raw,
+             std::vector<std::string>* code_lines,
+             std::vector<std::string>* comment_lines) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // For raw strings: the )delim" terminator.
+
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    std::string comment(line.size(), ' ');
+    size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            // Rest of the line is a comment.
+            for (size_t j = i + 2; j < line.size(); ++j) {
+              comment[j] = line[j];
+            }
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            i += 2;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                     line[i - 1])) &&
+                                 line[i - 1] != '_'))) {
+            // Raw string literal: R"delim( ... )delim".
+            size_t paren = line.find('(', i + 2);
+            if (paren == std::string::npos) {
+              // Malformed; treat rest of line as code.
+              code[i] = c;
+              ++i;
+              break;
+            }
+            raw_delim = ")";
+            raw_delim += line.substr(i + 2, paren - (i + 2));
+            raw_delim += '"';
+            code[i] = 'R';
+            code[i + 1] = '"';
+            state = State::kRawString;
+            i = paren + 1;
+          } else if (c == '"') {
+            code[i] = c;
+            state = State::kString;
+            ++i;
+          } else if (c == '\'') {
+            // A quote directly after an identifier/digit character is a
+            // C++14 digit separator (1'000'000), not a char literal.
+            const bool separator =
+                i > 0 && (std::isalnum(static_cast<unsigned char>(
+                              line[i - 1])) ||
+                          line[i - 1] == '_');
+            code[i] = c;
+            if (!separator) state = State::kChar;
+            ++i;
+          } else {
+            code[i] = c;
+            ++i;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            i += 2;
+          } else {
+            comment[i] = c;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            i += 2;
+          } else if (c == '"') {
+            code[i] = c;
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            i += 2;
+          } else if (c == '\'') {
+            code[i] = c;
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kRawString: {
+          const size_t end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            i = line.size();
+          } else {
+            state = State::kCode;
+            i = end + raw_delim.size();
+            if (i > 0) code[i - 1] = '"';
+          }
+          break;
+        }
+      }
+    }
+    // A string or char literal cannot span a physical line (raw strings
+    // can); recover rather than poison the rest of the file.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    code_lines->push_back(code);
+    comment_lines->push_back(comment);
+  }
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock / ambient-entropy allowlist. Paths are root-relative. Only the
+// observability layer (dual sim/wall clocks are its contract — see
+// docs/OBSERVABILITY.md) and the bench wall-timing harness qualify today;
+// everything else must carry a per-line waiver with a reason.
+
+bool IsWallClockAllowlisted(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/obs/") ||
+         rel_path == "bench/bench_micro_throughput.cc" ||
+         rel_path == "bench/bench_common.cc" || rel_path == "bench/bench_common.h";
+}
+
+// ---------------------------------------------------------------------------
+// Waivers.
+
+struct ParsedWaivers {
+  std::vector<Waiver> waivers;
+  std::vector<Finding> syntax_findings;
+};
+
+ParsedWaivers ParseWaivers(const SourceFile& file) {
+  ParsedWaivers out;
+  static const std::regex kWaiverRe(
+      R"(bitpush-lint:\s*allow\(([A-Za-z0-9_-]+)\)\s*:\s*(.*))");
+  // Backtick-quoted mentions (`bitpush-lint: ...`) are prose about the
+  // syntax, not annotations; docs and this tool's own comments use them.
+  static const std::regex kMarkerRe(R"((^|[^`])bitpush-lint)");
+  for (size_t i = 0; i < file.comment_lines.size(); ++i) {
+    const std::string& comment = file.comment_lines[i];
+    if (!std::regex_search(comment, kMarkerRe)) continue;
+    std::smatch match;
+    if (!std::regex_search(comment, match, kWaiverRe)) {
+      out.syntax_findings.push_back(
+          {file.rel_path, static_cast<int>(i + 1), Check::kWaiverSyntax,
+           "malformed bitpush-lint annotation; expected "
+           "`// bitpush-lint: allow(<check>): <reason>`"});
+      continue;
+    }
+    Check check;
+    if (!ParseCheckName(match[1].str(), &check) ||
+        check == Check::kWaiverSyntax) {
+      out.syntax_findings.push_back(
+          {file.rel_path, static_cast<int>(i + 1), Check::kWaiverSyntax,
+           "unknown lint check `" + match[1].str() + "` in waiver"});
+      continue;
+    }
+    const std::string reason = Trim(match[2].str());
+    if (reason.empty()) {
+      out.syntax_findings.push_back(
+          {file.rel_path, static_cast<int>(i + 1), Check::kWaiverSyntax,
+           "waiver for `" + match[1].str() +
+               "` is missing its reason string"});
+      continue;
+    }
+    out.waivers.push_back(
+        {file.rel_path, static_cast<int>(i + 1), check, reason});
+  }
+  return out;
+}
+
+// A waiver on line L suppresses findings of its check on lines L and L+1
+// of the same file. privacy-metering is a whole-TU property, so its
+// waivers are file-scoped.
+bool IsSuppressed(const Finding& finding, const std::vector<Waiver>& waivers) {
+  for (const Waiver& waiver : waivers) {
+    if (waiver.check != finding.check || waiver.path != finding.path) continue;
+    if (finding.check == Check::kPrivacyMetering) return true;
+    if (finding.line == waiver.line || finding.line == waiver.line + 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// determinism: ambient entropy and wall clocks are banned so that every
+// campaign replays byte-identically from its 64-bit seed (the crash
+// recovery layer depends on this — docs/PERSISTENCE.md).
+
+struct TokenRule {
+  const char* pattern;
+  const char* message;
+};
+
+void CheckDeterminism(const SourceFile& file, std::vector<Finding>* findings) {
+  if (IsWallClockAllowlisted(file.rel_path)) return;
+  static const std::vector<std::pair<std::regex, std::string>>* kRules = [] {
+    auto* rules = new std::vector<std::pair<std::regex, std::string>>;
+    const TokenRule raw[] = {
+        {R"(std\s*::\s*random_device)",
+         "std::random_device injects ambient entropy; seed a bitpush::Rng "
+         "and Fork() it instead"},
+        {R"(std\s*::\s*s?rand\b)",
+         "std::rand/std::srand use hidden global state; use bitpush::Rng"},
+        {R"(\btime\s*\()",
+         "time() reads the wall clock; derive simulated time from the "
+         "LatencyModel clock"},
+        {R"(\b(system_clock|steady_clock|high_resolution_clock)\b)",
+         "wall clocks are banned outside src/obs/ and the bench timing "
+         "harness; campaigns must replay from their seed"},
+        {R"(std\s*::\s*(mt19937(_64)?|default_random_engine|minstd_rand0?|ranlux\w+|knuth_b)\b)",
+         "standard RNG engines bypass the seeded bitpush::Rng fork "
+         "discipline"},
+    };
+    for (const TokenRule& rule : raw) {
+      rules->emplace_back(std::regex(rule.pattern), rule.message);
+    }
+    return rules;
+  }();
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    for (const auto& [re, message] : *kRules) {
+      if (std::regex_search(file.code_lines[i], re)) {
+        findings->push_back({file.rel_path, static_cast<int>(i + 1),
+                             Check::kDeterminism, message});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// privacy-metering: a translation unit that constructs or serializes client
+// bit reports is a disclosure site (paper §1.1: every disclosed bit must be
+// charged to the meter). Such a TU must reference the PrivacyMeter charge
+// path, or explain itself in a waiver.
+
+void CheckPrivacyMetering(const SourceFile& file,
+                          std::vector<Finding>* findings) {
+  if (file.is_header) return;
+  static const std::regex kDisclosureRe(
+      R"(\b(EncodeBitReport|EncodeReportBatch)\s*\(|\bBitReport\s*\{)");
+  static const std::regex kChargePathRe(R"(\b(TryChargeBit|PrivacyMeter)\b)");
+  int first_line = 0;
+  bool charges = false;
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const std::string& code = file.code_lines[i];
+    if (first_line == 0 && std::regex_search(code, kDisclosureRe)) {
+      first_line = static_cast<int>(i + 1);
+    }
+    if (!charges && std::regex_search(code, kChargePathRe)) charges = true;
+    if (first_line != 0 && charges) return;
+  }
+  if (first_line != 0 && !charges) {
+    findings->push_back(
+        {file.rel_path, first_line, Check::kPrivacyMetering,
+         "translation unit constructs or serializes client bit reports but "
+         "never references the PrivacyMeter::TryChargeBit charge path"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// obs-stability: instruments tagged Determinism::kStable feed the
+// deterministic metrics snapshot, which must be byte-identical across
+// reruns and crash recovery. A file that is allowed to touch wall clocks
+// (allowlisted or waived) therefore may not register kStable instruments.
+
+void CheckObsStability(const SourceFile& file,
+                       const std::vector<Waiver>& waivers,
+                       std::vector<Finding>* findings) {
+  bool wall_clock_capable = IsWallClockAllowlisted(file.rel_path);
+  for (const Waiver& waiver : waivers) {
+    if (waiver.path == file.rel_path && waiver.check == Check::kDeterminism) {
+      wall_clock_capable = true;
+      break;
+    }
+  }
+  if (!wall_clock_capable) return;
+  static const std::regex kRegisterRe(R"(Get(Counter|Gauge|Histogram)\s*\()");
+  static const std::regex kStableRe(R"(\bkStable\b)");
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    if (!std::regex_search(file.code_lines[i], kRegisterRe)) continue;
+    // Scan the registration statement (to the terminating ';', capped).
+    for (size_t j = i; j < file.code_lines.size() && j < i + 10; ++j) {
+      if (std::regex_search(file.code_lines[j], kStableRe)) {
+        findings->push_back(
+            {file.rel_path, static_cast<int>(i + 1), Check::kObsStability,
+             "file is allowed to touch wall clocks, so it may not register "
+             "Determinism::kStable instruments (tag it kVolatile or move "
+             "the instrument)"});
+        break;
+      }
+      if (file.code_lines[j].find(';') != std::string::npos) break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// header-hygiene.
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string stem = rel_path;
+  if (StartsWith(stem, "src/")) stem = stem.substr(4);
+  const size_t dot = stem.rfind('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  std::string guard = "BITPUSH_";
+  for (const char c : stem) {
+    guard.push_back(std::isalnum(static_cast<unsigned char>(c))
+                        ? static_cast<char>(std::toupper(
+                              static_cast<unsigned char>(c)))
+                        : '_');
+  }
+  guard += "_H_";
+  return guard;
+}
+
+// The std vocabulary types a header must include directly rather than
+// lean on transitive includes for (a pragmatic
+// include-what-you-use subset; extend as the tree grows).
+const std::vector<std::pair<std::regex, std::string>>& SelfContainmentMap() {
+  static const auto* map = [] {
+    auto* m = new std::vector<std::pair<std::regex, std::string>>;
+    const std::pair<const char*, const char*> raw[] = {
+        {R"(\bstd\s*::\s*string\b)", "string"},
+        {R"(\bstd\s*::\s*string_view\b)", "string_view"},
+        {R"(\bstd\s*::\s*vector\b)", "vector"},
+        {R"(\bstd\s*::\s*optional\b)", "optional"},
+        {R"(\bstd\s*::\s*unordered_map\b)", "unordered_map"},
+        {R"(\bstd\s*::\s*unordered_set\b)", "unordered_set"},
+        {R"(\bstd\s*::\s*map\b|\bstd\s*::\s*multimap\b)", "map"},
+        {R"(\bstd\s*::\s*function\b)", "functional"},
+        {R"(\bstd\s*::\s*atomic\b)", "atomic"},
+        {R"(\bstd\s*::\s*(mutex|lock_guard|unique_lock|scoped_lock)\b)",
+         "mutex"},
+        {R"(\bstd\s*::\s*(unique_ptr|shared_ptr|weak_ptr)\b)", "memory"},
+        {R"(\bstd\s*::\s*(pair|tuple)\b)", ""},  // pair -> utility, tuple -> tuple
+        {R"(\b(u?int(8|16|32|64)_t)\b)", "cstdint"},
+        {R"(\bstd\s*::\s*FILE\b)", "cstdio"},
+        {R"(\bstd\s*::\s*thread\b)", "thread"},
+        {R"(\bstd\s*::\s*array\b)", "array"},
+        {R"(\bstd\s*::\s*deque\b)", "deque"},
+        {R"(\bstd\s*::\s*variant\b)", "variant"},
+        {R"(\bstd\s*::\s*filesystem\b)", "filesystem"},
+    };
+    for (const auto& [pattern, header] : raw) {
+      if (header[0] == '\0') continue;  // handled specially below
+      m->emplace_back(std::regex(pattern), header);
+    }
+    m->emplace_back(std::regex(R"(\bstd\s*::\s*pair\b)"), "utility");
+    m->emplace_back(std::regex(R"(\bstd\s*::\s*tuple\b)"), "tuple");
+    return m;
+  }();
+  return *map;
+}
+
+struct GuardInfo {
+  int ifndef_line = 0;  // 1-based; 0 if absent.
+  int define_line = 0;
+  int endif_line = 0;
+  std::string guard_name;
+};
+
+GuardInfo FindGuard(const SourceFile& file) {
+  GuardInfo info;
+  static const std::regex kIfndefRe(R"(^\s*#\s*ifndef\s+([A-Za-z0-9_]+))");
+  static const std::regex kDefineRe(R"(^\s*#\s*define\s+([A-Za-z0-9_]+))");
+  static const std::regex kEndifRe(R"(^\s*#\s*endif\b)");
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    std::smatch match;
+    if (info.ifndef_line == 0 &&
+        std::regex_search(file.code_lines[i], match, kIfndefRe)) {
+      info.ifndef_line = static_cast<int>(i + 1);
+      info.guard_name = match[1].str();
+      if (i + 1 < file.code_lines.size() &&
+          std::regex_search(file.code_lines[i + 1], match, kDefineRe) &&
+          match[1].str() == info.guard_name) {
+        info.define_line = static_cast<int>(i + 2);
+      }
+      break;
+    }
+    // Any other preprocessor or code before the guard means no guard-first
+    // layout; stop at the first non-blank code line.
+    if (!Trim(file.code_lines[i]).empty()) break;
+  }
+  for (size_t i = file.code_lines.size(); i > 0; --i) {
+    if (std::regex_search(file.code_lines[i - 1], kEndifRe)) {
+      info.endif_line = static_cast<int>(i);
+      break;
+    }
+    if (!Trim(file.code_lines[i - 1]).empty()) break;
+  }
+  return info;
+}
+
+void CheckHeaderHygiene(const SourceFile& file,
+                        std::vector<Finding>* findings) {
+  if (!file.is_header) return;
+  const std::string expected = ExpectedGuard(file.rel_path);
+  const GuardInfo guard = FindGuard(file);
+  if (guard.ifndef_line == 0 || guard.define_line == 0) {
+    findings->push_back(
+        {file.rel_path, 1, Check::kHeaderHygiene,
+         "missing canonical include guard (#ifndef " + expected +
+             " / #define " + expected + " before any other code)"});
+  } else if (guard.guard_name != expected) {
+    findings->push_back({file.rel_path, guard.ifndef_line,
+                         Check::kHeaderHygiene,
+                         "include guard `" + guard.guard_name +
+                             "` should be `" + expected + "`"});
+  } else if (guard.endif_line != 0) {
+    const std::string& comment = file.comment_lines[guard.endif_line - 1];
+    if (comment.find(expected) == std::string::npos) {
+      findings->push_back(
+          {file.rel_path, guard.endif_line, Check::kHeaderHygiene,
+           "closing #endif should carry the guard comment `// " + expected +
+               "`"});
+    }
+  }
+
+  static const std::regex kUsingNamespaceRe(R"(\busing\s+namespace\b)");
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    if (std::regex_search(file.code_lines[i], kUsingNamespaceRe)) {
+      findings->push_back(
+          {file.rel_path, static_cast<int>(i + 1), Check::kHeaderHygiene,
+           "`using namespace` in a header leaks into every includer"});
+    }
+  }
+
+  // Self-containment: vocabulary std types must be included directly.
+  std::set<std::string> included;
+  static const std::regex kIncludeRe(R"(^\s*#\s*include\s*[<"]([^>"]+)[>"])");
+  for (const std::string& code : file.code_lines) {
+    std::smatch match;
+    if (std::regex_search(code, match, kIncludeRe)) {
+      included.insert(match[1].str());
+    }
+  }
+  std::set<std::string> reported;
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    for (const auto& [re, header] : SelfContainmentMap()) {
+      if (included.count(header) > 0 || reported.count(header) > 0) continue;
+      if (std::regex_search(file.code_lines[i], re)) {
+        reported.insert(header);
+        findings->push_back(
+            {file.rel_path, static_cast<int>(i + 1), Check::kHeaderHygiene,
+             "header uses a std type from <" + header +
+                 "> without including it directly (self-containment)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// wire-exhaustiveness: cross-file. Harvest frame-kind enumerators and
+// Encode/Decode message pairs from the format-defining headers, then
+// require (a) pairing, (b) a library reference for every enumerator, and
+// (c) fuzz/golden-test coverage for every enumerator and message.
+
+struct WireDecl {
+  std::string header;  // rel path
+  int line = 0;
+  std::string name;  // enumerator "Type::kX" or message stem "BitReport"
+};
+
+struct WireInventory {
+  std::vector<WireDecl> enumerators;   // qualified Type::kX
+  std::vector<WireDecl> encode_decls;  // message stems with Encode in header
+  std::vector<WireDecl> decode_decls;  // message stems with Decode in header
+};
+
+const char* const kWireHeaders[] = {"src/federated/wire.h",
+                                    "src/persist/journal.h"};
+
+bool IsWireHeader(const std::string& rel_path) {
+  for (const char* header : kWireHeaders) {
+    if (rel_path == header) return true;
+  }
+  return false;
+}
+
+WireInventory HarvestWireDecls(const std::vector<SourceFile>& files) {
+  WireInventory inventory;
+  static const std::regex kEnumRe(
+      R"(^\s*enum\s+class\s+([A-Za-z0-9_]+))");
+  static const std::regex kEnumeratorRe(R"(^\s*(k[A-Za-z0-9_]+)\s*[=,}])");
+  static const std::regex kFnRe(
+      R"(\b(Encode|Decode)([A-Za-z0-9_]+)\s*\()");
+  for (const SourceFile& file : files) {
+    if (!IsWireHeader(file.rel_path)) continue;
+    std::string enum_name;
+    bool in_enum = false;
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      const std::string& code = file.code_lines[i];
+      std::smatch match;
+      if (std::regex_search(code, match, kEnumRe)) {
+        enum_name = match[1].str();
+        in_enum = true;
+      }
+      if (in_enum && std::regex_search(code, match, kEnumeratorRe)) {
+        inventory.enumerators.push_back({file.rel_path,
+                                         static_cast<int>(i + 1),
+                                         enum_name + "::" + match[1].str()});
+      }
+      if (in_enum && code.find("};") != std::string::npos) in_enum = false;
+      std::string rest = code;
+      while (std::regex_search(rest, match, kFnRe)) {
+        WireDecl decl{file.rel_path, static_cast<int>(i + 1),
+                      match[2].str()};
+        if (match[1].str() == "Encode") {
+          inventory.encode_decls.push_back(decl);
+        } else {
+          inventory.decode_decls.push_back(decl);
+        }
+        rest = match.suffix().str();
+      }
+    }
+  }
+  return inventory;
+}
+
+bool IsFuzzOrGoldenTest(const SourceFile& file) {
+  if (!StartsWith(file.rel_path, "tests/")) return false;
+  if (file.rel_path.find("fuzz") != std::string::npos) return true;
+  for (const std::string& raw : file.raw_lines) {
+    if (raw.find("golden") != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CheckWireExhaustiveness(const std::vector<SourceFile>& files,
+                             std::vector<Finding>* findings) {
+  const WireInventory inventory = HarvestWireDecls(files);
+  if (inventory.enumerators.empty() && inventory.encode_decls.empty()) return;
+
+  std::string library_code;   // src/**/*.cc
+  std::string coverage_code;  // fuzz/golden tests
+  for (const SourceFile& file : files) {
+    const bool library =
+        StartsWith(file.rel_path, "src/") && !file.is_header;
+    const bool coverage = IsFuzzOrGoldenTest(file);
+    if (!library && !coverage) continue;
+    for (const std::string& code : file.code_lines) {
+      if (library) {
+        library_code += code;
+        library_code += '\n';
+      }
+      if (coverage) {
+        coverage_code += code;
+        coverage_code += '\n';
+      }
+    }
+  }
+
+  const auto contains_token = [](const std::string& haystack,
+                                 const std::string& token) {
+    const std::regex re("\\b" + token + "\\b");
+    return std::regex_search(haystack, re);
+  };
+
+  std::set<std::string> encode_names;
+  std::set<std::string> decode_names;
+  for (const WireDecl& decl : inventory.encode_decls) {
+    encode_names.insert(decl.name);
+  }
+  for (const WireDecl& decl : inventory.decode_decls) {
+    decode_names.insert(decl.name);
+  }
+
+  for (const WireDecl& decl : inventory.encode_decls) {
+    if (decode_names.count(decl.name) == 0) {
+      findings->push_back({decl.header, decl.line, Check::kWireExhaustiveness,
+                           "Encode" + decl.name +
+                               " has no matching Decode" + decl.name +
+                               " declared in the same format header"});
+    }
+    if (!contains_token(coverage_code, "Encode" + decl.name) &&
+        !contains_token(coverage_code, "Decode" + decl.name)) {
+      findings->push_back(
+          {decl.header, decl.line, Check::kWireExhaustiveness,
+           "wire message " + decl.name +
+               " is never exercised by a fuzz or golden test under tests/"});
+    }
+  }
+  for (const WireDecl& decl : inventory.decode_decls) {
+    if (encode_names.count(decl.name) == 0) {
+      findings->push_back({decl.header, decl.line, Check::kWireExhaustiveness,
+                           "Decode" + decl.name +
+                               " has no matching Encode" + decl.name +
+                               " declared in the same format header"});
+    }
+  }
+
+  for (const WireDecl& decl : inventory.enumerators) {
+    const size_t sep = decl.name.find("::");
+    const std::string bare = decl.name.substr(sep + 2);
+    // kQueryStarted -> QueryStartedRecord payload codec, when one exists.
+    const std::string stem = bare.substr(1) + "Record";
+    const bool has_payload_codec = encode_names.count(stem) > 0;
+    if (!contains_token(library_code, decl.name)) {
+      findings->push_back(
+          {decl.header, decl.line, Check::kWireExhaustiveness,
+           "enumerator " + decl.name +
+               " is never referenced by an encode/decode path in src/"});
+    }
+    if (has_payload_codec && decode_names.count(stem) == 0) {
+      findings->push_back({decl.header, decl.line, Check::kWireExhaustiveness,
+                           "record payload " + stem + " can Encode but not " +
+                               "Decode; recovery would fail closed on it"});
+    }
+    if (!contains_token(coverage_code, decl.name) &&
+        !contains_token(coverage_code, bare) &&
+        !(has_payload_codec &&
+          (contains_token(coverage_code, "Encode" + stem) ||
+           contains_token(coverage_code, "Decode" + stem)))) {
+      findings->push_back(
+          {decl.header, decl.line, Check::kWireExhaustiveness,
+           "enumerator " + decl.name +
+               " is never exercised by a fuzz or golden test under tests/"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mechanical fixes: canonical include guards and waiver normalization.
+
+bool FixFile(SourceFile* file) {
+  bool changed = false;
+  const std::string expected = ExpectedGuard(file->rel_path);
+  if (file->is_header) {
+    const GuardInfo guard = FindGuard(*file);
+    if (guard.ifndef_line != 0 && guard.define_line != 0 &&
+        guard.guard_name != expected) {
+      file->raw_lines[guard.ifndef_line - 1] = "#ifndef " + expected;
+      file->raw_lines[guard.define_line - 1] = "#define " + expected;
+      if (guard.endif_line != 0) {
+        file->raw_lines[guard.endif_line - 1] = "#endif  // " + expected;
+      }
+      changed = true;
+    } else if (guard.ifndef_line != 0 && guard.guard_name == expected &&
+               guard.endif_line != 0) {
+      const std::string canonical_endif = "#endif  // " + expected;
+      if (Trim(file->raw_lines[guard.endif_line - 1]) !=
+          Trim(canonical_endif)) {
+        file->raw_lines[guard.endif_line - 1] = canonical_endif;
+        changed = true;
+      }
+    }
+  }
+  // Normalize waiver spacing to the canonical form.
+  static const std::regex kSloppyWaiverRe(
+      R"(//\s*bitpush-lint:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\)\s*:\s*(.+?)\s*$)");
+  for (std::string& line : file->raw_lines) {
+    std::smatch match;
+    if (std::regex_search(line, match, kSloppyWaiverRe)) {
+      const std::string canonical = "// bitpush-lint: allow(" +
+                                    match[1].str() + "): " +
+                                    Trim(match[2].str());
+      const std::string current = line.substr(match.position(0));
+      if (current != canonical) {
+        line = line.substr(0, match.position(0)) + canonical;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+bool LoadFile(const fs::path& abs, const std::string& rel,
+              SourceFile* out, std::string* error) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + abs.string();
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out->rel_path = rel;
+  out->abs_path = abs.string();
+  out->raw_lines = SplitLines(buffer.str());
+  out->is_header = rel.size() >= 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+  LexFile(out->raw_lines, &out->code_lines, &out->comment_lines);
+  return true;
+}
+
+void Relex(SourceFile* file) {
+  file->code_lines.clear();
+  file->comment_lines.clear();
+  LexFile(file->raw_lines, &file->code_lines, &file->comment_lines);
+}
+
+bool CheckEnabled(const Options& options, Check check) {
+  if (check == Check::kWaiverSyntax) return true;
+  if (options.checks.empty()) return true;
+  return std::find(options.checks.begin(), options.checks.end(), check) !=
+         options.checks.end();
+}
+
+}  // namespace
+
+std::string CheckName(Check check) {
+  for (const CheckNameEntry& entry : kCheckNames) {
+    if (entry.check == check) return entry.name;
+  }
+  return "unknown";
+}
+
+bool ParseCheckName(const std::string& name, Check* out) {
+  for (const CheckNameEntry& entry : kCheckNames) {
+    if (name == entry.name) {
+      *out = entry.check;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result RunLint(const std::string& root, const Options& options) {
+  Result result;
+  const char* const kTopDirs[] = {"src", "tests", "bench", "tools"};
+  std::vector<SourceFile> files;
+  bool any_dir = false;
+  for (const char* top : kTopDirs) {
+    const fs::path dir = fs::path(root) / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    any_dir = true;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() &&
+          it->path().filename().string() == "golden") {
+        // Fixture snippets (tests/golden/lint/ holds deliberately broken
+        // inputs) must not count against the real tree.
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cc" && ext != ".h") continue;
+      const std::string rel =
+          fs::relative(it->path(), fs::path(root)).generic_string();
+      SourceFile file;
+      std::string error;
+      if (!LoadFile(it->path(), rel, &file, &error)) {
+        result.io_error = true;
+        result.io_error_message = error;
+        return result;
+      }
+      files.push_back(std::move(file));
+    }
+  }
+  if (!any_dir) {
+    result.io_error = true;
+    result.io_error_message =
+        "no src/, tests/, bench/, or tools/ directory under " + root;
+    return result;
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel_path < b.rel_path;
+            });
+  result.files_scanned = static_cast<int>(files.size());
+
+  if (options.fix) {
+    for (SourceFile& file : files) {
+      if (!FixFile(&file)) continue;
+      std::ofstream out(file.abs_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        result.io_error = true;
+        result.io_error_message = "cannot write " + file.abs_path;
+        return result;
+      }
+      for (const std::string& line : file.raw_lines) out << line << '\n';
+      out.close();
+      Relex(&file);
+      result.fixed_paths.push_back(file.rel_path);
+    }
+  }
+
+  std::vector<Finding> raw_findings;
+  std::vector<Waiver> all_waivers;
+  for (const SourceFile& file : files) {
+    ParsedWaivers parsed = ParseWaivers(file);
+    for (Finding& finding : parsed.syntax_findings) {
+      raw_findings.push_back(std::move(finding));
+    }
+    for (Waiver& waiver : parsed.waivers) {
+      all_waivers.push_back(std::move(waiver));
+    }
+  }
+  for (const SourceFile& file : files) {
+    if (CheckEnabled(options, Check::kDeterminism)) {
+      CheckDeterminism(file, &raw_findings);
+    }
+    if (CheckEnabled(options, Check::kPrivacyMetering)) {
+      CheckPrivacyMetering(file, &raw_findings);
+    }
+    if (CheckEnabled(options, Check::kObsStability)) {
+      CheckObsStability(file, all_waivers, &raw_findings);
+    }
+    if (CheckEnabled(options, Check::kHeaderHygiene)) {
+      CheckHeaderHygiene(file, &raw_findings);
+    }
+  }
+  if (CheckEnabled(options, Check::kWireExhaustiveness)) {
+    CheckWireExhaustiveness(files, &raw_findings);
+  }
+
+  for (Finding& finding : raw_findings) {
+    if (IsSuppressed(finding, all_waivers)) continue;
+    result.findings.push_back(std::move(finding));
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return CheckName(a.check) < CheckName(b.check);
+            });
+  result.waivers = std::move(all_waivers);
+  std::sort(result.waivers.begin(), result.waivers.end(),
+            [](const Waiver& a, const Waiver& b) {
+              if (a.path != b.path) return a.path < b.path;
+              return a.line < b.line;
+            });
+  return result;
+}
+
+std::string FormatReport(const Result& result) {
+  std::ostringstream out;
+  for (const Finding& finding : result.findings) {
+    out << finding.path << ":" << finding.line << ": ["
+        << CheckName(finding.check) << "] " << finding.message << "\n";
+  }
+  out << "bitpush_lint: " << result.findings.size() << " violation(s), "
+      << result.waivers.size() << " waiver(s) in budget, "
+      << result.files_scanned << " file(s) scanned";
+  if (!result.fixed_paths.empty()) {
+    out << ", " << result.fixed_paths.size() << " file(s) fixed";
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string FormatWaiverReport(const Result& result) {
+  std::ostringstream out;
+  for (const Waiver& waiver : result.waivers) {
+    out << waiver.path << ":" << waiver.line << ": allow("
+        << CheckName(waiver.check) << "): " << waiver.reason << "\n";
+  }
+  out << result.waivers.size() << " waiver(s) in budget\n";
+  return out.str();
+}
+
+}  // namespace bitpush::lint
