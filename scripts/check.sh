@@ -1,10 +1,25 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run every test, run every benchmark.
-# Usage: scripts/check.sh [build-dir]
+# Usage: scripts/check.sh [--long] [build-dir]
+#
+# --long raises BITPROP_ITERS so every bitprop property (tests/prop/) runs
+# its extended iteration count — the same knob the nightly property-long CI
+# job uses. Each property still clamps at its own max_iterations cap.
 set -euo pipefail
+
+LONG_MODE=0
+if [[ "${1:-}" == "--long" ]]; then
+  LONG_MODE=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 cd "$(dirname "$0")/.."
+
+if [[ "$LONG_MODE" -eq 1 ]]; then
+  export BITPROP_ITERS="${BITPROP_ITERS:-5000}"
+  echo "check.sh: long mode, BITPROP_ITERS=$BITPROP_ITERS"
+fi
 
 cmake -B "$BUILD_DIR" -G Ninja
 
@@ -19,26 +34,29 @@ cmake --build "$BUILD_DIR" --target bitpush_lint
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
-# Sanitized pass: the fault-injection, wire-fuzz, and persistence suites
-# exercise the decode and failure paths, so run them under ASan+UBSan too.
+# Sanitized pass: the fault-injection, wire-fuzz, persistence, and bitprop
+# property suites exercise the decode, failure, and shrink paths, so run
+# them under ASan+UBSan too.
 cmake -B "$BUILD_DIR-asan" -G Ninja -DBITPUSH_SANITIZE=address,undefined
 cmake --build "$BUILD_DIR-asan" \
   --target fault_tests wire_fuzz_tests persist_tests persist_fuzz_tests \
-  obs_tests
+  obs_tests prop_tests
 ctest --test-dir "$BUILD_DIR-asan" --output-on-failure \
-  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz|Obs)'
+  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz|Obs|Prop)'
 
 # TSan pass: the concurrent aggregator/health-tracker and fleet suites are
 # the thread-heavy ones, the resilience suite shares their state machines,
 # and the obs registry is hammered from multiple threads — run all four
 # under ThreadSanitizer. The `Obs` alternate matters: without it the
 # obs_tests binary was built for this stage but only its one
-# Concurrent-prefixed case ever ran.
+# Concurrent-prefixed case ever ran. The bitprop suites ride along so the
+# differential oracles (which drive the resilient-collection state
+# machines) also run instrumented.
 cmake -B "$BUILD_DIR-tsan" -G Ninja -DBITPUSH_SANITIZE=thread
 cmake --build "$BUILD_DIR-tsan" \
-  --target concurrency_tests resilience_tests obs_tests
+  --target concurrency_tests resilience_tests obs_tests prop_tests
 ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
-  -R '(Concurrent|Fleet|Resilience|Obs)'
+  -R '(Concurrent|Fleet|Resilience|Obs|Prop)'
 
 # Crash-recovery stage: run a durable campaign, SIGKILL it mid-campaign at
 # a journal-record boundary, restart against the same state directory, and

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -203,6 +204,33 @@ bool ReadJournal(const std::string& path, uint64_t expected_first_seq,
     result.clean_length = offset;
   }
   *out = std::move(result);
+  return true;
+}
+
+bool TruncateJournalToRecords(const std::string& path, size_t keep_records,
+                              std::string* error) {
+  BITPUSH_CHECK(error != nullptr);
+  JournalReadResult journal;
+  if (!ReadJournal(path, 0, &journal, error)) return false;
+  std::vector<uint8_t> prefix;
+  const size_t keep = std::min(keep_records, journal.records.size());
+  for (size_t i = 0; i < keep; ++i) {
+    AppendJournalFrame(journal.records[i].type, journal.records[i].seq,
+                       journal.records[i].payload, &prefix);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    *error = IoError("truncate journal", path);
+    return false;
+  }
+  const bool wrote =
+      prefix.empty() ||
+      std::fwrite(prefix.data(), 1, prefix.size(), file) == prefix.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    *error = IoError("truncate journal", path);
+    return false;
+  }
   return true;
 }
 

@@ -126,6 +126,14 @@ struct JournalReadResult {
 bool ReadJournal(const std::string& path, uint64_t expected_first_seq,
                  JournalReadResult* out, std::string* error);
 
+// Rewrites the journal at `path` so only its first `keep_records` records
+// remain — the canonical way to simulate a crash that lost a durable
+// suffix. Reads and validates the existing file first; keeping more records
+// than exist keeps them all. Returns false with `*error` set on I/O failure
+// or on pre-existing corruption.
+bool TruncateJournalToRecords(const std::string& path, size_t keep_records,
+                              std::string* error);
+
 // ---------------------------------------------------------------------------
 // Record payloads. Each Encode appends to `out`; each Decode consumes the
 // *entire* payload buffer and returns false (leaving `*out` untouched) on

@@ -4,7 +4,6 @@
 // with different seeds (expecting different randomness, i.e. no hidden
 // global state or accidental seed reuse).
 
-#include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -208,15 +207,9 @@ TEST_F(DeterminismTest, DurableCampaignReproducesAcrossRunsAndCrashes) {
   std::string error;
   ASSERT_TRUE(
       ReadJournal(base + "/c/journal.wal", 0, &journal, &error)) << error;
-  std::vector<uint8_t> half;
-  for (size_t i = 0; i < journal.records.size() / 2; ++i) {
-    AppendJournalFrame(journal.records[i].type, journal.records[i].seq,
-                       journal.records[i].payload, &half);
-  }
-  std::FILE* file = std::fopen((base + "/c/journal.wal").c_str(), "wb");
-  ASSERT_NE(file, nullptr);
-  ASSERT_EQ(std::fwrite(half.data(), 1, half.size(), file), half.size());
-  std::fclose(file);
+  ASSERT_TRUE(TruncateJournalToRecords(base + "/c/journal.wal",
+                                       journal.records.size() / 2, &error))
+      << error;
 
   const RunResult recovered = run(base + "/c", 2);
   EXPECT_TRUE(recovered.recovered);
@@ -361,15 +354,9 @@ TEST_F(DeterminismTest, ResilientDurableCampaignReproducesAcrossCrashes) {
   std::string error;
   ASSERT_TRUE(
       ReadJournal(base + "/c/journal.wal", 0, &journal, &error)) << error;
-  std::vector<uint8_t> half;
-  for (size_t i = 0; i < journal.records.size() / 2; ++i) {
-    AppendJournalFrame(journal.records[i].type, journal.records[i].seq,
-                       journal.records[i].payload, &half);
-  }
-  std::FILE* file = std::fopen((base + "/c/journal.wal").c_str(), "wb");
-  ASSERT_NE(file, nullptr);
-  ASSERT_EQ(std::fwrite(half.data(), 1, half.size(), file), half.size());
-  std::fclose(file);
+  ASSERT_TRUE(TruncateJournalToRecords(base + "/c/journal.wal",
+                                       journal.records.size() / 2, &error))
+      << error;
 
   const RunResult recovered = run(base + "/c", 2);
   EXPECT_TRUE(recovered.recovered);
@@ -446,15 +433,9 @@ TEST_F(DeterminismTest, MetricsSnapshotReproducesAcrossRunsAndCrashes) {
   std::string error;
   ASSERT_TRUE(
       ReadJournal(base + "/c/journal.wal", 0, &journal, &error)) << error;
-  std::vector<uint8_t> half;
-  for (size_t i = 0; i < journal.records.size() / 2; ++i) {
-    AppendJournalFrame(journal.records[i].type, journal.records[i].seq,
-                       journal.records[i].payload, &half);
-  }
-  std::FILE* file = std::fopen((base + "/c/journal.wal").c_str(), "wb");
-  ASSERT_NE(file, nullptr);
-  ASSERT_EQ(std::fwrite(half.data(), 1, half.size(), file), half.size());
-  std::fclose(file);
+  ASSERT_TRUE(TruncateJournalToRecords(base + "/c/journal.wal",
+                                       journal.records.size() / 2, &error))
+      << error;
 
   const std::string recovered = run(base + "/c", 2);
   EXPECT_EQ(recovered, first);

@@ -1,0 +1,319 @@
+// bitprop: a small property-based testing framework for the bitpush tree.
+//
+// The paper's guarantees are universal statements — RR-unbiased estimators,
+// variance bounds monotone in n and bit depth, exact fixed-point
+// round-trips, secure-agg mask cancellation — and the SIMD/shard roadmap
+// items will rewrite the code that upholds them. This framework states such
+// invariants once over a *domain* of random inputs instead of a hand-picked
+// grid, so a refactor that breaks a corner case is caught by generation,
+// not by reviewer imagination.
+//
+// Design, in the spirit of proptest but seeded like everything else here:
+//
+//   * A Domain<T> bundles a seeded generator, an optional shrinker
+//     (candidate simplifications, tried in order), and a printer.
+//   * A Property<T> maps a value to std::nullopt (pass) or a failure
+//     message. Properties never throw; they are plain deterministic
+//     functions so shrinking can re-evaluate them freely.
+//   * CheckProperty runs `iterations` cases, each from its own 64-bit case
+//     seed derived from the fixed base seed. On the first failure it
+//     greedily shrinks to a local minimum and reports the case seed as
+//     `BITPROP_SEED=<seed>`; re-running with that environment variable
+//     replays exactly the failing case (generation, failure, and shrink are
+//     all pure functions of the seed).
+//   * `BITPROP_ITERS=<n>` raises the per-property iteration count for the
+//     long mode (scripts/check.sh --long, the CI property-long job), and
+//     `BITPROP_BASE_SEED=<s>` reroots the whole case stream so scheduled
+//     runs explore different cases while each individual run stays fully
+//     reproducible. There is deliberately no wall-clock time budget: the
+//     determinism lint bans clocks outside src/obs/, and a time-budgeted
+//     run would not reproduce.
+//
+// Everything is deterministic by default: without BITPROP_* overrides, two
+// `ctest -R Prop` runs execute byte-identical case streams.
+
+#ifndef BITPUSH_TESTS_PROP_BITPROP_H_
+#define BITPUSH_TESTS_PROP_BITPROP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace bitpush::prop {
+
+// ---------------------------------------------------------------------------
+// Run configuration (environment overrides).
+
+struct RunConfig {
+  // Base seed of the deterministic case stream. Fixed so plain ctest runs
+  // are reproducible without any environment; BITPROP_BASE_SEED reroots it
+  // (the nightly property-long job iterates a fixed list of such bases).
+  uint64_t base_seed = 0xB17C0DE5EEDull;
+  // BITPROP_SEED: replay exactly this one case seed (reproduction mode).
+  std::optional<uint64_t> pinned_seed;
+  // BITPROP_ITERS: per-property iteration count for long runs. Applied as
+  // an override, clamped to each property's max_iterations.
+  std::optional<int64_t> iterations_override;
+};
+
+// Parsed once from the environment (BITPROP_SEED, BITPROP_ITERS,
+// BITPROP_BASE_SEED).
+const RunConfig& GlobalRunConfig();
+
+// The seed of case `iteration` in the stream rooted at `base_seed`
+// (SplitMix64 of the pair, so case seeds are decorrelated and a printed
+// seed is self-contained: replaying it needs no iteration index).
+uint64_t CaseSeed(uint64_t base_seed, uint64_t iteration);
+
+// ---------------------------------------------------------------------------
+// Domains.
+
+// A domain of generated values: seeded generator + optional shrinker +
+// printer. `shrink` returns candidate simplifications of a failing value in
+// decreasing preference (most aggressive first); the runner greedily takes
+// the first candidate that still fails and repeats until no candidate
+// fails, which is what makes the minimal counterexample deterministic.
+template <typename T>
+struct Domain {
+  std::function<T(Rng&)> generate;
+  std::function<std::vector<T>(const T&)> shrink;      // may be null
+  std::function<std::string(const T&)> describe;       // may be null
+
+  std::string Describe(const T& value) const {
+    if (describe) return describe(value);
+    return "<no printer>";
+  }
+};
+
+// Integers uniform in [lo, hi], shrinking toward lo (boundary first, then
+// binary steps, then -1): a failing threshold property shrinks to the exact
+// smallest failing value.
+Domain<int64_t> InRange(int64_t lo, int64_t hi);
+
+// Doubles uniform in [lo, hi), shrinking toward lo by halving the distance.
+Domain<double> InReal(double lo, double hi);
+
+// Uniform uint64_t below `bound`, shrinking toward 0.
+Domain<uint64_t> Below(uint64_t bound);
+
+// A fixed choice list; generation picks uniformly, shrinking moves toward
+// earlier (simpler-by-convention) entries.
+template <typename T>
+Domain<T> OneOf(std::vector<T> choices);
+
+// Vectors of `element` with size uniform in [min_size, max_size].
+// Shrinking first drops elements (suffix halves, then single elements),
+// then shrinks individual elements — so a failing vector minimizes to the
+// shortest witness with the smallest entries.
+template <typename T>
+Domain<std::vector<T>> VectorOf(Domain<T> element, size_t min_size,
+                                size_t max_size);
+
+// ---------------------------------------------------------------------------
+// Properties and the runner.
+
+// std::nullopt = pass; a string = failure description. Must be a pure
+// function of the value (shrinking re-evaluates it many times).
+template <typename T>
+using Property = std::function<std::optional<std::string>(const T&)>;
+
+struct CheckOptions {
+  // Fixed-case mode iteration count (the default ctest mode).
+  int64_t iterations = 200;
+  // Cap applied to a BITPROP_ITERS override, so expensive suites (the
+  // differential campaigns) bound their long-mode cost explicitly.
+  int64_t max_iterations = 1'000'000;
+  // Shrink-step budget; a greedy chain longer than this stops and reports
+  // the best-so-far counterexample.
+  int64_t max_shrink_steps = 1000;
+};
+
+struct CheckOutcome {
+  bool ok = true;
+  // Valid when !ok:
+  uint64_t failing_seed = 0;
+  int64_t failing_iteration = -1;  // -1 in BITPROP_SEED reproduction mode
+  int64_t shrink_steps = 0;
+  std::string original;  // describe() of the originally generated case
+  std::string minimal;   // describe() of the shrunk counterexample
+  std::string message;   // the property's failure message on the minimal case
+  std::string report;    // the full human-readable report
+  // Iterations actually executed (for self-tests of the long mode).
+  int64_t iterations_run = 0;
+};
+
+// Formats the failure block, including the `BITPROP_SEED=<seed>` line that
+// the reproduction contract promises.
+std::string FormatFailureReport(const std::string& name,
+                                const CheckOutcome& outcome);
+
+// Core engine, gtest-free and pure: exposed so the framework's own
+// regression tests (prop_shrink_test.cc) can assert on shrinking and
+// reproduction without spawning processes.
+template <typename T>
+CheckOutcome RunProperty(const std::string& name, const Domain<T>& domain,
+                         const Property<T>& property,
+                         const CheckOptions& options, const RunConfig& config) {
+  CheckOutcome outcome;
+  const auto run_case = [&](uint64_t seed, int64_t iteration) -> bool {
+    Rng rng(seed);
+    const T value = domain.generate(rng);
+    std::optional<std::string> failure = property(value);
+    if (!failure.has_value()) return true;
+
+    // Greedy deterministic shrink: take the first still-failing candidate,
+    // repeat until a full candidate pass succeeds everywhere (local
+    // minimum) or the step budget runs out.
+    T minimal = value;
+    std::string minimal_message = *failure;
+    int64_t steps = 0;
+    bool progressed = domain.shrink != nullptr;
+    while (progressed && steps < options.max_shrink_steps) {
+      progressed = false;
+      for (const T& candidate : domain.shrink(minimal)) {
+        std::optional<std::string> candidate_failure = property(candidate);
+        if (candidate_failure.has_value()) {
+          minimal = candidate;
+          minimal_message = std::move(*candidate_failure);
+          ++steps;
+          progressed = true;
+          break;
+        }
+      }
+    }
+
+    outcome.ok = false;
+    outcome.failing_seed = seed;
+    outcome.failing_iteration = iteration;
+    outcome.shrink_steps = steps;
+    outcome.original = domain.Describe(value);
+    outcome.minimal = domain.Describe(minimal);
+    outcome.message = minimal_message;
+    outcome.report = FormatFailureReport(name, outcome);
+    return false;
+  };
+
+  if (config.pinned_seed.has_value()) {
+    // Reproduction mode: exactly the one printed case.
+    outcome.iterations_run = 1;
+    run_case(*config.pinned_seed, -1);
+    return outcome;
+  }
+  const int64_t iterations =
+      std::min(config.iterations_override.value_or(options.iterations),
+               options.max_iterations);
+  for (int64_t i = 0; i < iterations; ++i) {
+    ++outcome.iterations_run;
+    if (!run_case(CaseSeed(config.base_seed, static_cast<uint64_t>(i)), i)) {
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+// gtest glue: runs the property under the global (environment-derived)
+// configuration and reports a non-fatal failure with the formatted report.
+template <typename T>
+void CheckProperty(const std::string& name, const Domain<T>& domain,
+                   const Property<T>& property, CheckOptions options = {}) {
+  const CheckOutcome outcome =
+      RunProperty(name, domain, property, options, GlobalRunConfig());
+  if (!outcome.ok) ADD_FAILURE() << outcome.report;
+}
+
+// ---------------------------------------------------------------------------
+// Template definitions.
+
+template <typename T>
+Domain<T> OneOf(std::vector<T> choices) {
+  Domain<T> domain;
+  auto shared = std::make_shared<std::vector<T>>(std::move(choices));
+  domain.generate = [shared](Rng& rng) {
+    return (*shared)[static_cast<size_t>(rng.NextBelow(shared->size()))];
+  };
+  domain.shrink = [shared](const T& value) {
+    std::vector<T> candidates;
+    for (const T& choice : *shared) {
+      if (choice == value) break;  // only strictly earlier entries
+      candidates.push_back(choice);
+    }
+    return candidates;
+  };
+  domain.describe = [](const T& value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  };
+  return domain;
+}
+
+template <typename T>
+Domain<std::vector<T>> VectorOf(Domain<T> element, size_t min_size,
+                                size_t max_size) {
+  Domain<std::vector<T>> domain;
+  auto shared = std::make_shared<Domain<T>>(std::move(element));
+  domain.generate = [shared, min_size, max_size](Rng& rng) {
+    const size_t size =
+        min_size + static_cast<size_t>(rng.NextBelow(max_size - min_size + 1));
+    std::vector<T> values;
+    values.reserve(size);
+    for (size_t i = 0; i < size; ++i) values.push_back(shared->generate(rng));
+    return values;
+  };
+  domain.shrink = [shared, min_size](const std::vector<T>& value) {
+    std::vector<std::vector<T>> candidates;
+    // Structural shrinks first: drop the tail half, then single elements.
+    if (value.size() > min_size) {
+      const size_t half = std::max(min_size, value.size() / 2);
+      if (half < value.size()) {
+        candidates.emplace_back(value.begin(),
+                                value.begin() + static_cast<ptrdiff_t>(half));
+      }
+      for (size_t i = 0; i < value.size(); ++i) {
+        std::vector<T> dropped;
+        dropped.reserve(value.size() - 1);
+        for (size_t j = 0; j < value.size(); ++j) {
+          if (j != i) dropped.push_back(value[j]);
+        }
+        candidates.push_back(std::move(dropped));
+      }
+    }
+    // Then element-wise shrinks, one position at a time.
+    if (shared->shrink != nullptr) {
+      for (size_t i = 0; i < value.size(); ++i) {
+        for (const T& smaller : shared->shrink(value[i])) {
+          std::vector<T> replaced = value;
+          replaced[i] = smaller;
+          candidates.push_back(std::move(replaced));
+        }
+      }
+    }
+    return candidates;
+  };
+  domain.describe = [shared](const std::vector<T>& value) {
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = 0; i < value.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << (shared->describe ? shared->describe(value[i]) : "?");
+    }
+    out << "]";
+    return out.str();
+  };
+  return domain;
+}
+
+}  // namespace bitpush::prop
+
+#endif  // BITPUSH_TESTS_PROP_BITPROP_H_

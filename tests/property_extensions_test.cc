@@ -1,11 +1,17 @@
 // Property tests for the extension modules: derived aggregates, weighted
-// means, Shamir sharing, the wire format, and memoization — invariants
-// swept across parameter grids.
+// means, Shamir sharing, the wire format, and memoization. Universal
+// invariants (Shamir round-trips, wire round-trips) run on bitprop
+// generators with shrinking; the statistical suites that need a fixed
+// Monte-Carlo grid stay parameterized gtest.
 
 // bitpush-lint: allow(privacy-metering): property sweeps build synthetic reports; no client value is behind them
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,11 +26,15 @@
 #include "federated/shamir.h"
 #include "federated/wire.h"
 #include "ldp/memoization.h"
+#include "prop/bitprop.h"
 #include "rng/rng.h"
 #include "stats/welford.h"
 
 namespace bitpush {
 namespace {
+
+using ::bitpush::prop::CheckProperty;
+using ::bitpush::prop::Domain;
 
 // ---------------------------------------------------------------------------
 // Histogram / range-tree mass conservation across bucketings.
@@ -137,68 +147,152 @@ TEST(MomentConsistencyProperty, JensenOrderingHolds) {
 // ---------------------------------------------------------------------------
 // Shamir: share/reconstruct round-trips across thresholds and secrets.
 
-class ShamirGridTest : public ::testing::TestWithParam<int> {};
+struct ShamirPropCase {
+  uint64_t secret = 0;       // < kShamirPrime
+  int threshold = 1;         // 1..13
+  int extra_shares = 0;      // num_shares = threshold + extra
+  uint64_t session_seed = 0; // drives sharing and subset selection
+};
 
-TEST_P(ShamirGridTest, RoundTripAcrossThresholds) {
-  const int threshold = GetParam();
-  Rng rng(600 + static_cast<uint64_t>(threshold));
-  for (int trial = 0; trial < 20; ++trial) {
-    const uint64_t secret = rng.NextBelow(kShamirPrime);
-    const int num_shares = threshold + static_cast<int>(rng.NextBelow(5));
-    const std::vector<ShamirShare> shares =
-        ShamirShareSecret(secret, threshold, num_shares, rng);
-    // Random subset of exactly `threshold` shares.
-    std::vector<ShamirShare> subset = shares;
-    for (size_t i = subset.size(); i > 1; --i) {
-      std::swap(subset[i - 1], subset[rng.NextBelow(i)]);
+Domain<ShamirPropCase> ShamirDomain() {
+  Domain<ShamirPropCase> domain;
+  domain.generate = [](Rng& rng) {
+    ShamirPropCase c;
+    c.secret = rng.NextBelow(kShamirPrime);
+    c.threshold = 1 + static_cast<int>(rng.NextBelow(13));
+    c.extra_shares = static_cast<int>(rng.NextBelow(5));
+    c.session_seed = rng.NextUint64();
+    return c;
+  };
+  domain.shrink = [](const ShamirPropCase& c) {
+    std::vector<ShamirPropCase> out;
+    if (c.secret > 0) {
+      ShamirPropCase smaller = c;
+      smaller.secret /= 2;
+      out.push_back(smaller);
     }
-    subset.resize(static_cast<size_t>(threshold));
-    EXPECT_EQ(ShamirReconstruct(subset, threshold), secret);
-  }
+    if (c.threshold > 1) {
+      ShamirPropCase smaller = c;
+      smaller.threshold = 1;
+      out.push_back(smaller);
+    }
+    if (c.extra_shares > 0) {
+      ShamirPropCase smaller = c;
+      smaller.extra_shares = 0;
+      out.push_back(smaller);
+    }
+    return out;
+  };
+  domain.describe = [](const ShamirPropCase& c) {
+    std::ostringstream out;
+    out << "{secret=" << c.secret << " threshold=" << c.threshold
+        << " extra_shares=" << c.extra_shares << " session_seed=0x"
+        << std::hex << c.session_seed << "}";
+    return out.str();
+  };
+  return domain;
 }
 
-INSTANTIATE_TEST_SUITE_P(Thresholds, ShamirGridTest,
-                         ::testing::Values(1, 2, 3, 5, 8, 13));
+TEST(ShamirRoundTripProperty, AnyThresholdSubsetReconstructsTheSecret) {
+  CheckProperty<ShamirPropCase>(
+      "a random threshold-sized subset of shares reconstructs the secret",
+      ShamirDomain(),
+      [](const ShamirPropCase& c) -> std::optional<std::string> {
+        Rng rng(c.session_seed);
+        const int num_shares = c.threshold + c.extra_shares;
+        const std::vector<ShamirShare> shares =
+            ShamirShareSecret(c.secret, c.threshold, num_shares, rng);
+        // Random subset of exactly `threshold` shares.
+        std::vector<ShamirShare> subset = shares;
+        for (size_t i = subset.size(); i > 1; --i) {
+          std::swap(subset[i - 1], subset[rng.NextBelow(i)]);
+        }
+        subset.resize(static_cast<size_t>(c.threshold));
+        const uint64_t reconstructed =
+            ShamirReconstruct(subset, c.threshold);
+        if (reconstructed != c.secret) {
+          std::ostringstream out;
+          out << "reconstructed " << reconstructed << " != secret "
+              << c.secret;
+          return out.str();
+        }
+        return std::nullopt;
+      });
+}
 
 // ---------------------------------------------------------------------------
 // Wire format: encode/decode round-trips over random valid messages.
 
+Domain<BitReport> BitReportDomain() {
+  Domain<BitReport> domain;
+  domain.generate = [](Rng& rng) {
+    return BitReport{static_cast<int64_t>(rng.NextUint64() >> 1),
+                     static_cast<int>(rng.NextBelow(256)),
+                     static_cast<int>(rng.NextBelow(2))};
+  };
+  domain.shrink = [](const BitReport& r) {
+    std::vector<BitReport> out;
+    if (r.client_id > 0) out.push_back({r.client_id / 2, r.bit_index, r.bit});
+    if (r.bit_index > 0) out.push_back({r.client_id, 0, r.bit});
+    if (r.bit != 0) out.push_back({r.client_id, r.bit_index, 0});
+    return out;
+  };
+  domain.describe = [](const BitReport& r) {
+    std::ostringstream out;
+    out << "{client_id=" << r.client_id << " bit_index=" << r.bit_index
+        << " bit=" << r.bit << "}";
+    return out.str();
+  };
+  return domain;
+}
+
 TEST(WireRoundTripProperty, RandomMessagesSurvive) {
-  Rng rng(700);
-  for (int trial = 0; trial < 500; ++trial) {
-    const BitReport report{
-        static_cast<int64_t>(rng.NextUint64() >> 1),
-        static_cast<int>(rng.NextBelow(256)),
-        static_cast<int>(rng.NextBelow(2))};
-    std::vector<uint8_t> buffer;
-    EncodeBitReport(report, &buffer);
-    size_t offset = 0;
-    BitReport decoded;
-    ASSERT_TRUE(DecodeBitReport(buffer, &offset, &decoded));
-    EXPECT_EQ(decoded.client_id, report.client_id);
-    EXPECT_EQ(decoded.bit_index, report.bit_index);
-    EXPECT_EQ(decoded.bit, report.bit);
-  }
+  CheckProperty<BitReport>(
+      "a single report survives encode/decode field-for-field",
+      BitReportDomain(),
+      [](const BitReport& report) -> std::optional<std::string> {
+        std::vector<uint8_t> buffer;
+        EncodeBitReport(report, &buffer);
+        size_t offset = 0;
+        BitReport decoded;
+        if (!DecodeBitReport(buffer, &offset, &decoded)) {
+          return std::string("decode failed on a freshly encoded report");
+        }
+        if (decoded.client_id != report.client_id ||
+            decoded.bit_index != report.bit_index ||
+            decoded.bit != report.bit) {
+          return std::string("decoded fields differ from the original");
+        }
+        return std::nullopt;
+      });
 }
 
 TEST(WireRoundTripProperty, RandomBatchesSurvive) {
-  Rng rng(800);
-  for (int trial = 0; trial < 50; ++trial) {
-    std::vector<BitReport> reports(rng.NextBelow(64));
-    for (size_t i = 0; i < reports.size(); ++i) {
-      reports[i] = BitReport{static_cast<int64_t>(i),
-                             static_cast<int>(rng.NextBelow(32)),
-                             static_cast<int>(rng.NextBelow(2))};
-    }
-    std::vector<uint8_t> buffer;
-    EncodeReportBatch(reports, &buffer);
-    std::vector<BitReport> decoded;
-    ASSERT_TRUE(DecodeReportBatch(buffer, &decoded));
-    ASSERT_EQ(decoded.size(), reports.size());
-    for (size_t i = 0; i < reports.size(); ++i) {
-      EXPECT_EQ(decoded[i].bit, reports[i].bit);
-    }
-  }
+  CheckProperty<std::vector<BitReport>>(
+      "a report batch survives encode/decode element-for-element",
+      prop::VectorOf(BitReportDomain(), 0, 64),
+      [](const std::vector<BitReport>& reports)
+          -> std::optional<std::string> {
+        std::vector<uint8_t> buffer;
+        EncodeReportBatch(reports, &buffer);
+        std::vector<BitReport> decoded;
+        if (!DecodeReportBatch(buffer, &decoded)) {
+          return std::string("decode failed on a freshly encoded batch");
+        }
+        if (decoded.size() != reports.size()) {
+          return std::string("decoded batch size differs");
+        }
+        for (size_t i = 0; i < reports.size(); ++i) {
+          if (decoded[i].client_id != reports[i].client_id ||
+              decoded[i].bit_index != reports[i].bit_index ||
+              decoded[i].bit != reports[i].bit) {
+            std::ostringstream out;
+            out << "batch element " << i << " differs after round-trip";
+            return out.str();
+          }
+        }
+        return std::nullopt;
+      });
 }
 
 // ---------------------------------------------------------------------------

@@ -1,9 +1,17 @@
-// Cross-module property tests: invariants that must hold across wide
-// parameter sweeps, exercised with parameterized gtest suites.
+// Cross-module property tests. Universal invariants run on bitprop
+// generators (tests/prop/bitprop.h) — seeded domains, shrinking, and
+// BITPROP_SEED reproduction — while exact-value identities and statistical
+// suites that need a Monte-Carlo grid stay as plain/parameterized gtest.
+// The fixed-point codec sweeps that used to live here moved to
+// tests/prop/prop_invariants_test.cc, which states them over random widths
+// and ranges.
 
 #include <cmath>
 #include <cstdint>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,7 +25,7 @@
 #include "data/census.h"
 #include "data/synthetic.h"
 #include "ldp/randomized_response.h"
-#include "rng/distributions.h"
+#include "prop/bitprop.h"
 #include "rng/qmc.h"
 #include "rng/rng.h"
 #include "stats/metrics.h"
@@ -26,51 +34,8 @@
 namespace bitpush {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Codec round-trip across every supported bit width.
-
-class CodecWidthTest : public ::testing::TestWithParam<int> {};
-
-TEST_P(CodecWidthTest, IntegerRoundTripIsExact) {
-  const int bits = GetParam();
-  const FixedPointCodec codec = FixedPointCodec::Integer(bits);
-  Rng rng(static_cast<uint64_t>(bits));
-  for (int trial = 0; trial < 200; ++trial) {
-    const uint64_t v = rng.NextBelow(codec.max_codeword() + 1);
-    EXPECT_EQ(codec.Encode(static_cast<double>(v)), v);
-    EXPECT_DOUBLE_EQ(codec.Decode(static_cast<double>(v)),
-                     static_cast<double>(v));
-  }
-}
-
-TEST_P(CodecWidthTest, RangeRoundTripWithinHalfResolution) {
-  const int bits = GetParam();
-  const FixedPointCodec codec(bits, -3.5, 17.25);
-  Rng rng(static_cast<uint64_t>(bits) + 100);
-  for (int trial = 0; trial < 200; ++trial) {
-    const double x = SampleUniform(rng, -3.5, 17.25);
-    const double decoded =
-        codec.Decode(static_cast<double>(codec.Encode(x)));
-    EXPECT_NEAR(decoded, x, codec.resolution() / 2.0 + 1e-9);
-  }
-}
-
-TEST_P(CodecWidthTest, BitDecompositionIsLinear) {
-  const int bits = GetParam();
-  const FixedPointCodec codec = FixedPointCodec::Integer(bits);
-  Rng rng(static_cast<uint64_t>(bits) + 200);
-  for (int trial = 0; trial < 100; ++trial) {
-    const uint64_t v = rng.NextBelow(codec.max_codeword() + 1);
-    double recombined = 0.0;
-    for (int j = 0; j < bits; ++j) {
-      recombined += std::exp2(j) * FixedPointCodec::Bit(v, j);
-    }
-    EXPECT_DOUBLE_EQ(recombined, static_cast<double>(v));
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(Widths, CodecWidthTest,
-                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 52));
+using ::bitpush::prop::CheckProperty;
+using ::bitpush::prop::Domain;
 
 // ---------------------------------------------------------------------------
 // Randomized response identities across the epsilon range.
@@ -108,26 +73,72 @@ INSTANTIATE_TEST_SUITE_P(Epsilons, RrEpsilonTest,
 // ---------------------------------------------------------------------------
 // QMC allocation invariants under random allocations.
 
-class QmcSeedTest : public ::testing::TestWithParam<int> {};
+struct AllocationCase {
+  std::vector<double> weights;  // positive; normalized by the property
+  int64_t n = 1;
+};
 
-TEST_P(QmcSeedTest, GroupSizesExactAndWithinOneOfProportional) {
-  Rng rng(static_cast<uint64_t>(GetParam()));
-  std::vector<double> p(1 + rng.NextBelow(20));
-  for (double& x : p) x = rng.NextDouble() + 1e-3;
-  NormalizeProbabilities(p);
-  const int64_t n = 1 + static_cast<int64_t>(rng.NextBelow(50000));
-  const std::vector<int64_t> sizes = ProportionalGroupSizes(n, p);
-  int64_t total = 0;
-  for (size_t j = 0; j < p.size(); ++j) {
-    const double exact = static_cast<double>(n) * p[j];
-    EXPECT_GE(static_cast<double>(sizes[j]), std::floor(exact) - 1e-9);
-    EXPECT_LE(static_cast<double>(sizes[j]), std::ceil(exact) + 1e-9);
-    total += sizes[j];
-  }
-  EXPECT_EQ(total, n);
+Domain<AllocationCase> AllocationDomain() {
+  Domain<AllocationCase> domain;
+  domain.generate = [](Rng& rng) {
+    AllocationCase c;
+    c.weights.resize(1 + rng.NextBelow(20));
+    for (double& x : c.weights) x = rng.NextDouble() + 1e-3;
+    c.n = 1 + static_cast<int64_t>(rng.NextBelow(50000));
+    return c;
+  };
+  domain.shrink = [](const AllocationCase& c) {
+    std::vector<AllocationCase> out;
+    if (c.weights.size() > 1) {
+      AllocationCase smaller = c;
+      smaller.weights.resize(c.weights.size() / 2);
+      out.push_back(smaller);
+    }
+    if (c.n > 1) {
+      AllocationCase smaller = c;
+      smaller.n = c.n / 2;
+      out.push_back(smaller);
+    }
+    return out;
+  };
+  domain.describe = [](const AllocationCase& c) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{n=" << c.n << " weights=[";
+    for (size_t i = 0; i < c.weights.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << c.weights[i];
+    }
+    out << "]}";
+    return out.str();
+  };
+  return domain;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, QmcSeedTest, ::testing::Range(1, 25));
+TEST(QmcAllocationProperty, GroupSizesExactAndWithinOneOfProportional) {
+  CheckProperty<AllocationCase>(
+      "proportional group sizes stay within one of n * p_j and sum to n",
+      AllocationDomain(),
+      [](const AllocationCase& c) -> std::optional<std::string> {
+        std::vector<double> p = c.weights;
+        NormalizeProbabilities(p);
+        const std::vector<int64_t> sizes = ProportionalGroupSizes(c.n, p);
+        int64_t total = 0;
+        for (size_t j = 0; j < p.size(); ++j) {
+          const double exact = static_cast<double>(c.n) * p[j];
+          if (static_cast<double>(sizes[j]) < std::floor(exact) - 1e-9 ||
+              static_cast<double>(sizes[j]) > std::ceil(exact) + 1e-9) {
+            std::ostringstream out;
+            out << "group " << j << " size " << sizes[j]
+                << " outside [floor, ceil] of " << exact;
+            return out.str();
+          }
+          total += sizes[j];
+        }
+        if (total != c.n) return std::string("group sizes do not sum to n");
+        return std::nullopt;
+      });
+}
 
 // ---------------------------------------------------------------------------
 // Protocol invariants across workloads.
@@ -247,69 +258,207 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------------------------------------------------------------------------
 // Structural invariants.
 
-TEST(HistogramMergeProperty, MergeEqualsConcatenatedAdds) {
-  Rng rng(31);
-  for (int trial = 0; trial < 50; ++trial) {
-    const int bits = 1 + static_cast<int>(rng.NextBelow(16));
-    BitHistogram merged(bits);
-    BitHistogram left(bits);
-    BitHistogram right(bits);
-    BitHistogram all(bits);
-    const int64_t reports = 1 + static_cast<int64_t>(rng.NextBelow(500));
-    for (int64_t i = 0; i < reports; ++i) {
-      const int bit_index = static_cast<int>(rng.NextBelow(
-          static_cast<uint64_t>(bits)));
-      const int bit = rng.NextBit();
-      all.Add(bit_index, bit);
-      (rng.NextBernoulli(0.5) ? left : right).Add(bit_index, bit);
+struct MergeOp {
+  int bit_index = 0;
+  int bit = 0;
+  bool to_left = false;
+};
+
+struct HistogramMergeCase {
+  int bits = 1;
+  std::vector<MergeOp> ops;
+};
+
+Domain<HistogramMergeCase> HistogramMergeDomain() {
+  Domain<HistogramMergeCase> domain;
+  domain.generate = [](Rng& rng) {
+    HistogramMergeCase c;
+    c.bits = 1 + static_cast<int>(rng.NextBelow(16));
+    c.ops.resize(1 + rng.NextBelow(500));
+    for (MergeOp& op : c.ops) {
+      op.bit_index =
+          static_cast<int>(rng.NextBelow(static_cast<uint64_t>(c.bits)));
+      op.bit = rng.NextBit();
+      op.to_left = rng.NextBernoulli(0.5);
     }
-    merged.Merge(left);
-    merged.Merge(right);
-    EXPECT_EQ(merged.totals(), all.totals());
-    EXPECT_EQ(merged.one_counts(), all.one_counts());
-  }
+    return c;
+  };
+  domain.shrink = [](const HistogramMergeCase& c) {
+    std::vector<HistogramMergeCase> out;
+    if (c.ops.size() > 1) {
+      HistogramMergeCase smaller = c;
+      smaller.ops.resize(c.ops.size() / 2);
+      out.push_back(smaller);
+    }
+    return out;
+  };
+  domain.describe = [](const HistogramMergeCase& c) {
+    std::ostringstream out;
+    out << "{bits=" << c.bits << " ops=[";
+    for (size_t i = 0; i < c.ops.size(); ++i) {
+      if (i > 0) out << " ";
+      out << c.ops[i].bit_index << ":" << c.ops[i].bit
+          << (c.ops[i].to_left ? "L" : "R");
+    }
+    out << "]}";
+    return out.str();
+  };
+  return domain;
+}
+
+TEST(HistogramMergeProperty, MergeEqualsConcatenatedAdds) {
+  CheckProperty<HistogramMergeCase>(
+      "merging split halves reproduces the concatenated histogram",
+      HistogramMergeDomain(),
+      [](const HistogramMergeCase& c) -> std::optional<std::string> {
+        BitHistogram merged(c.bits);
+        BitHistogram left(c.bits);
+        BitHistogram right(c.bits);
+        BitHistogram all(c.bits);
+        for (const MergeOp& op : c.ops) {
+          all.Add(op.bit_index, op.bit);
+          (op.to_left ? left : right).Add(op.bit_index, op.bit);
+        }
+        merged.Merge(left);
+        merged.Merge(right);
+        if (merged.totals() != all.totals()) {
+          return std::string("merged totals differ from concatenated adds");
+        }
+        if (merged.one_counts() != all.one_counts()) {
+          return std::string(
+              "merged one-counts differ from concatenated adds");
+        }
+        return std::nullopt;
+      });
+}
+
+struct RecombineCase {
+  std::vector<double> a;
+  std::vector<double> b;  // same length as a
+};
+
+Domain<RecombineCase> RecombineDomain() {
+  Domain<RecombineCase> domain;
+  domain.generate = [](Rng& rng) {
+    RecombineCase c;
+    const size_t bits = 1 + rng.NextBelow(20);
+    c.a.resize(bits);
+    c.b.resize(bits);
+    for (size_t j = 0; j < bits; ++j) {
+      c.a[j] = rng.NextDouble();
+      c.b[j] = rng.NextDouble();
+    }
+    return c;
+  };
+  domain.shrink = [](const RecombineCase& c) {
+    std::vector<RecombineCase> out;
+    if (c.a.size() > 1) {
+      RecombineCase smaller = c;
+      smaller.a.resize(c.a.size() / 2);
+      smaller.b.resize(c.a.size() / 2);
+      out.push_back(smaller);
+    }
+    return out;
+  };
+  domain.describe = [](const RecombineCase& c) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{a=[";
+    for (size_t j = 0; j < c.a.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << c.a[j];
+    }
+    out << "] b=[";
+    for (size_t j = 0; j < c.b.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << c.b[j];
+    }
+    out << "]}";
+    return out.str();
+  };
+  return domain;
 }
 
 TEST(RecombineProperty, LinearInBitMeans) {
-  Rng rng(37);
-  for (int trial = 0; trial < 100; ++trial) {
-    const size_t bits = 1 + rng.NextBelow(20);
-    std::vector<double> a(bits);
-    std::vector<double> b(bits);
-    std::vector<double> sum(bits);
+  CheckProperty<RecombineCase>(
+      "recombination is linear in the bit means", RecombineDomain(),
+      [](const RecombineCase& c) -> std::optional<std::string> {
+        std::vector<double> sum(c.a.size());
+        for (size_t j = 0; j < c.a.size(); ++j) sum[j] = c.a[j] + c.b[j];
+        const double joint = RecombineBitMeans(sum);
+        const double split = RecombineBitMeans(c.a) + RecombineBitMeans(c.b);
+        if (std::abs(joint - split) > 1e-6) {
+          std::ostringstream out;
+          out.precision(17);
+          out << "recombine(a + b) = " << joint
+              << " but recombine(a) + recombine(b) = " << split;
+          return out.str();
+        }
+        return std::nullopt;
+      });
+}
+
+struct SquashCase {
+  std::vector<double> means;    // includes noisy values outside [0, 1]
+  std::vector<int64_t> counts;  // same length as means
+};
+
+Domain<SquashCase> SquashDomain() {
+  Domain<SquashCase> domain;
+  domain.generate = [](Rng& rng) {
+    SquashCase c;
+    const size_t bits = 1 + rng.NextBelow(16);
+    c.means.resize(bits);
+    c.counts.resize(bits);
     for (size_t j = 0; j < bits; ++j) {
-      a[j] = rng.NextDouble();
-      b[j] = rng.NextDouble();
-      sum[j] = a[j] + b[j];
+      c.means[j] = 2.0 * rng.NextDouble() - 0.5;
+      c.counts[j] = static_cast<int64_t>(rng.NextBelow(100));
     }
-    EXPECT_NEAR(RecombineBitMeans(sum),
-                RecombineBitMeans(a) + RecombineBitMeans(b), 1e-6);
-  }
+    return c;
+  };
+  domain.shrink = [](const SquashCase& c) {
+    std::vector<SquashCase> out;
+    if (c.means.size() > 1) {
+      SquashCase smaller = c;
+      smaller.means.resize(c.means.size() / 2);
+      smaller.counts.resize(c.means.size() / 2);
+      out.push_back(smaller);
+    }
+    return out;
+  };
+  domain.describe = [](const SquashCase& c) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{";
+    for (size_t j = 0; j < c.means.size(); ++j) {
+      if (j > 0) out << " ";
+      out << c.means[j] << "/" << c.counts[j];
+    }
+    out << "}";
+    return out.str();
+  };
+  return domain;
 }
 
 TEST(SquashMonotoneProperty, HigherThresholdSquashesSuperset) {
-  Rng rng(41);
-  for (int trial = 0; trial < 50; ++trial) {
-    const size_t bits = 1 + rng.NextBelow(16);
-    std::vector<double> means(bits);
-    std::vector<int64_t> counts(bits);
-    for (size_t j = 0; j < bits; ++j) {
-      means[j] = 2.0 * rng.NextDouble() - 0.5;  // includes noisy <0, >1
-      counts[j] = static_cast<int64_t>(rng.NextBelow(100));
-    }
-    const RandomizedResponse rr(1.0);
-    const std::vector<bool> low = ComputeSquashMask(
-        means, counts, rr, SquashPolicy::Absolute(0.05));
-    const std::vector<bool> high = ComputeSquashMask(
-        means, counts, rr, SquashPolicy::Absolute(0.2));
-    for (size_t j = 0; j < bits; ++j) {
-      // Anything squashed at the low threshold stays squashed at the high
-      // one.
-      if (!low[j]) {
-        EXPECT_FALSE(high[j]);
-      }
-    }
-  }
+  CheckProperty<SquashCase>(
+      "anything squashed at a low threshold stays squashed at a higher one",
+      SquashDomain(), [](const SquashCase& c) -> std::optional<std::string> {
+        const RandomizedResponse rr(1.0);
+        const std::vector<bool> low = ComputeSquashMask(
+            c.means, c.counts, rr, SquashPolicy::Absolute(0.05));
+        const std::vector<bool> high = ComputeSquashMask(
+            c.means, c.counts, rr, SquashPolicy::Absolute(0.2));
+        for (size_t j = 0; j < c.means.size(); ++j) {
+          if (!low[j] && high[j]) {
+            std::ostringstream out;
+            out << "bit " << j
+                << " kept at threshold 0.05 but squashed at 0.2";
+            return out.str();
+          }
+        }
+        return std::nullopt;
+      });
 }
 
 TEST(PlannerMonotoneProperty, StricterSettingsNeedMoreClients) {
@@ -332,16 +481,52 @@ TEST(PlannerMonotoneProperty, StricterSettingsNeedMoreClients) {
   }
 }
 
+struct GeometricCase {
+  int bits = 2;
+  double gamma = 0.0;
+};
+
+Domain<GeometricCase> GeometricDomain() {
+  Domain<GeometricCase> domain;
+  domain.generate = [](Rng& rng) {
+    GeometricCase c;
+    c.bits = 2 + static_cast<int>(rng.NextBelow(30));
+    c.gamma = rng.NextDouble() * 2.0;
+    return c;
+  };
+  domain.shrink = [](const GeometricCase& c) {
+    std::vector<GeometricCase> out;
+    if (c.bits > 2) out.push_back({2, c.gamma});
+    if (c.gamma != 0.0) out.push_back({c.bits, 0.0});
+    return out;
+  };
+  domain.describe = [](const GeometricCase& c) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{bits=" << c.bits << " gamma=" << c.gamma << "}";
+    return out.str();
+  };
+  return domain;
+}
+
 TEST(GeometricAllocationProperty, MassOrderedByBitSignificance) {
-  Rng rng(43);
-  for (int trial = 0; trial < 30; ++trial) {
-    const int bits = 2 + static_cast<int>(rng.NextBelow(30));
-    const double gamma = rng.NextDouble() * 2.0;
-    const std::vector<double> p = GeometricProbabilities(bits, gamma);
-    for (size_t j = 1; j < p.size(); ++j) {
-      EXPECT_GE(p[j], p[j - 1] - 1e-15);
-    }
-  }
+  CheckProperty<GeometricCase>(
+      "geometric allocation puts non-decreasing mass on higher bits",
+      GeometricDomain(),
+      [](const GeometricCase& c) -> std::optional<std::string> {
+        const std::vector<double> p =
+            GeometricProbabilities(c.bits, c.gamma);
+        for (size_t j = 1; j < p.size(); ++j) {
+          if (p[j] < p[j - 1] - 1e-15) {
+            std::ostringstream out;
+            out.precision(17);
+            out << "p[" << j << "]=" << p[j] << " < p[" << j - 1
+                << "]=" << p[j - 1];
+            return out.str();
+          }
+        }
+        return std::nullopt;
+      });
 }
 
 }  // namespace

@@ -13,15 +13,19 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "federated/resilience.h"
 #include "federated/wire.h"
+#include "prop/bitprop.h"
 #include "rng/rng.h"
 
 namespace bitpush {
@@ -285,6 +289,182 @@ TEST(WireFuzzTest, RetryStatsFrameDecodeNeverMisbehaves) {
     EncodeRetryStatsFrame(decoded, &reencoded);
     ASSERT_EQ(reencoded, buffer) << "round-trip mismatch at " << iteration;
   }
+}
+
+// ---------------------------------------------------------------------------
+// bitprop-driven structured mutations: instead of the uniform byte noise
+// above, start from a valid frame and apply a seeded *plan* of field-level
+// mutations (version bump, count-field lie, a corrupted field inside one
+// message, truncation, a stray byte flip). This keeps the fuzzer in the
+// near-valid region where parser bugs actually live, and a failing plan
+// shrinks to the fewest mutations that still break the decode contract.
+
+struct FrameMutation {
+  int64_t kind = 0;  // see ApplyFrameMutation
+  uint64_t arg = 0;  // seeded argument: position, lie value, flip mask
+
+  friend bool operator==(const FrameMutation&, const FrameMutation&) = default;
+};
+
+prop::Domain<FrameMutation> FrameMutationDomain() {
+  prop::Domain<FrameMutation> domain;
+  domain.generate = [](Rng& rng) {
+    FrameMutation m;
+    m.kind = static_cast<int64_t>(rng.NextBelow(6));
+    m.arg = rng.NextUint64();
+    return m;
+  };
+  domain.shrink = [](const FrameMutation& m) {
+    std::vector<FrameMutation> out;
+    if (m.kind != 0) out.push_back(FrameMutation{0, m.arg});
+    if (m.arg != 0) out.push_back(FrameMutation{m.kind, m.arg / 2});
+    return out;
+  };
+  domain.describe = [](const FrameMutation& m) {
+    return "(kind=" + std::to_string(m.kind) +
+           " arg=" + std::to_string(m.arg) + ")";
+  };
+  return domain;
+}
+
+struct StructuredMutationCase {
+  uint64_t corpus_seed = 0;
+  std::vector<FrameMutation> mutations;
+};
+
+prop::Domain<StructuredMutationCase> StructuredMutationDomain() {
+  prop::Domain<StructuredMutationCase> domain;
+  const prop::Domain<std::vector<FrameMutation>> plans =
+      prop::VectorOf(FrameMutationDomain(), 1, 6);
+  domain.generate = [plans](Rng& rng) {
+    StructuredMutationCase c;
+    c.corpus_seed = rng.NextUint64();
+    c.mutations = plans.generate(rng);
+    return c;
+  };
+  domain.shrink = [plans](const StructuredMutationCase& c) {
+    std::vector<StructuredMutationCase> out;
+    for (std::vector<FrameMutation>& plan : plans.shrink(c.mutations)) {
+      StructuredMutationCase smaller = c;
+      smaller.mutations = std::move(plan);
+      out.push_back(std::move(smaller));
+    }
+    return out;
+  };
+  domain.describe = [plans](const StructuredMutationCase& c) {
+    return "{corpus_seed=" + std::to_string(c.corpus_seed) +
+           " mutations=" + plans.Describe(c.mutations) + "}";
+  };
+  return domain;
+}
+
+// Batch frame layout: [version:1][count:4][messages...].
+void ApplyFrameMutation(const FrameMutation& m, size_t message_size,
+                        std::vector<uint8_t>* buffer) {
+  if (buffer->empty()) return;
+  switch (m.kind) {
+    case 0:  // format-version bump: decoders must reject outright
+      (*buffer)[0] = static_cast<uint8_t>((*buffer)[0] + 1 + m.arg % 254);
+      break;
+    case 1:
+    case 2: {  // count-field lie: plausible (1) or wild (2)
+      if (buffer->size() < 5) return;
+      const uint32_t lie = m.kind == 1 ? static_cast<uint32_t>(m.arg % 64)
+                                       : static_cast<uint32_t>(m.arg);
+      for (int i = 0; i < 4; ++i) {
+        (*buffer)[static_cast<size_t>(1 + i)] =
+            static_cast<uint8_t>(lie >> (8 * i));
+      }
+      break;
+    }
+    case 3: {  // corrupt the last field byte of one message (near-valid)
+      if (buffer->size() <= 5) return;
+      const size_t messages = (buffer->size() - 5) / message_size;
+      if (messages == 0) return;
+      const size_t pos =
+          5 + (m.arg % messages) * message_size + (message_size - 1);
+      (*buffer)[pos] ^= static_cast<uint8_t>(1 + (m.arg >> 8) % 255);
+      break;
+    }
+    case 4:  // truncate the tail
+      buffer->resize(m.arg % (buffer->size() + 1));
+      break;
+    default:  // a single stray byte flip
+      (*buffer)[m.arg % buffer->size()] ^=
+          static_cast<uint8_t>(1 + (m.arg >> 8) % 255);
+  }
+}
+
+TEST(WireFuzzPropTest, StructuredReportMutationsKeepTheDecodeContract) {
+  prop::CheckOptions options;
+  options.iterations = 2000;
+  prop::CheckProperty<StructuredMutationCase>(
+      "a report batch under field-level mutations either fails to decode or "
+      "re-encodes to the consumed prefix with in-domain fields",
+      StructuredMutationDomain(),
+      [](const StructuredMutationCase& c) -> std::optional<std::string> {
+        Rng rng(c.corpus_seed);
+        std::vector<uint8_t> buffer;
+        EncodeReportBatch(SampleReports(rng), &buffer);
+        for (const FrameMutation& m : c.mutations) {
+          ApplyFrameMutation(m, kBitReportWireSize, &buffer);
+        }
+        std::vector<BitReport> decoded;
+        if (!DecodeReportBatch(buffer, &decoded)) return std::nullopt;
+        for (const BitReport& report : decoded) {
+          if (report.bit != 0 && report.bit != 1) {
+            return std::string("decoded bit outside {0, 1}");
+          }
+          if (report.bit_index < 0 || report.bit_index >= 256) {
+            return std::string("decoded bit_index outside the domain");
+          }
+        }
+        std::vector<uint8_t> reencoded;
+        EncodeReportBatch(decoded, &reencoded);
+        if (reencoded.size() > buffer.size() ||
+            !std::equal(reencoded.begin(), reencoded.end(), buffer.begin())) {
+          return std::string("re-encode does not reproduce the consumed "
+                             "prefix");
+        }
+        return std::nullopt;
+      },
+      options);
+}
+
+TEST(WireFuzzPropTest, StructuredRequestMutationsKeepTheDecodeContract) {
+  prop::CheckOptions options;
+  options.iterations = 2000;
+  prop::CheckProperty<StructuredMutationCase>(
+      "a request batch under field-level mutations either fails to decode or "
+      "re-encodes to the consumed prefix with finite epsilon",
+      StructuredMutationDomain(),
+      [](const StructuredMutationCase& c) -> std::optional<std::string> {
+        Rng rng(c.corpus_seed);
+        std::vector<uint8_t> buffer;
+        EncodeRequestBatch(SampleRequests(rng), &buffer);
+        for (const FrameMutation& m : c.mutations) {
+          ApplyFrameMutation(m, kBitRequestWireSize, &buffer);
+        }
+        std::vector<BitRequest> decoded;
+        if (!DecodeRequestBatch(buffer, &decoded)) return std::nullopt;
+        for (const BitRequest& request : decoded) {
+          if (!std::isfinite(request.rr_epsilon)) {
+            return std::string("a non-finite epsilon survived decoding");
+          }
+          if (request.bit_index < 0 || request.bit_index >= 256) {
+            return std::string("decoded bit_index outside the domain");
+          }
+        }
+        std::vector<uint8_t> reencoded;
+        EncodeRequestBatch(decoded, &reencoded);
+        if (reencoded.size() > buffer.size() ||
+            !std::equal(reencoded.begin(), reencoded.end(), buffer.begin())) {
+          return std::string("re-encode does not reproduce the consumed "
+                             "prefix");
+        }
+        return std::nullopt;
+      },
+      options);
 }
 
 TEST(WireFuzzTest, EncodeRejectsNonFiniteEpsilonAtTheSource) {
