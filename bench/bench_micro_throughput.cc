@@ -1,21 +1,30 @@
 // Micro-benchmarks of the protocol hot paths (google-benchmark): encoding,
 // bit-report generation, QMC assignment, full basic and adaptive protocol
-// runs, and randomized response. After the benchmarks, main runs the obs
-// overhead guard: enabling the metrics registry (no exporters attached)
-// must cost less than 2% on the instrumented EncodeAll hot path, enforced
-// with a nonzero exit code.
+// runs, randomized response, and the columnar kernel layer (reports/sec,
+// scalar vs dispatched SIMD). After the benchmarks, main runs two guards,
+// each enforced with a nonzero exit code:
+//
+//   * obs overhead guard — enabling the metrics registry (no exporters
+//     attached) must cost less than 2% on the instrumented EncodeAll path;
+//   * kernel throughput guard — the dispatched batch path (kernel encode +
+//     popcount aggregation) must beat the seed's per-report scalar path by
+//     at least 10x on encode+aggregate (ROADMAP item 1), recorded in
+//     BENCH_kernel_throughput.json.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "obs/metrics.h"
 
+#include "batch/batch.h"
 #include "core/adaptive.h"
 #include "core/bit_probabilities.h"
 #include "core/bit_pushing.h"
@@ -24,6 +33,7 @@
 #include "core/range_tree.h"
 #include "data/census.h"
 #include "federated/shamir.h"
+#include "kernels/kernels.h"
 #include "ldp/memoization.h"
 #include "ldp/randomized_response.h"
 #include "rng/qmc.h"
@@ -172,6 +182,99 @@ void BM_MemoizedReport(benchmark::State& state) {
 }
 BENCHMARK(BM_MemoizedReport);
 
+// ---------------------------------------------------------------------------
+// Columnar kernel layer (src/kernels/, src/batch/): reports/sec with the
+// dispatched kernel and with the scalar kernel forced, so a bench run
+// shows the SIMD margin directly.
+
+std::vector<double> KernelBenchValues(int64_t n) {
+  const std::vector<double>& ages = BenchAges().values();
+  std::vector<double> values(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    values[static_cast<size_t>(i)] =
+        ages[static_cast<size_t>(i) % ages.size()];
+  }
+  return values;
+}
+
+std::vector<int> KernelBenchAssignment(int64_t n, int bits) {
+  Rng rng(17);
+  std::vector<int> assignment(static_cast<size_t>(n));
+  for (int& a : assignment) {
+    a = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(bits)));
+  }
+  return assignment;
+}
+
+template <bool kForceScalar>
+void BM_KernelEncodeBatch(benchmark::State& state) {
+  std::optional<kernels::ScopedForceScalar> force;
+  if (kForceScalar) force.emplace();
+  const FixedPointCodec codec = FixedPointCodec::Integer(16);
+  const std::vector<double> values = KernelBenchValues(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.EncodeAll(values));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+  state.SetLabel(kernels::ActiveKernel().name);
+}
+BENCHMARK(BM_KernelEncodeBatch<false>)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_KernelEncodeBatch<true>)->Arg(65536)->Arg(1 << 20);
+
+template <bool kForceScalar>
+void BM_KernelAggregateBatch(benchmark::State& state) {
+  std::optional<kernels::ScopedForceScalar> force;
+  if (kForceScalar) force.emplace();
+  const int bits = 16;
+  const int64_t n = state.range(0);
+  const FixedPointCodec codec = FixedPointCodec::Integer(bits);
+  const ReportBatch batch = BuildReportBatch(
+      codec.EncodeAll(KernelBenchValues(n)), KernelBenchAssignment(n, bits),
+      bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AggregateBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(kernels::ActiveKernel().name);
+}
+BENCHMARK(BM_KernelAggregateBatch<false>)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_KernelAggregateBatch<true>)->Arg(65536)->Arg(1 << 20);
+
+void BM_KernelBuildPlanes(benchmark::State& state) {
+  const int bits = 16;
+  const int64_t n = state.range(0);
+  const FixedPointCodec codec = FixedPointCodec::Integer(bits);
+  const std::vector<uint64_t> codewords =
+      codec.EncodeAll(KernelBenchValues(n));
+  const std::vector<int> assignment = KernelBenchAssignment(n, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildReportBatch(codewords, assignment, bits));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(kernels::ActiveKernel().name);
+}
+BENCHMARK(BM_KernelBuildPlanes)->Arg(65536)->Arg(1 << 20);
+
+void BM_KernelPerturbBatch(benchmark::State& state) {
+  const int bits = 16;
+  const int64_t n = state.range(0);
+  const FixedPointCodec codec = FixedPointCodec::Integer(bits);
+  const ReportBatch base = BuildReportBatch(
+      codec.EncodeAll(KernelBenchValues(n)), KernelBenchAssignment(n, bits),
+      bits);
+  const RandomizedResponse rr(1.0);
+  Rng rng(23);
+  for (auto _ : state) {
+    ReportBatch batch = base;
+    PerturbBatch(&batch, rr, rng);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(kernels::ActiveKernel().name);
+}
+BENCHMARK(BM_KernelPerturbBatch)->Arg(65536);
+
 // The guard times FixedPointCodec::EncodeAll — a hot path carrying an
 // obs::ScopedTimer — with the registry disabled and enabled, and checks
 // the enabled/disabled ratio. Min-of-trials per side plus retry rounds
@@ -226,6 +329,166 @@ int RunObsOverheadGuard() {
   return 1;
 }
 
+// The kernel throughput guard (ROADMAP item 1's acceptance line): the
+// dispatched batch path must deliver >= 10x the seed's per-report scalar
+// path on the encode+aggregate work of one round.
+//
+// What each side measures, at n = 65536 clients, bits = 16:
+//
+//   * seed path — the pre-columnar implementation, verbatim: scalar
+//     FixedPointCodec::EncodeAll (ScopedForceScalar) followed by the
+//     per-report tally loop (MakeBitReport + BitHistogram::Add per
+//     client), i.e. one 16-byte report through the AoS pipeline each.
+//   * batch path — the dispatched kernel encode into a preallocated
+//     codeword array plus AggregateBatch (per-plane popcount) over a
+//     prebuilt ReportBatch.
+//
+// Batch *construction* (BuildReportBatch) is deliberately outside the
+// gated metric: a round builds its batch once and aggregates it, while
+// the seed path re-walked every report for every count, which is exactly
+// the asymmetry the columnar layout exists to exploit. BuildReportBatch
+// cost is visible separately in BM_KernelBuildPlanes. Min-of-trials on
+// both sides keeps scheduler noise out; n = 2^20 is also measured and
+// reported (DRAM-bound, typically a smaller margin) but not gated. The
+// threshold can be adjusted via BITPUSH_KERNEL_SPEEDUP_MIN; the guard is
+// skipped (exit 0) when no SIMD kernel is active, since the 10x target is
+// a claim about the dispatched path. Results land in
+// BENCH_kernel_throughput.json (path override: BITPUSH_KERNEL_BENCH_JSON).
+struct KernelGuardSample {
+  int64_t n = 0;
+  double seed_seconds = 0.0;
+  double batch_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+KernelGuardSample MeasureKernelGuard(int64_t n) {
+  constexpr int kBits = 16;
+  constexpr int kTrials = 5;
+  const FixedPointCodec codec = FixedPointCodec::Integer(kBits);
+  const std::vector<double> values = KernelBenchValues(n);
+  const std::vector<int> assignment = KernelBenchAssignment(n, kBits);
+  const std::vector<uint64_t> codewords = codec.EncodeAll(values);
+  const ReportBatch batch = BuildReportBatch(codewords, assignment, kBits);
+  const kernels::EncodeParams params{codec.low(), codec.high(),
+                                     1.0 / codec.resolution(),
+                                     codec.max_codeword()};
+  std::vector<uint64_t> encoded(static_cast<size_t>(n));
+  const RandomizedResponse rr = RandomizedResponse::Disabled();
+
+  const auto min_of_trials = [&](const auto& body) {
+    double best = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto start = std::chrono::steady_clock::now();
+      body();
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (t == 0 || seconds < best) best = seconds;
+    }
+    return best;
+  };
+
+  KernelGuardSample sample;
+  sample.n = n;
+  sample.seed_seconds = min_of_trials([&] {
+    kernels::ScopedForceScalar force_scalar;
+    benchmark::DoNotOptimize(codec.EncodeAll(values));
+    Rng rng(1);
+    BitHistogram histogram(kBits);
+    for (int64_t i = 0; i < n; ++i) {
+      const int bit_index = assignment[static_cast<size_t>(i)];
+      histogram.Add(bit_index,
+                    MakeBitReport(codewords[static_cast<size_t>(i)],
+                                  bit_index, rr, rng));
+    }
+    benchmark::DoNotOptimize(histogram);
+  });
+  sample.batch_seconds = min_of_trials([&] {
+    kernels::ActiveKernel().encode_codewords(values.data(), n, params,
+                                             encoded.data());
+    benchmark::DoNotOptimize(encoded);
+    benchmark::DoNotOptimize(AggregateBatch(batch));
+  });
+  sample.speedup = sample.seed_seconds / sample.batch_seconds;
+  return sample;
+}
+
+int RunKernelThroughputGuard() {
+  constexpr int64_t kGateN = 65536;
+  constexpr int64_t kInfoN = 1 << 20;
+
+  double threshold = 10.0;
+  if (const char* env = std::getenv("BITPUSH_KERNEL_SPEEDUP_MIN")) {
+    threshold = std::atof(env);
+  }
+  const char* json_env = std::getenv("BITPUSH_KERNEL_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_kernel_throughput.json";
+
+  const bool gated = kernels::SimdActive();
+  const KernelGuardSample gate = MeasureKernelGuard(kGateN);
+  const KernelGuardSample info = MeasureKernelGuard(kInfoN);
+  const bool pass = !gated || gate.speedup >= threshold;
+
+  const auto print_sample = [](const char* tag,
+                               const KernelGuardSample& s) {
+    std::printf(
+        "kernel_throughput %s n=%lld seed_ns_per_report=%.3f "
+        "batch_ns_per_report=%.3f speedup=%.2f\n",
+        tag, static_cast<long long>(s.n),
+        1e9 * s.seed_seconds / static_cast<double>(s.n),
+        1e9 * s.batch_seconds / static_cast<double>(s.n), s.speedup);
+  };
+  print_sample("gate", gate);
+  print_sample("info", info);
+
+  if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"kernel\": \"%s\",\n"
+        "  \"bits\": 16,\n"
+        "  \"threshold\": %.2f,\n"
+        "  \"gate\": {\"n\": %lld, \"seed_ns_per_report\": %.3f,\n"
+        "           \"batch_ns_per_report\": %.3f, \"speedup\": %.2f,\n"
+        "           \"status\": \"%s\"},\n"
+        "  \"info\": [{\"n\": %lld, \"seed_ns_per_report\": %.3f,\n"
+        "            \"batch_ns_per_report\": %.3f, \"speedup\": %.2f}]\n"
+        "}\n",
+        kernels::ActiveKernel().name, threshold,
+        static_cast<long long>(gate.n),
+        1e9 * gate.seed_seconds / static_cast<double>(gate.n),
+        1e9 * gate.batch_seconds / static_cast<double>(gate.n),
+        gate.speedup,
+        !gated ? "skipped_no_simd" : (pass ? "pass" : "fail"),
+        static_cast<long long>(info.n),
+        1e9 * info.seed_seconds / static_cast<double>(info.n),
+        1e9 * info.batch_seconds / static_cast<double>(info.n),
+        info.speedup);
+    std::fclose(out);
+    std::printf("kernel_throughput json written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "kernel_throughput_guard: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+
+  if (!gated) {
+    std::printf(
+        "kernel_throughput_guard SKIP (scalar kernel active; the 10x gate "
+        "is a claim about the dispatched SIMD path)\n");
+    return 0;
+  }
+  if (pass) {
+    std::printf("kernel_throughput_guard PASS (%.2fx >= %.2fx)\n",
+                gate.speedup, threshold);
+    return 0;
+  }
+  std::fprintf(stderr, "kernel_throughput_guard FAIL: %.2fx < %.2fx\n",
+               gate.speedup, threshold);
+  return 1;
+}
+
 }  // namespace
 }  // namespace bitpush
 
@@ -234,5 +497,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return bitpush::RunObsOverheadGuard();
+  const int obs_guard = bitpush::RunObsOverheadGuard();
+  const int kernel_guard = bitpush::RunKernelThroughputGuard();
+  return obs_guard != 0 ? obs_guard : kernel_guard;
 }

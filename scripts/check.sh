@@ -34,15 +34,26 @@ cmake --build "$BUILD_DIR" --target bitpush_lint
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
-# Sanitized pass: the fault-injection, wire-fuzz, persistence, and bitprop
-# property suites exercise the decode, failure, and shrink paths, so run
-# them under ASan+UBSan too.
+# Scalar leg: BITPUSH_SIMD=OFF must stay a first-class configuration — the
+# dispatch table, the columnar batch pipeline, and every hot caller fall
+# back to the bit-identical scalar kernel. Two layers: the env override on
+# the SIMD build (cheap; exercises the runtime latch in src/kernels/
+# dispatch.cc), then a full scalar compile with the whole suite.
+BITPUSH_SIMD=OFF ctest --test-dir "$BUILD_DIR" --output-on-failure -R Kernel
+cmake -B "$BUILD_DIR-scalar" -G Ninja -DBITPUSH_SIMD=OFF
+cmake --build "$BUILD_DIR-scalar"
+ctest --test-dir "$BUILD_DIR-scalar" --output-on-failure
+
+# Sanitized pass: the fault-injection, wire-fuzz, persistence, bitprop
+# property, and kernel suites exercise the decode, failure, shrink, and
+# SIMD paths, so run them under ASan+UBSan too (the kernel tests cover the
+# intrinsics tails and unaligned word loads).
 cmake -B "$BUILD_DIR-asan" -G Ninja -DBITPUSH_SANITIZE=address,undefined
 cmake --build "$BUILD_DIR-asan" \
   --target fault_tests wire_fuzz_tests persist_tests persist_fuzz_tests \
-  obs_tests prop_tests
+  obs_tests prop_tests kernel_tests
 ctest --test-dir "$BUILD_DIR-asan" --output-on-failure \
-  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz|Obs|Prop)'
+  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz|Obs|Prop|Kernel)'
 
 # TSan pass: the concurrent aggregator/health-tracker and fleet suites are
 # the thread-heavy ones, the resilience suite shares their state machines,
@@ -54,9 +65,10 @@ ctest --test-dir "$BUILD_DIR-asan" --output-on-failure \
 # machines) also run instrumented.
 cmake -B "$BUILD_DIR-tsan" -G Ninja -DBITPUSH_SANITIZE=thread
 cmake --build "$BUILD_DIR-tsan" \
-  --target concurrency_tests resilience_tests obs_tests prop_tests
+  --target concurrency_tests resilience_tests obs_tests prop_tests \
+  kernel_tests
 ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
-  -R '(Concurrent|Fleet|Resilience|Obs|Prop)'
+  -R '(Concurrent|Fleet|Resilience|Obs|Prop|Kernel)'
 
 # Crash-recovery stage: run a durable campaign, SIGKILL it mid-campaign at
 # a journal-record boundary, restart against the same state directory, and
@@ -121,9 +133,13 @@ for b in "$BUILD_DIR"/bench/*; do
   echo "### $b"
   if [[ "$(basename "$b")" == bench_micro_throughput ]]; then
     # Also emit the machine-readable benchmark dump; the binary's own
-    # obs-overhead guard runs after the benchmarks and fails the stage if
-    # enabling metrics costs >= 2% on the EncodeAll hot path.
-    "$b" --benchmark_out="$BUILD_DIR/BENCH_micro_throughput.json" \
+    # guards run after the benchmarks and fail the stage if enabling
+    # metrics costs >= 2% on the EncodeAll hot path, or if the columnar
+    # kernel pipeline is not >= 10x the per-report scalar path
+    # (BENCH_kernel_throughput.json records the measurement; the kernel
+    # guard self-skips on hardware with no SIMD kernel).
+    BITPUSH_KERNEL_BENCH_JSON="BENCH_kernel_throughput.json" \
+      "$b" --benchmark_out="$BUILD_DIR/BENCH_micro_throughput.json" \
       --benchmark_out_format=json
   else
     "$b"

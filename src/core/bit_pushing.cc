@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "batch/batch.h"
 #include "core/fixed_point.h"
 #include "obs/metrics.h"
 #include "rng/qmc.h"
@@ -23,6 +24,15 @@ void BitHistogram::Add(int bit_index, int reported_bit) {
   BITPUSH_CHECK(reported_bit == 0 || reported_bit == 1);
   ++total_[static_cast<size_t>(bit_index)];
   ones_[static_cast<size_t>(bit_index)] += reported_bit;
+}
+
+void BitHistogram::Accumulate(int bit_index, int64_t reports, int64_t ones) {
+  BITPUSH_CHECK_GE(bit_index, 0);
+  BITPUSH_CHECK_LT(bit_index, bits());
+  BITPUSH_CHECK_GE(ones, 0);
+  BITPUSH_CHECK_GE(reports, ones);
+  total_[static_cast<size_t>(bit_index)] += reports;
+  ones_[static_cast<size_t>(bit_index)] += ones;
 }
 
 void BitHistogram::Merge(const BitHistogram& other) {
@@ -162,19 +172,20 @@ BitPushingResult RunBasicBitPushing(const std::vector<uint64_t>& codewords,
   BitPushingResult result;
   result.histogram = BitHistogram(bits);
   // Each pass assigns every client one bit; Corollary 3.2's b_send > 1 is
-  // realized as independent passes.
+  // realized as independent passes. Each pass runs columnarly: split the
+  // codewords into bit planes plus selection masks, flip the assigned bits
+  // with one bulk Bernoulli mask, and tally by popcount (src/batch/).
+  // PerturbBatch draws its flip mask slot-by-slot from the same stream the
+  // per-report rr.Apply path consumed, so the resulting histogram is
+  // bit-identical to the pre-columnar loop's — with or without DP.
   for (int pass = 0; pass < config.bits_per_client; ++pass) {
     const std::vector<int> assignment =
         config.central_randomness
             ? AssignBitsCentral(n, config.probabilities, rng)
             : AssignBitsLocal(n, config.probabilities, rng);
-    for (int64_t i = 0; i < n; ++i) {
-      const int bit_index = assignment[static_cast<size_t>(i)];
-      result.histogram.Add(
-          bit_index,
-          MakeBitReport(codewords[static_cast<size_t>(i)], bit_index, rr,
-                        rng));
-    }
+    ReportBatch batch = BuildReportBatch(codewords, assignment, bits);
+    PerturbBatch(&batch, rr, rng);
+    AggregateBatch(batch).AccumulateInto(&result.histogram);
   }
 
   result.bit_means = result.histogram.UnbiasedMeans(rr, &result.observed);

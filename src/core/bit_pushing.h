@@ -36,6 +36,11 @@ class BitHistogram {
 
   // Records one reported bit (0 or 1) for `bit_index`.
   void Add(int bit_index, int reported_bit);
+  // Records `reports` reports for `bit_index`, `ones` of which were 1 —
+  // the bulk form used by the columnar batch path and secure-aggregation
+  // reconstruction (which learns only the pair (count, sum)). Requires
+  // 0 <= ones <= reports.
+  void Accumulate(int bit_index, int64_t reports, int64_t ones);
   // Pools another histogram (the "caching" combiner of Section 3.2).
   void Merge(const BitHistogram& other);
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -48,9 +49,15 @@ uint64_t FixedPointCodec::Encode(double x) const {
 std::vector<uint64_t> FixedPointCodec::EncodeAll(
     const std::vector<double>& values) const {
   const obs::ScopedTimer timer(EncodeAllHistogram());
-  std::vector<uint64_t> encoded;
-  encoded.reserve(values.size());
-  for (const double v : values) encoded.push_back(Encode(v));
+  std::vector<uint64_t> encoded(values.size());
+  // The kernel encode is bit-identical to Encode() by contract (the AVX2
+  // leg emulates llround exactly; see kernels.h), so dispatching here is
+  // invisible to everything downstream, including the golden campaign
+  // snapshots.
+  const kernels::EncodeParams params{low_, high_, scale_, max_codeword_};
+  kernels::ActiveKernel().encode_codewords(
+      values.data(), static_cast<int64_t>(values.size()), params,
+      encoded.data());
   return encoded;
 }
 

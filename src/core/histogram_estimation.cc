@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "kernels/kernels.h"
 #include "ldp/randomized_response.h"
 #include "rng/qmc.h"
 #include "util/check.h"
@@ -41,13 +43,31 @@ HistogramResult EstimateHistogram(const std::vector<double>& values,
   const std::vector<int> assignment = AssignBitsCentral(
       static_cast<int64_t>(values.size()), probabilities, rng);
 
+  // Columnar tally (src/kernels/): pack "value i falls in its probed
+  // bucket" into a membership bit vector, scatter per-bucket selection
+  // masks, perturb the membership bits in bulk, and count with the shared
+  // popcount kernel instead of a hand-rolled per-value loop.
+  const int64_t n = static_cast<int64_t>(values.size());
+  const int64_t stride = kernels::WordsForBits(n);
+  std::vector<uint64_t> membership(static_cast<size_t>(stride), 0);
+  std::vector<uint64_t> selection(buckets * static_cast<size_t>(stride), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t bucket = static_cast<size_t>(assignment[i]);
+    const int64_t word = i / 64;
+    const uint64_t mask = uint64_t{1} << (i % 64);
+    selection[bucket * static_cast<size_t>(stride) + word] |= mask;
+    if (BucketOf(config.edges, values[i]) == bucket) {
+      membership[word] |= mask;
+    }
+  }
+  rr.ApplyToWords(membership.data(), /*gate=*/nullptr, n, rng);
+  const kernels::KernelOps& ops = kernels::ActiveKernel();
   std::vector<int64_t> ones(buckets, 0);
   std::vector<int64_t> totals(buckets, 0);
-  for (size_t i = 0; i < values.size(); ++i) {
-    const size_t bucket = static_cast<size_t>(assignment[i]);
-    const int bit = BucketOf(config.edges, values[i]) == bucket ? 1 : 0;
-    ones[bucket] += rr.Apply(bit, rng);
-    ++totals[bucket];
+  for (size_t b = 0; b < buckets; ++b) {
+    const uint64_t* sel = selection.data() + b * static_cast<size_t>(stride);
+    totals[b] = ops.popcount_words(sel, stride);
+    ones[b] = ops.popcount_and_words(membership.data(), sel, stride);
   }
 
   HistogramResult result;

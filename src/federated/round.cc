@@ -9,6 +9,7 @@
 #include "core/bit_squashing.h"
 #include "federated/obs_hooks.h"
 #include "federated/persist_hooks.h"
+#include "kernels/kernels.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -200,6 +201,10 @@ FederatedQueryResult RunFederatedMeanQuery(const std::vector<Client>& clients,
   obs::Span aggregate_span("aggregate", "federated");
   aggregate_span.AddNumeric("value_id",
                             static_cast<double>(config.value_id));
+  // Which kernel tallied this query's rounds (trace-only: spans are
+  // excluded from the deterministic snapshot, so the attribute may vary
+  // across machines without breaking golden comparisons).
+  aggregate_span.AddString("kernel", kernels::ActiveKernel().name);
   BitHistogram pooled = result.round1.histogram;
   pooled.Merge(result.round2.histogram);
   std::vector<int64_t> final_counts;

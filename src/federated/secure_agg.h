@@ -30,8 +30,18 @@ class SecureAggregator {
   // Each slot may be used once.
   uint64_t Mask(int64_t contributor_index, uint64_t value);
 
+  // Bulk Mask for contributor slots [first_slot, first_slot + count):
+  // out[i] = values[i] + mask_{first_slot + i} (mod 2^64), applied by the
+  // kernel layer's word-add (src/kernels/). Identical to calling Mask per
+  // slot; each slot may still be used only once.
+  void MaskBatch(const uint64_t* values, int64_t count, int64_t first_slot,
+                 uint64_t* out);
+
   // Server-side: records a masked submission.
   void Submit(uint64_t masked_value);
+
+  // Bulk Submit of `count` masked values in order.
+  void SubmitBatch(const uint64_t* masked_values, int64_t count);
 
   // True once every expected contributor has submitted.
   bool complete() const;

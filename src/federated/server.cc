@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "batch/batch.h"
 #include "federated/latency.h"
 #include "federated/persist_hooks.h"
 #include "federated/secure_agg.h"
@@ -386,32 +387,42 @@ RoundOutcome AggregationServer::RunRound(const std::vector<Client>& clients,
           : 0.0;
 
   if (!config.use_secure_aggregation) {
-    for (const BitReport& report : reports) {
-      outcome.histogram.Add(report.bit_index, report.bit);
+    // Columnar tally (src/batch/): identical counts to the old per-report
+    // Add loop — ones[j]/totals[j] are order-free sums — so the golden
+    // campaign snapshots are unaffected, but the counting is a popcount
+    // over packed words instead of a 16-byte-per-report scan.
+    if (!reports.empty()) {
+      AggregateBatch(ReportBatchFromBitReports(reports, bits))
+          .AccumulateInto(&outcome.histogram);
     }
     return outcome;
   }
 
   // Secure aggregation: one session per bit group over the clients that
   // actually responded for that bit; the server learns only (sum, count).
-  std::vector<std::vector<int>> group_bits(static_cast<size_t>(bits));
+  std::vector<std::vector<uint64_t>> group_bits(static_cast<size_t>(bits));
   for (const BitReport& report : reports) {
-    group_bits[static_cast<size_t>(report.bit_index)].push_back(report.bit);
+    group_bits[static_cast<size_t>(report.bit_index)].push_back(
+        static_cast<uint64_t>(report.bit));
   }
   for (int j = 0; j < bits; ++j) {
-    const std::vector<int>& group = group_bits[static_cast<size_t>(j)];
+    const std::vector<uint64_t>& group =
+        group_bits[static_cast<size_t>(j)];
     if (group.empty()) continue;
-    SecureAggregator aggregator(static_cast<int64_t>(group.size()), rng);
-    for (size_t i = 0; i < group.size(); ++i) {
-      aggregator.Submit(aggregator.Mask(static_cast<int64_t>(i),
-                                        static_cast<uint64_t>(group[i])));
-    }
+    const int64_t count = static_cast<int64_t>(group.size());
+    // The aggregator constructor consumes the same rng draws as before;
+    // masking/summing runs through the kernel word-add (exact mod-2^64
+    // arithmetic either way).
+    SecureAggregator aggregator(count, rng);
+    std::vector<uint64_t> masked(group.size());
+    aggregator.MaskBatch(group.data(), count, /*first_slot=*/0,
+                         masked.data());
+    aggregator.SubmitBatch(masked.data(), count);
     BITPUSH_CHECK(aggregator.complete());
     const uint64_t ones = aggregator.Sum();
     // Reconstruct the histogram from (sum, count) alone.
-    for (uint64_t k = 0; k < static_cast<uint64_t>(group.size()); ++k) {
-      outcome.histogram.Add(j, k < ones ? 1 : 0);
-    }
+    outcome.histogram.Accumulate(j, count,
+                                 static_cast<int64_t>(ones));
   }
   return outcome;
 }

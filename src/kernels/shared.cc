@@ -1,0 +1,56 @@
+// Kernel-independent randomness: the bulk Bernoulli mask generator used by
+// the batch perturbation path. Deliberately *not* a KernelOps member — the
+// mask stream must depend only on the Rng so scalar and SIMD runs stay
+// bit-identical (see the determinism contract in kernels.h).
+
+#include <cmath>
+#include <cstdint>
+
+#include "kernels/kernels.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace bitpush {
+namespace kernels {
+
+void FillBernoulliWords(double probability, int64_t n_bits, Rng& rng,
+                        uint64_t* out) {
+  BITPUSH_CHECK_GE(n_bits, 0);
+  BITPUSH_CHECK(probability >= 0.0 && probability <= 1.0)
+      << "probability=" << probability;
+  if (n_bits == 0) return;
+  const int64_t words = WordsForBits(n_bits);
+  const uint64_t tail = TailMask(n_bits);
+
+  // Quantize to q / 2^32. q == 0 and q == 2^32 need no randomness at all;
+  // both still zero the out-of-range tail bits.
+  const auto q = static_cast<uint64_t>(std::llround(probability * 0x1p32));
+  if (q == 0) {
+    for (int64_t w = 0; w < words; ++w) out[w] = 0;
+    return;
+  }
+  if (q >= (uint64_t{1} << 32)) {
+    for (int64_t w = 0; w < words; ++w) out[w] = ~uint64_t{0};
+    out[words - 1] = tail;
+    return;
+  }
+
+  // Horner evaluation of the binary expansion of q/2^32, one uniform word
+  // per level, from the lowest set bit of q upward: starting from that bit
+  // acc ~ Bernoulli(1/2) per position, and each higher level k maps
+  // p -> (bit_k(q) + p) / 2 via OR (bit set) or AND (bit clear). After the
+  // top level every bit of acc is 1 with probability exactly q / 2^32.
+  const int lowest = __builtin_ctzll(q);
+  for (int64_t w = 0; w < words; ++w) {
+    uint64_t acc = rng.NextUint64();
+    for (int k = lowest + 1; k < 32; ++k) {
+      const uint64_t r = rng.NextUint64();
+      acc = ((q >> k) & 1) ? (acc | r) : (acc & r);
+    }
+    out[w] = acc;
+  }
+  out[words - 1] &= tail;
+}
+
+}  // namespace kernels
+}  // namespace bitpush

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "kernels/kernels.h"
 #include "util/check.h"
 
 namespace bitpush {
@@ -30,6 +32,22 @@ int RandomizedResponse::Apply(int bit, Rng& rng) const {
   BITPUSH_CHECK(bit == 0 || bit == 1);
   if (!enabled_) return bit;
   return rng.NextBernoulli(p_) ? bit : 1 - bit;
+}
+
+void RandomizedResponse::ApplyToWords(uint64_t* words, const uint64_t* gate,
+                                      int64_t n_bits, Rng& rng) const {
+  BITPUSH_CHECK(words != nullptr);
+  BITPUSH_CHECK_GE(n_bits, 0);
+  if (!enabled_ || n_bits == 0) return;
+  const int64_t n_words = kernels::WordsForBits(n_bits);
+  std::vector<uint64_t> mask(static_cast<size_t>(n_words));
+  kernels::FillBernoulliWords(flip_probability(), n_bits, rng, mask.data());
+  const kernels::KernelOps& ops = kernels::ActiveKernel();
+  if (gate == nullptr) {
+    ops.xor_words(words, mask.data(), n_words);
+  } else {
+    ops.xor_masked_words(words, mask.data(), gate, n_words);
+  }
 }
 
 double RandomizedResponse::Unbias(double reported) const {

@@ -6,6 +6,8 @@
 #ifndef BITPUSH_LDP_RANDOMIZED_RESPONSE_H_
 #define BITPUSH_LDP_RANDOMIZED_RESPONSE_H_
 
+#include <cstdint>
+
 #include "rng/rng.h"
 
 namespace bitpush {
@@ -26,6 +28,29 @@ class RandomizedResponse {
 
   // Perturbs one bit (bit must be 0 or 1).
   int Apply(int bit, Rng& rng) const;
+
+  // Draws one keep/flip decision, consuming exactly the randomness Apply
+  // consumes for one report (none when disabled). Returns true when the
+  // report should be flipped. Lets columnar callers reproduce the
+  // per-report stream bit-for-bit: drawing DrawFlip in report order and
+  // XOR-ing the resulting mask is identical to calling Apply per report.
+  bool DrawFlip(Rng& rng) const {
+    return enabled_ && !rng.NextBernoulli(p_);
+  }
+
+  // Bulk form of Apply over a packed bit vector (layout of
+  // src/kernels/kernels.h): flips each of the n_bits bits of `words`
+  // independently with probability flip_probability(), restricted to
+  // positions whose `gate` bit is set (pass nullptr to flip every
+  // position). The flip mask is drawn from `rng` by
+  // kernels::FillBernoulliWords, so the outcome does not depend on the
+  // dispatched kernel. No-op (and no rng consumption) when disabled.
+  void ApplyToWords(uint64_t* words, const uint64_t* gate, int64_t n_bits,
+                    Rng& rng) const;
+
+  // Probability a reported bit is flipped: 1 - p = 1 / (1 + e^eps), in
+  // (0, 1/2] when enabled; 0.0 when disabled.
+  double flip_probability() const { return enabled_ ? 1.0 - p_ : 0.0; }
 
   // Unbiases a reported bit — or, by linearity, a mean of reported bits.
   double Unbias(double reported) const;

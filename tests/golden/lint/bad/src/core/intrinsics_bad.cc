@@ -1,0 +1,16 @@
+// Includes a SIMD intrinsics header outside src/kernels/: the
+// header-hygiene check must fire once, on the include line. Vector code
+// belongs behind the kernels::KernelOps dispatch table.
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace fixture {
+
+uint64_t BroadcastLow(uint64_t word) {
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(word));
+  return static_cast<uint64_t>(_mm256_extract_epi64(v, 0));
+}
+
+}  // namespace fixture

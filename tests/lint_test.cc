@@ -46,17 +46,32 @@ std::string ReadFile(const fs::path& path) {
 TEST(LintTest, BadTreeFiresEveryCheckFamily) {
   const Result result = RunLint(FixtureRoot("bad"), Options{});
   ASSERT_FALSE(result.io_error) << result.io_error_message;
-  EXPECT_EQ(result.files_scanned, 13);
+  EXPECT_EQ(result.files_scanned, 14);
 
   const std::map<Check, int> counts = CountByCheck(result);
   EXPECT_EQ(counts.at(Check::kDeterminism), 5)
       << FormatReport(result);  // one per banned construct line
   EXPECT_EQ(counts.at(Check::kPrivacyMetering), 1) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kObsStability), 2) << FormatReport(result);
-  EXPECT_EQ(counts.at(Check::kHeaderHygiene), 3) << FormatReport(result);
+  EXPECT_EQ(counts.at(Check::kHeaderHygiene), 4) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kWireExhaustiveness), 5) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kWaiverSyntax), 3) << FormatReport(result);
-  EXPECT_EQ(result.findings.size(), 19u) << FormatReport(result);
+  EXPECT_EQ(result.findings.size(), 20u) << FormatReport(result);
+}
+
+TEST(LintTest, BadTreeConfinesIntrinsicsHeadersToKernels) {
+  const Result result = RunLint(FixtureRoot("bad"), Options{});
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+  int intrinsics_findings = 0;
+  for (const Finding& finding : result.findings) {
+    if (finding.message.find("immintrin.h") == std::string::npos) continue;
+    ++intrinsics_findings;
+    EXPECT_EQ(finding.path, "src/core/intrinsics_bad.cc");
+    EXPECT_EQ(finding.check, Check::kHeaderHygiene);
+  }
+  // One finding on the stray include; the good tree's src/kernels/lanes.cc
+  // shows the sanctioned placement staying silent.
+  EXPECT_EQ(intrinsics_findings, 1) << FormatReport(result);
 }
 
 TEST(LintTest, BadTreeWaiversSuppressAndEnterTheBudget) {
@@ -112,7 +127,7 @@ TEST(LintTest, GoodTreeIsCleanWithOneBudgetedWaiver) {
   ASSERT_FALSE(result.io_error) << result.io_error_message;
   EXPECT_TRUE(result.findings.empty()) << FormatReport(result);
   EXPECT_EQ(result.waivers.size(), 1u) << FormatWaiverReport(result);
-  EXPECT_EQ(result.files_scanned, 6);
+  EXPECT_EQ(result.files_scanned, 7);
 }
 
 TEST(LintTest, FixModeRepairsGuardsAndNormalizesWaivers) {

@@ -6,6 +6,7 @@
 //   * live vs crash-recovered replay (durable runner + journal truncation),
 //   * resilience machinery armed vs disabled on fault-free plans,
 //   * secure aggregation vs plaintext aggregation,
+//   * scalar kernel forced vs dispatched SIMD kernel (src/kernels/),
 //   * wire encode -> decode -> re-encode byte stability.
 //
 // Each case embeds every seed it uses, so a printed BITPROP_SEED replays
@@ -25,9 +26,11 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bit_pushing.h"
 #include "core/fixed_point.h"
 #include "core/privacy_meter.h"
 #include "federated/campaign.h"
+#include "kernels/kernels.h"
 #include "federated/client.h"
 #include "federated/report.h"
 #include "federated/round.h"
@@ -181,6 +184,68 @@ TEST(PropDifferentialTest, SecureAggAndPlaintextAgreeBitForBit) {
         const FederatedQueryResult secure =
             RunFederatedMeanQuery(clients, codec, config, nullptr, secure_rng);
         return CompareQueryResults(plain, secure, "secure-agg vs plaintext");
+      },
+      options);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: scalar kernel forced vs dispatched SIMD kernel.
+
+TEST(PropDifferentialTest, ScalarAndDispatchedKernelsAgreeBitForBit) {
+  CheckOptions options;
+  options.iterations = 100;
+  CheckProperty<CampaignCase>(
+      "a query run with the scalar kernel forced equals the dispatched run "
+      "down to meter bytes and wire frames, plaintext and secure-agg alike",
+      CampaignDomain(),
+      [](const CampaignCase& c) -> std::optional<std::string> {
+        const std::vector<Client> clients = MakeCampaignPopulation(c);
+        const FixedPointCodec codec =
+            FixedPointCodec::Integer(static_cast<int>(c.bits));
+
+        struct KernelRun {
+          FederatedQueryResult result;
+          std::vector<uint8_t> meter_bytes;
+          std::vector<uint8_t> histogram_frames;
+        };
+        const auto run = [&](bool secure, bool force_scalar) {
+          std::optional<kernels::ScopedForceScalar> force;
+          if (force_scalar) force.emplace();
+          KernelRun out;
+          FederatedQueryConfig config = MakeQueryConfig(c);
+          config.use_secure_aggregation = secure;
+          MeterPolicy policy;
+          policy.max_bits_per_value = 2;
+          PrivacyMeter meter(policy);
+          Rng rng(c.protocol_seed);
+          out.result =
+              RunFederatedMeanQuery(clients, codec, config, &meter, rng);
+          meter.EncodeTo(&out.meter_bytes);
+          EncodeBitHistogram(out.result.round1.histogram,
+                             &out.histogram_frames);
+          EncodeBitHistogram(out.result.round2.histogram,
+                             &out.histogram_frames);
+          return out;
+        };
+
+        for (const bool secure : {false, true}) {
+          const std::string label = secure
+                                        ? "scalar vs simd (secure-agg)"
+                                        : "scalar vs simd (plaintext)";
+          const KernelRun dispatched = run(secure, /*force_scalar=*/false);
+          const KernelRun scalar = run(secure, /*force_scalar=*/true);
+          if (auto diff = CompareQueryResults(dispatched.result,
+                                              scalar.result, label)) {
+            return diff;
+          }
+          if (dispatched.meter_bytes != scalar.meter_bytes) {
+            return label + ": privacy meter ledgers differ";
+          }
+          if (dispatched.histogram_frames != scalar.histogram_frames) {
+            return label + ": encoded histogram wire frames differ";
+          }
+        }
+        return std::nullopt;
       },
       options);
 }

@@ -483,6 +483,26 @@ GuardInfo FindGuard(const SourceFile& file) {
 
 void CheckHeaderHygiene(const SourceFile& file,
                         std::vector<Finding>* findings) {
+  // SIMD intrinsics headers are a kernel implementation detail: the rest
+  // of the tree reaches vector code only through the runtime-dispatched
+  // kernels::KernelOps table (src/kernels/kernels.h), so direct includes
+  // of the <immintrin.h> family are confined to src/kernels/. This rule
+  // scans .cc files too, unlike the guard/self-containment rules below.
+  static const std::regex kIntrinsicsIncludeRe(
+      R"(^\s*#\s*include\s*[<"]([A-Za-z0-9_]*intrin\.h|arm_(?:neon|sve|acle)\.h)[>"])");
+  if (!StartsWith(file.rel_path, "src/kernels/")) {
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(file.code_lines[i], match,
+                            kIntrinsicsIncludeRe)) {
+        findings->push_back(
+            {file.rel_path, static_cast<int>(i + 1), Check::kHeaderHygiene,
+             "SIMD intrinsics header <" + match[1].str() +
+                 "> may only be included under src/kernels/; go through "
+                 "the kernels::KernelOps dispatch table instead"});
+      }
+    }
+  }
   if (!file.is_header) return;
   const std::string expected = ExpectedGuard(file.rel_path);
   const GuardInfo guard = FindGuard(file);

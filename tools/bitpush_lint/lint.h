@@ -28,7 +28,9 @@
 //                       register Determinism::kStable instruments.
 //   header-hygiene      canonical include guards, no `using namespace`
 //                       in headers, direct includes for std vocabulary
-//                       types (self-containment).
+//                       types (self-containment), and SIMD intrinsics
+//                       headers (<immintrin.h>, <arm_neon.h>, ...)
+//                       confined to src/kernels/.
 //
 // Any finding can be suppressed with an annotated waiver comment on the
 // same or the preceding line (file-scoped for privacy-metering). The
