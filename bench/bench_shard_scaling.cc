@@ -1,0 +1,187 @@
+// Shard-out scaling benchmark (docs/SHARDING.md): wall-clock makespan of
+// one collection tick at 1M and 5M clients across 1/2/4/8 coordinator
+// shards. The shard layer's claim is near-linear scaling — each
+// ShardCoordinator owns clients/N of the population, shards are
+// independent failure domains with no shared state, so the tick makespan
+// under perfect shard parallelism is max(per-shard collection) plus the
+// (tiny, tally-only) merge. This harness drives the coordinators and the
+// MergeTier directly with bench-local timers: every shard's CollectTick is
+// timed individually, the modeled makespan takes the slowest shard, and
+// the merge is timed on top.
+//
+// Results print as a table and land in BENCH_shard_scaling.json (path
+// override: BITPUSH_SHARD_BENCH_JSON) for the CI artifact trail.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fixed_point.h"
+#include "core/privacy_meter.h"
+#include "federated/campaign.h"
+#include "federated/client.h"
+#include "federated/shard/merge.h"
+#include "federated/shard/shard.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace bitpush {
+namespace {
+
+constexpr int kBits = 8;
+constexpr uint64_t kSeed = 20260808;
+
+struct ScalingSample {
+  int64_t clients = 0;
+  int64_t shards = 0;
+  double slowest_shard_seconds = 0.0;  // max per-shard CollectTick wall time
+  double merge_seconds = 0.0;
+  double makespan_seconds = 0.0;  // slowest shard + merge
+  double speedup = 0.0;           // vs the 1-shard makespan at this n
+  double efficiency = 0.0;        // speedup / shards
+  double estimate = 0.0;          // sanity: the merged estimate
+};
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<double> BenchValues(int64_t clients) {
+  Rng rng(kSeed);
+  const double top = std::exp2(kBits) - 1.0;
+  std::vector<double> values(static_cast<size_t>(clients));
+  for (double& v : values) v = top * rng.NextDouble();
+  return values;
+}
+
+ScalingSample RunConfig(const std::vector<double>& values, int64_t shards) {
+  CampaignQuery query;
+  query.name = "scaling";
+  query.value_id = 1;
+  query.query.adaptive.bits = kBits;
+  MeterPolicy policy;
+  policy.max_bits_per_value = 4;
+  const std::vector<FixedPointCodec> codecs = {
+      FixedPointCodec::Integer(kBits)};
+
+  ScalingSample sample;
+  sample.clients = static_cast<int64_t>(values.size());
+  sample.shards = shards;
+
+  std::vector<std::vector<Client>> partitions;
+  {
+    // The population is only needed long enough to partition it; the
+    // coordinators own the partitions.
+    const std::vector<Client> population =
+        MakePopulation(values, ClientConfig{});
+    partitions = PartitionClients(population, shards);
+  }
+
+  std::vector<std::unique_ptr<ShardCoordinator>> coordinators;
+  for (int64_t s = 0; s < shards; ++s) {
+    ShardCoordinatorOptions options;
+    options.shard_index = s;
+    options.seed = ShardSeed(kSeed, s);
+    coordinators.push_back(std::make_unique<ShardCoordinator>(
+        std::vector<CampaignQuery>{query}, policy, options));
+    coordinators.back()->Bind({std::move(partitions[static_cast<size_t>(s)])},
+                              codecs);
+  }
+
+  MergeTier merge({query}, shards, /*quorum_fraction=*/0.5);
+  std::vector<ShardTickFrame> frames(static_cast<size_t>(shards));
+  for (int64_t s = 0; s < shards; ++s) {
+    const auto start = std::chrono::steady_clock::now();
+    std::string error;
+    BITPUSH_CHECK(coordinators[static_cast<size_t>(s)]->CollectTick(
+        0, &frames[static_cast<size_t>(s)], &error))
+        << error;
+    sample.slowest_shard_seconds =
+        std::max(sample.slowest_shard_seconds, Seconds(start));
+  }
+
+  const auto merge_start = std::chrono::steady_clock::now();
+  for (const ShardTickFrame& frame : frames) merge.AddFrame(frame);
+  const MergedTickResult merged = merge.CloseTick(0, {});
+  sample.merge_seconds = Seconds(merge_start);
+  sample.makespan_seconds = sample.slowest_shard_seconds +
+                            sample.merge_seconds;
+  BITPUSH_CHECK_EQ(merged.queries.size(), 1u);
+  sample.estimate = merged.queries[0].estimate;
+  return sample;
+}
+
+void PrintSample(const ScalingSample& s) {
+  std::printf(
+      "  clients=%-9lld shards=%lld  slowest_shard=%8.3fs  merge=%7.4fs  "
+      "makespan=%8.3fs  speedup=%5.2fx  efficiency=%5.1f%%\n",
+      static_cast<long long>(s.clients), static_cast<long long>(s.shards),
+      s.slowest_shard_seconds, s.merge_seconds, s.makespan_seconds,
+      s.speedup, 100.0 * s.efficiency);
+}
+
+void WriteJson(const std::vector<ScalingSample>& samples,
+               const std::string& path) {
+  std::ofstream out(path);
+  out.precision(17);
+  out << "{\n  \"bench\": \"shard_scaling\",\n  \"samples\": [\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const ScalingSample& s = samples[i];
+    out << "    {\"clients\": " << s.clients << ", \"shards\": " << s.shards
+        << ", \"slowest_shard_seconds\": " << s.slowest_shard_seconds
+        << ", \"merge_seconds\": " << s.merge_seconds
+        << ", \"makespan_seconds\": " << s.makespan_seconds
+        << ", \"speedup\": " << s.speedup
+        << ", \"efficiency\": " << s.efficiency
+        << ", \"estimate\": " << s.estimate << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int Run() {
+  std::printf(
+      "=== bench_shard_scaling: tick makespan vs coordinator shards ===\n"
+      "workload: uniform values in [0, 2^%d), one full-population tick;\n"
+      "makespan = slowest shard's CollectTick + tally-only merge\n\n",
+      kBits);
+
+  std::vector<ScalingSample> samples;
+  for (const int64_t clients : {int64_t{1000000}, int64_t{5000000}}) {
+    double baseline = 0.0;
+    for (const int64_t shards : {1, 2, 4, 8}) {
+      ScalingSample sample = RunConfig(BenchValues(clients), shards);
+      if (shards == 1) baseline = sample.makespan_seconds;
+      sample.speedup = sample.makespan_seconds > 0.0
+                           ? baseline / sample.makespan_seconds
+                           : 0.0;
+      sample.efficiency =
+          sample.speedup / static_cast<double>(sample.shards);
+      PrintSample(sample);
+      samples.push_back(std::move(sample));
+    }
+    std::printf("\n");
+  }
+
+  const char* json_env = std::getenv("BITPUSH_SHARD_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_shard_scaling.json";
+  WriteJson(samples, json_path);
+  std::printf("shard-scaling samples written to %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bitpush
+
+int main() { return bitpush::Run(); }

@@ -51,9 +51,9 @@ ctest --test-dir "$BUILD_DIR-scalar" --output-on-failure
 cmake -B "$BUILD_DIR-asan" -G Ninja -DBITPUSH_SANITIZE=address,undefined
 cmake --build "$BUILD_DIR-asan" \
   --target fault_tests wire_fuzz_tests persist_tests persist_fuzz_tests \
-  obs_tests prop_tests kernel_tests
+  obs_tests prop_tests kernel_tests shard_tests
 ctest --test-dir "$BUILD_DIR-asan" --output-on-failure \
-  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz|Obs|Prop|Kernel)'
+  -R '(Fault|WireFuzz|Journal|Snapshot|Recovery|PersistFuzz|Obs|Prop|Kernel|Shard)'
 
 # TSan pass: the concurrent aggregator/health-tracker and fleet suites are
 # the thread-heavy ones, the resilience suite shares their state machines,
@@ -141,6 +141,10 @@ for b in "$BUILD_DIR"/bench/*; do
     BITPUSH_KERNEL_BENCH_JSON="BENCH_kernel_throughput.json" \
       "$b" --benchmark_out="$BUILD_DIR/BENCH_micro_throughput.json" \
       --benchmark_out_format=json
+  elif [[ "$(basename "$b")" == bench_shard_scaling ]]; then
+    # Shard-out makespan scaling (docs/SHARDING.md); the JSON lands next
+    # to the other BENCH_* artifacts.
+    BITPUSH_SHARD_BENCH_JSON="$BUILD_DIR/BENCH_shard_scaling.json" "$b"
   else
     "$b"
   fi

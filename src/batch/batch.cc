@@ -43,6 +43,27 @@ void TallyBatch::AccumulateInto(BitHistogram* histogram) const {
   histogram->Merge(ToBitHistogram());
 }
 
+TallyBatch TallyBatchFromBitHistogram(const BitHistogram& histogram) {
+  TallyBatch tallies;
+  tallies.totals = histogram.totals();
+  tallies.ones = histogram.one_counts();
+  return tallies;
+}
+
+void AccumulateTallies(const TallyBatch& src, TallyBatch* dst) {
+  BITPUSH_CHECK(dst != nullptr);
+  BITPUSH_CHECK_EQ(src.bits(), dst->bits());
+  const int64_t n = static_cast<int64_t>(src.totals.size());
+  if (n == 0) return;
+  // int64_t and uint64_t are layout-compatible; two's-complement wraparound
+  // addition is identical, and real tallies never approach the sign bit.
+  const kernels::KernelOps& ops = kernels::ActiveKernel();
+  ops.add_words(reinterpret_cast<uint64_t*>(dst->totals.data()),
+                reinterpret_cast<const uint64_t*>(src.totals.data()), n);
+  ops.add_words(reinterpret_cast<uint64_t*>(dst->ones.data()),
+                reinterpret_cast<const uint64_t*>(src.ones.data()), n);
+}
+
 ReportBatch BuildReportBatch(const std::vector<uint64_t>& codewords,
                              const std::vector<int>& assignment, int bits) {
   BITPUSH_CHECK_EQ(codewords.size(), assignment.size());

@@ -72,7 +72,18 @@ struct TallyBatch {
   BitHistogram ToBitHistogram() const;
   // Adds the tallies into an existing histogram of the same width.
   void AccumulateInto(BitHistogram* histogram) const;
+
+  friend bool operator==(const TallyBatch&, const TallyBatch&) = default;
 };
+
+// The inverse of ToBitHistogram: lifts a histogram's counts into columnar
+// form so coordinator-side tallies can ride the word kernels.
+TallyBatch TallyBatchFromBitHistogram(const BitHistogram& histogram);
+
+// dst += src per column, via the dispatched add_words kernel. Tallies are
+// non-negative counts far below 2^63, so unsigned word addition equals
+// signed addition exactly. Widths must match (CHECK-fails otherwise).
+void AccumulateTallies(const TallyBatch& src, TallyBatch* dst);
 
 // Builds a batch from encoded codewords and a per-client bit assignment
 // (entries in [0, bits)), e.g. from rng/qmc.h. Plane bits carry the

@@ -118,4 +118,35 @@ WindowSummary MetricMonitor::IngestWindow(
   return summary;
 }
 
+WindowSummary MetricMonitor::IngestWindow(
+    const std::vector<double>& values,
+    const std::vector<RetryStats>& per_shard_stats, Rng& rng) {
+  BITPUSH_CHECK(!per_shard_stats.empty());
+  if (per_shard_retry_stats_.empty()) {
+    per_shard_retry_stats_.resize(per_shard_stats.size());
+  }
+  BITPUSH_CHECK_EQ(per_shard_stats.size(), per_shard_retry_stats_.size())
+      << "shard count changed between monitor windows";
+
+  WindowSummary summary = IngestWindow(values, rng);
+  int64_t recovered = 0;
+  for (size_t s = 0; s < per_shard_stats.size(); ++s) {
+    const int64_t current = per_shard_stats[s].RecoveredTotal();
+    const int64_t last = per_shard_retry_stats_[s].RecoveredTotal();
+    // Prometheus counter-reset rule: a shard whose cumulative counters
+    // went backwards restarted its ledger (snapshot recovery), so its
+    // whole current value is new activity — not a regression.
+    recovered += current >= last ? current - last : current;
+    per_shard_retry_stats_[s] = per_shard_stats[s];
+  }
+  retry_stats_ = RetryStats{};
+  for (const RetryStats& stats : per_shard_retry_stats_) {
+    retry_stats_.MergeFrom(stats);
+  }
+  summary.recovered_reports = recovered;
+  history_.back().recovered_reports = recovered;
+  GetMonitorInstruments().recovered_reports->Add(recovered);
+  return summary;
+}
+
 }  // namespace bitpush

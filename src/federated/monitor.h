@@ -69,6 +69,18 @@ class MetricMonitor {
                              const RetryStats& cumulative_retry_stats,
                              Rng& rng);
 
+  // Sharded collection (federated/shard/): one cumulative RetryStats per
+  // coordinator shard, attributed shard by shard. A shard that recovered
+  // from a snapshot legitimately resets its cumulative counters, so the
+  // *merged* sum can go backwards while every shard is healthy; comparing
+  // per shard keeps that from tripping retry_stats_regressed. A shard
+  // whose counters went backwards is treated as reset (its full current
+  // value is this window's delta — the Prometheus counter-reset rule),
+  // not as a regression. The shard count must stay constant across calls.
+  WindowSummary IngestWindow(const std::vector<double>& values,
+                             const std::vector<RetryStats>& per_shard_stats,
+                             Rng& rng);
+
   const std::vector<WindowSummary>& history() const { return history_; }
   int64_t windows_flagged() const { return windows_flagged_; }
   // Latest cumulative recovery-layer counters seen by IngestWindow.
@@ -80,6 +92,8 @@ class MetricMonitor {
   UpperBoundMonitor bound_monitor_;
   std::vector<WindowSummary> history_;
   RetryStats retry_stats_;
+  // Last-seen cumulative stats per shard (sharded overload only).
+  std::vector<RetryStats> per_shard_retry_stats_;
   double trailing_estimate_sum_ = 0.0;
   int64_t trailing_estimate_count_ = 0;
   int64_t windows_flagged_ = 0;

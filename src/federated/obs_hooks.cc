@@ -227,4 +227,42 @@ void ObserveCampaignTick() {
   ticks->Increment();
 }
 
+void ObserveShardTickMerged(int64_t shards_delivered, int64_t shards_lost,
+                            bool quorum_failed) {
+  if (!obs::Enabled()) return;
+  struct ShardInstruments {
+    Counter* merged_ticks;
+    Counter* frames;
+    Counter* lost;
+    Counter* quorum_failures;
+    Counter* degraded_ticks;
+  };
+  static const ShardInstruments instruments = [] {
+    Registry& r = Registry::Default();
+    const Determinism v = Determinism::kVolatile;
+    ShardInstruments i;
+    i.merged_ticks = r.GetCounter("bitpush_shard_merged_ticks_total",
+                                  "Ticks closed by the merge tier.", v);
+    i.frames = r.GetCounter("bitpush_shard_frames_merged_total",
+                            "Shard tick frames merged.", v);
+    i.lost = r.GetCounter("bitpush_shard_ticks_lost_total",
+                          "Shard-ticks lost past their deadline.", v);
+    i.quorum_failures =
+        r.GetCounter("bitpush_shard_quorum_failures_total",
+                     "Merge ticks failed closed below quorum.", v);
+    i.degraded_ticks =
+        r.GetCounter("bitpush_shard_degraded_ticks_total",
+                     "Merge ticks published with at least one shard lost.",
+                     v);
+    return i;
+  }();
+  instruments.merged_ticks->Increment();
+  instruments.frames->Add(shards_delivered);
+  instruments.lost->Add(shards_lost);
+  if (quorum_failed) instruments.quorum_failures->Increment();
+  if (!quorum_failed && shards_lost > 0) {
+    instruments.degraded_ticks->Increment();
+  }
+}
+
 }  // namespace bitpush

@@ -9,6 +9,8 @@
 #ifndef BITPUSH_FEDERATED_OBS_HOOKS_H_
 #define BITPUSH_FEDERATED_OBS_HOOKS_H_
 
+#include <cstdint>
+
 namespace bitpush {
 
 struct RoundOutcome;
@@ -33,6 +35,14 @@ void ObserveQueryResult(const CampaignTickResult& result);
 
 // Counts one campaign tick.
 void ObserveCampaignTick();
+
+// Applies one merged shard tick's counters (frames merged, shards lost,
+// quorum failures, degraded ticks). All kVolatile: the single-coordinator
+// reference run never exercises the merge tier, and the sharded-vs-single
+// oracle compares deterministic (kStable-only) snapshots, so shard-layer
+// traffic must not appear there.
+void ObserveShardTickMerged(int64_t shards_delivered, int64_t shards_lost,
+                            bool quorum_failed);
 
 }  // namespace bitpush
 

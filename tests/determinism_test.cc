@@ -17,6 +17,7 @@
 #include "core/vector_aggregation.h"
 #include "data/census.h"
 #include "federated/round.h"
+#include "federated/shard/runner.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "persist/journal.h"
@@ -440,6 +441,52 @@ TEST_F(DeterminismTest, MetricsSnapshotReproducesAcrossRunsAndCrashes) {
   const std::string recovered = run(base + "/c", 2);
   EXPECT_EQ(recovered, first);
   std::filesystem::remove_all(base);
+}
+
+TEST_F(DeterminismTest, ShardedCampaignMatchesSingleCoordinator) {
+  // The shard-out determinism contract (docs/SHARDING.md): a fault-free
+  // N-shard run — per-shard campaigns, wire frames, kernel tally merge —
+  // is bit-identical to the inline single-coordinator reference, and a
+  // different root seed actually changes the randomness.
+  constexpr int64_t kTicks = 2;
+  constexpr int64_t kShards = 4;
+  const std::vector<Client> clients =
+      MakePopulation(ages_.values(), ClientConfig{});
+  const std::vector<const std::vector<Client>*> populations = {&clients};
+  const std::vector<FixedPointCodec> codecs = {FixedPointCodec::Integer(7)};
+  CampaignQuery query;
+  query.name = "ages";
+  query.query.adaptive.bits = 7;
+  query.query.adaptive.epsilon = 1.0;
+  MeterPolicy policy;
+  policy.max_bits_per_value = kTicks + 1;
+
+  const auto run_sharded = [&](uint64_t seed) {
+    ShardedCampaignOptions options;
+    options.shards = kShards;
+    options.seed = seed;
+    ShardedCampaignRunner runner({query}, policy, options);
+    runner.Open(populations, codecs);
+    for (int64_t tick = 0; tick < kTicks; ++tick) {
+      MergedTickResult out;
+      std::string error;
+      EXPECT_TRUE(runner.RunTick(tick, &out, &error)) << error;
+    }
+    return runner.history();
+  };
+
+  const std::vector<MergedTickResult> sharded = run_sharded(97);
+  const ReferenceCampaignResult reference = RunSingleCoordinatorReference(
+      {query}, policy, kShards, 97, populations, codecs, kTicks);
+  ASSERT_EQ(sharded.size(), reference.ticks.size());
+  for (size_t t = 0; t < sharded.size(); ++t) {
+    EXPECT_EQ(sharded[t], reference.ticks[t]) << "tick " << t;
+  }
+
+  const std::vector<MergedTickResult> reseeded = run_sharded(98);
+  EXPECT_NE(reseeded[0].queries[0].estimate,
+            sharded[0].queries[0].estimate)
+      << "root seed is not reaching the shard campaigns";
 }
 
 TEST_F(DeterminismTest, FederatedQueryWithDropout) {

@@ -1,0 +1,17 @@
+// Fixture: a merge-tier TU that calls the meter charge path. The merge
+// tier only combines tallies each shard already charged to its own
+// local_meter, so any TryChargeBit here double-meters the same disclosure
+// across shards — privacy-metering must fire.
+
+#include <cstdint>
+
+#include "core/privacy_meter.h"
+
+namespace bitpush {
+
+bool ChargeDuringMerge(PrivacyMeter* meter, int64_t client_id,
+                       int64_t value_id) {
+  return meter->TryChargeBit(client_id, value_id, 0.0);
+}
+
+}  // namespace bitpush

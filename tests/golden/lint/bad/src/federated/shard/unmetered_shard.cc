@@ -1,0 +1,29 @@
+// Fixture: a shard-layer TU that fabricates client bit reports and even
+// references the generic PrivacyMeter type, but never touches the
+// shard-local ledger (local_meter). Inside src/federated/shard/ that must
+// fire privacy-metering: a generic meter reference is not evidence the
+// disclosure was charged to this shard's own failure domain.
+
+#include <cstdint>
+#include <vector>
+
+namespace bitpush {
+
+struct BitReport {
+  int64_t client_id = 0;
+  int bit_index = 0;
+  bool bit = false;
+};
+
+class PrivacyMeter;
+
+std::vector<BitReport> FabricateShardReports(int64_t clients,
+                                             PrivacyMeter* /*unused*/) {
+  std::vector<BitReport> reports;
+  for (int64_t id = 0; id < clients; ++id) {
+    reports.push_back(BitReport{id, 0, (id & 1) != 0});
+  }
+  return reports;
+}
+
+}  // namespace bitpush

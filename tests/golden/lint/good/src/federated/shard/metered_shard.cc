@@ -1,0 +1,35 @@
+// Fixture: a compliant shard-layer TU — every fabricated bit report is
+// charged against the coordinator's shard-local ledger via local_meter()
+// before it is disclosed.
+
+#include <cstdint>
+#include <vector>
+
+namespace bitpush {
+
+struct BitReport {
+  int64_t client_id = 0;
+  int bit_index = 0;
+  bool bit = false;
+};
+
+class ShardLedger {
+ public:
+  bool TryChargeBit(int64_t client_id, int64_t value_id, double epsilon);
+};
+
+class ShardCollector {
+ public:
+  ShardLedger* local_meter();
+
+  std::vector<BitReport> Collect(int64_t clients, int64_t value_id) {
+    std::vector<BitReport> reports;
+    for (int64_t id = 0; id < clients; ++id) {
+      if (!local_meter()->TryChargeBit(id, value_id, 0.0)) continue;
+      reports.push_back(BitReport{id, 0, (id & 1) != 0});
+    }
+    return reports;
+  }
+};
+
+}  // namespace bitpush

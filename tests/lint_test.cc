@@ -46,17 +46,43 @@ std::string ReadFile(const fs::path& path) {
 TEST(LintTest, BadTreeFiresEveryCheckFamily) {
   const Result result = RunLint(FixtureRoot("bad"), Options{});
   ASSERT_FALSE(result.io_error) << result.io_error_message;
-  EXPECT_EQ(result.files_scanned, 14);
+  EXPECT_EQ(result.files_scanned, 16);
 
   const std::map<Check, int> counts = CountByCheck(result);
   EXPECT_EQ(counts.at(Check::kDeterminism), 5)
       << FormatReport(result);  // one per banned construct line
-  EXPECT_EQ(counts.at(Check::kPrivacyMetering), 1) << FormatReport(result);
+  EXPECT_EQ(counts.at(Check::kPrivacyMetering), 3) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kObsStability), 2) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kHeaderHygiene), 4) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kWireExhaustiveness), 5) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kWaiverSyntax), 3) << FormatReport(result);
-  EXPECT_EQ(result.findings.size(), 20u) << FormatReport(result);
+  EXPECT_EQ(result.findings.size(), 22u) << FormatReport(result);
+}
+
+TEST(LintTest, ShardLayerMeteringRulesFireAndComply) {
+  const Result result = RunLint(FixtureRoot("bad"), Options{});
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+
+  // A shard TU that discloses bits without touching the shard-local meter,
+  // and a merge-tier TU that charges a meter (cross-shard double
+  // metering), each fire exactly once.
+  int unmetered_shard = 0;
+  int merge_charges = 0;
+  for (const Finding& finding : result.findings) {
+    if (finding.check != Check::kPrivacyMetering) continue;
+    if (finding.path == "src/federated/shard/unmetered_shard.cc") {
+      ++unmetered_shard;
+      EXPECT_NE(finding.message.find("local_meter"), std::string::npos);
+    }
+    if (finding.path == "src/federated/shard/merge_meter.cc") {
+      ++merge_charges;
+      EXPECT_NE(finding.message.find("double-meters"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(unmetered_shard, 1) << FormatReport(result);
+  EXPECT_EQ(merge_charges, 1) << FormatReport(result);
+  // The good tree's metered_shard.cc (disclosure charged through
+  // local_meter) stays silent; GoodTreeIsClean covers it.
 }
 
 TEST(LintTest, BadTreeConfinesIntrinsicsHeadersToKernels) {
@@ -127,7 +153,7 @@ TEST(LintTest, GoodTreeIsCleanWithOneBudgetedWaiver) {
   ASSERT_FALSE(result.io_error) << result.io_error_message;
   EXPECT_TRUE(result.findings.empty()) << FormatReport(result);
   EXPECT_EQ(result.waivers.size(), 1u) << FormatWaiverReport(result);
-  EXPECT_EQ(result.files_scanned, 7);
+  EXPECT_EQ(result.files_scanned, 8);
 }
 
 TEST(LintTest, FixModeRepairsGuardsAndNormalizesWaivers) {

@@ -196,6 +196,59 @@ TEST(MetricMonitorTest, NonCumulativeRetryStatsDegradeGracefully) {
   EXPECT_FALSE(resumed.retry_stats_regressed);
 }
 
+TEST(MetricMonitorTest, ShardSnapshotRecoveryIsNotARegression) {
+  Rng rng(10);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MetricMonitor monitor(codec, Config(10));
+
+  // Two coordinator shards, both live: the merged total is 10 + 6.
+  std::vector<RetryStats> shards(2);
+  shards[0].retry_reports_recovered = 10;
+  shards[1].retry_reports_recovered = 6;
+  EXPECT_EQ(monitor.IngestWindow(Constant(4000, 100.0), shards, rng)
+                .recovered_reports,
+            16);
+  EXPECT_EQ(monitor.retry_stats().RecoveredTotal(), 16);
+
+  // Shard 0 crashes and recovers from a snapshot: its cumulative counters
+  // restart at 2 while shard 1 keeps running (6 -> 9). The merged sum
+  // drops from 16 to 11 — the old merged-stats path would flag
+  // retry_stats_regressed and clamp the window to 0. Per-shard
+  // attribution sees a counter reset on shard 0 (2 new recoveries) plus a
+  // live delta on shard 1 (3) and no regression anywhere.
+  shards[0].retry_reports_recovered = 2;
+  shards[1].retry_reports_recovered = 9;
+  const WindowSummary recovered =
+      monitor.IngestWindow(Constant(4000, 100.0), shards, rng);
+  EXPECT_EQ(recovered.recovered_reports, 5);
+  EXPECT_FALSE(recovered.retry_stats_regressed);
+  EXPECT_FALSE(monitor.history().back().retry_stats_regressed);
+  EXPECT_EQ(monitor.retry_stats().RecoveredTotal(), 11);
+
+  // The reset shard re-baselines: further deltas resume normally.
+  shards[0].retry_reports_recovered = 3;
+  shards[1].retry_reports_recovered = 9;
+  EXPECT_EQ(monitor.IngestWindow(Constant(4000, 100.0), shards, rng)
+                .recovered_reports,
+            1);
+}
+
+TEST(MetricMonitorTest, MergedRetryStatsStillFlagTrueRegressions) {
+  // The pre-shard 2-arg overload keeps its contract: a merged total that
+  // goes backwards without shard attribution still clamps and flags.
+  Rng rng(11);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MetricMonitor monitor(codec, Config(10));
+  RetryStats cumulative;
+  cumulative.retry_reports_recovered = 16;
+  monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng);
+  cumulative.retry_reports_recovered = 11;
+  const WindowSummary regressed =
+      monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng);
+  EXPECT_EQ(regressed.recovered_reports, 0);
+  EXPECT_TRUE(regressed.retry_stats_regressed);
+}
+
 TEST(MetricMonitorDeathTest, ConfigValidation) {
   const FixedPointCodec codec = FixedPointCodec::Integer(8);
   MonitorConfig mismatched = Config(10);

@@ -34,7 +34,11 @@
 #include "federated/client.h"
 #include "federated/report.h"
 #include "federated/round.h"
+#include "federated/shard/merge.h"
+#include "federated/shard/runner.h"
 #include "federated/wire.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "persist/journal.h"
 #include "persist/recovery.h"
 #include "prop/bitprop.h"
@@ -430,6 +434,96 @@ TEST(PropDifferentialTest, LiveAndCrashRecoveredCampaignsAgreeBitForBit) {
             std::ostringstream out;
             out << "recovered journal diverges at record " << i;
             return out.str();
+          }
+        }
+        return std::nullopt;
+      },
+      options);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: sharded vs single-coordinator execution (ROADMAP item 3). With
+// no faults injected, an N-shard run through the full shard machinery
+// (partitioning, per-shard campaigns and meters, wire frames, kernel
+// merge) must equal the inline single-coordinator reference bit for bit:
+// merged results, per-shard meter ledgers, shard metrics, and the
+// deterministic observability snapshot.
+
+TEST(PropDifferentialTest, ShardedAndSingleCoordinatorAgreeBitForBit) {
+  CheckOptions options;
+  options.iterations = 40;
+  options.max_iterations = 400;  // 4 shard counts x 2 full runs per case
+  CheckProperty<CampaignCase>(
+      "a fault-free sharded campaign equals the single-coordinator "
+      "reference across shard counts 1, 2, 4, and 8",
+      CampaignDomain(),
+      [](const CampaignCase& c) -> std::optional<std::string> {
+        constexpr int64_t kTicks = 2;
+        const std::vector<Client> clients = MakeCampaignPopulation(c);
+        const std::vector<const std::vector<Client>*> populations = {
+            &clients};
+        const std::vector<FixedPointCodec> codecs = {
+            FixedPointCodec::Integer(static_cast<int>(c.bits))};
+        CampaignQuery query;
+        query.name = "prop";
+        query.value_id = 0;
+        query.query = MakeQueryConfig(c);
+        MeterPolicy policy;
+        policy.max_bits_per_value = kTicks + 1;
+
+        for (const int64_t shards : {1, 2, 4, 8}) {
+          obs::Registry::Default().Reset();
+          obs::SetEnabled(true);
+          ShardedCampaignOptions sharded_options;
+          sharded_options.shards = shards;
+          sharded_options.seed = c.protocol_seed;
+          ShardedCampaignRunner runner({query}, policy, sharded_options);
+          runner.Open(populations, codecs);
+          std::vector<MergedTickResult> sharded;
+          for (int64_t tick = 0; tick < kTicks; ++tick) {
+            MergedTickResult result;
+            std::string error;
+            if (!runner.RunTick(tick, &result, &error)) {
+              obs::SetEnabled(false);
+              return "sharded tick failed: " + error;
+            }
+            sharded.push_back(std::move(result));
+          }
+          const std::string sharded_obs =
+              obs::DeterministicMetricsSnapshot();
+
+          obs::Registry::Default().Reset();
+          const ReferenceCampaignResult reference =
+              RunSingleCoordinatorReference({query}, policy, shards,
+                                            c.protocol_seed, populations,
+                                            codecs, kTicks);
+          const std::string reference_obs =
+              obs::DeterministicMetricsSnapshot();
+          obs::SetEnabled(false);
+          obs::Registry::Default().Reset();
+
+          const std::string label =
+              "shards=" + std::to_string(shards) + ": ";
+          if (!(sharded == reference.ticks)) {
+            return label + "merged tick results differ from the reference";
+          }
+          for (int64_t s = 0; s < shards; ++s) {
+            if (runner.shard_meter_bytes(s) !=
+                reference.shard_meter_bytes[static_cast<size_t>(s)]) {
+              return label + "shard " + std::to_string(s) +
+                     " meter ledger differs";
+            }
+          }
+          if (runner.merge().merged_metrics().ToSnapshot() !=
+              reference.metrics.ToSnapshot()) {
+            return label + "merged shard metrics differ";
+          }
+          if (!(runner.merge().merged_retry_stats() ==
+                reference.retry_stats)) {
+            return label + "merged retry stats differ";
+          }
+          if (sharded_obs != reference_obs) {
+            return label + "deterministic metric snapshots differ";
           }
         }
         return std::nullopt;

@@ -208,6 +208,7 @@ bool StartsWith(const std::string& s, std::string_view prefix) {
 bool IsWallClockAllowlisted(const std::string& rel_path) {
   return StartsWith(rel_path, "src/obs/") ||
          rel_path == "bench/bench_micro_throughput.cc" ||
+         rel_path == "bench/bench_shard_scaling.cc" ||
          rel_path == "bench/bench_common.cc" || rel_path == "bench/bench_common.h";
 }
 
@@ -330,17 +331,57 @@ void CheckPrivacyMetering(const SourceFile& file,
   static const std::regex kDisclosureRe(
       R"(\b(EncodeBitReport|EncodeReportBatch)\s*\(|\bBitReport\s*\{)");
   static const std::regex kChargePathRe(R"(\b(TryChargeBit|PrivacyMeter)\b)");
+  static const std::regex kLocalMeterRe(R"(\blocal_meter\b)");
+  static const std::regex kChargeCallRe(R"(\bTryChargeBit\b)");
+
+  // The shard layer splits the privacy ledger per failure domain
+  // (docs/SHARDING.md): a shard TU that discloses bits must charge its own
+  // shard-local meter (local_meter), and the merge tier — which only
+  // combines tallies the shards already metered — must never charge a
+  // meter at all (that would be cross-shard double metering).
+  const bool shard_tu = StartsWith(file.rel_path, "src/federated/shard/");
+  const bool merge_tu =
+      shard_tu && file.rel_path.find("merge") != std::string::npos;
+
   int first_line = 0;
+  int charge_line = 0;
   bool charges = false;
+  bool shard_local = false;
   for (size_t i = 0; i < file.code_lines.size(); ++i) {
     const std::string& code = file.code_lines[i];
     if (first_line == 0 && std::regex_search(code, kDisclosureRe)) {
       first_line = static_cast<int>(i + 1);
     }
     if (!charges && std::regex_search(code, kChargePathRe)) charges = true;
-    if (first_line != 0 && charges) return;
+    if (!shard_local && std::regex_search(code, kLocalMeterRe)) {
+      shard_local = true;
+    }
+    if (charge_line == 0 && std::regex_search(code, kChargeCallRe)) {
+      charge_line = static_cast<int>(i + 1);
+    }
   }
-  if (first_line != 0 && !charges) {
+
+  if (merge_tu && charge_line != 0) {
+    findings->push_back(
+        {file.rel_path, charge_line, Check::kPrivacyMetering,
+         "the shard merge tier combines tallies already charged to each "
+         "shard's local meter; charging again here double-meters across "
+         "shards"});
+  }
+  if (first_line == 0) return;
+  if (shard_tu) {
+    // Inside the shard layer a generic PrivacyMeter reference is not
+    // enough: the disclosure must be charged to the shard-local ledger.
+    if (!shard_local) {
+      findings->push_back(
+          {file.rel_path, first_line, Check::kPrivacyMetering,
+           "shard translation unit constructs or serializes client bit "
+           "reports but never references the shard-local meter "
+           "(local_meter) charge path"});
+    }
+    return;
+  }
+  if (!charges) {
     findings->push_back(
         {file.rel_path, first_line, Check::kPrivacyMetering,
          "translation unit constructs or serializes client bit reports but "

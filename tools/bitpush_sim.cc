@@ -20,6 +20,7 @@
 #include "core/variance_estimation.h"
 #include "data/census.h"
 #include "federated/debugging.h"
+#include "federated/shard/runner.h"
 #include "data/file_source.h"
 #include "data/synthetic.h"
 #include "obs/export.h"
@@ -135,6 +136,11 @@ int Main(int argc, char** argv) {
   flags.AddInt64("crash_after_records", &crash_after_records,
                  "crash harness: exit 137 after this many journal records "
                  "(0 = off)");
+  int64_t shards = 1;
+  flags.AddInt64("shards", &shards,
+                 "coordinator shards for --task=campaign (1 = single "
+                 "coordinator; N > 1 runs the sharded topology with "
+                 "per-shard state under --state_dir)");
   double range_low = 0.0;
   double range_high = 0.0;
   flags.AddDouble("range_low", &range_low,
@@ -284,6 +290,63 @@ int Main(int argc, char** argv) {
     MeterPolicy policy;
     policy.max_bits_per_value = 2;
     policy.max_bits_per_client = 3;
+
+    if (shards > 1) {
+      // Sharded topology (docs/SHARDING.md): N coordinator shards, each
+      // with its own journal under <state_dir>/shard<i>, merged per tick.
+      if (crash_after_records != 0) {
+        std::fprintf(stderr,
+                     "--crash_after_records only applies to the single-"
+                     "coordinator path (--shards=1)\n");
+        return EXIT_FAILURE;
+      }
+      ShardedCampaignOptions shard_options;
+      shard_options.shards = shards;
+      shard_options.seed = static_cast<uint64_t>(seed);
+      shard_options.state_root = state_dir;
+      shard_options.snapshot_every_ticks = snapshot_every;
+      ShardedCampaignRunner sharded(queries, policy, shard_options);
+      sharded.Open({&population, &population}, {codec, codec});
+      Table table(
+          {"tick", "query", "status", "estimate", "reports", "shards"});
+      for (int64_t tick = 0; tick < ticks; ++tick) {
+        MergedTickResult merged;
+        std::string error;
+        if (!sharded.RunTick(tick, &merged, &error)) {
+          std::fprintf(stderr, "sharded tick failed: %s\n", error.c_str());
+          return EXIT_FAILURE;
+        }
+        for (const MergedQueryResult& result : merged.queries) {
+          const char* status =
+              result.status == MergedQueryResult::Status::kRan ? "ran"
+              : result.status == MergedQueryResult::Status::kSkipped
+                  ? "skipped"
+                  : "failed_quorum";
+          table.NewRow()
+              .AddInt(result.tick)
+              .AddCell(result.query_name)
+              .AddCell(status)
+              .AddDouble(result.estimate, 4)
+              .AddInt(result.reports)
+              .AddInt(result.shards_merged);
+        }
+      }
+      table.Print();
+      int64_t total_bits = 0;
+      int64_t denied = 0;
+      for (int64_t s = 0; s < shards; ++s) {
+        const PrivacyMeter* meter = sharded.shard(s)->local_meter();
+        if (meter == nullptr) continue;
+        total_bits += meter->total_bits();
+        denied += meter->denied_charges();
+      }
+      std::printf("\nmeter: total_bits=%lld denied_charges=%lld\n",
+                  static_cast<long long>(total_bits),
+                  static_cast<long long>(denied));
+      std::printf("shard metrics:\n%s",
+                  sharded.merge().merged_metrics().ToSnapshot().c_str());
+      return 0;
+    }
 
     DurableCampaignOptions options;
     options.state_dir = state_dir;
