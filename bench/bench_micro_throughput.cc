@@ -22,6 +22,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 #include "batch/batch.h"
@@ -275,23 +276,32 @@ void BM_KernelPerturbBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelPerturbBatch)->Arg(65536);
 
-// The guard times FixedPointCodec::EncodeAll — a hot path carrying an
-// obs::ScopedTimer — with the registry disabled and enabled, and checks
-// the enabled/disabled ratio. Min-of-trials per side plus retry rounds
-// keep scheduler noise from failing a healthy build; the threshold can be
-// loosened for slow CI machines via BITPUSH_OBS_OVERHEAD_MAX.
-int RunObsOverheadGuard() {
-  const FixedPointCodec codec = FixedPointCodec::Integer(16);
-  const std::vector<double>& values = BenchAges().values();
-  constexpr int kInnerIterations = 20;
+// The guard times two instrumented hot paths — FixedPointCodec::EncodeAll
+// (carries an obs::ScopedTimer) and the same encode loop with one
+// flight-recorder emission per iteration (the shape of the real
+// instrumentation: events mark round boundaries, not per-report work) —
+// each with the registry disabled and enabled, and checks the
+// enabled/disabled ratio per path. Min-of-trials per side plus retry
+// rounds keep scheduler noise from failing a healthy build; the threshold
+// can be loosened for slow CI machines via BITPUSH_OBS_OVERHEAD_MAX. Both
+// measurements land in BENCH_obs_overhead.json (path override:
+// BITPUSH_OBS_BENCH_JSON).
+struct ObsGuardSample {
+  const char* name = "";
+  double ratio = 0.0;
+  double threshold = 0.0;
+  bool pass = false;
+};
+
+template <typename Workload>
+ObsGuardSample MeasureObsGuard(const char* name, double threshold,
+                               const Workload& workload) {
   constexpr int kTrials = 7;
   constexpr int kRounds = 5;
 
   const auto time_once = [&] {
     const auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < kInnerIterations; ++i) {
-      benchmark::DoNotOptimize(codec.EncodeAll(values));
-    }
+    workload();
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start)
         .count();
@@ -302,31 +312,100 @@ int RunObsOverheadGuard() {
     return best;
   };
 
-  double threshold = 1.02;
-  if (const char* env = std::getenv("BITPUSH_OBS_OVERHEAD_MAX")) {
-    threshold = std::atof(env);
-  }
-
-  double ratio = 0.0;
+  ObsGuardSample sample;
+  sample.name = name;
+  sample.threshold = threshold;
   for (int round = 0; round < kRounds; ++round) {
     obs::SetEnabled(false);
     const double disabled = best_of_trials();
     obs::SetEnabled(true);
     const double enabled = best_of_trials();
     obs::SetEnabled(false);
-    ratio = enabled / disabled;
-    std::printf("obs_overhead_ratio %.4f (threshold %.4f, round %d/%d)\n",
-                ratio, threshold, round + 1, kRounds);
-    if (ratio < threshold) {
-      std::printf("obs_overhead_guard PASS\n");
-      return 0;
+    sample.ratio = enabled / disabled;
+    std::printf(
+        "obs_overhead_ratio[%s] %.4f (threshold %.4f, round %d/%d)\n", name,
+        sample.ratio, threshold, round + 1, kRounds);
+    if (sample.ratio < threshold) {
+      sample.pass = true;
+      return sample;
     }
   }
-  std::fprintf(stderr,
-               "obs_overhead_guard FAIL: ratio %.4f >= %.4f after %d "
-               "rounds\n",
-               ratio, threshold, kRounds);
-  return 1;
+  return sample;
+}
+
+int RunObsOverheadGuard() {
+  const FixedPointCodec codec = FixedPointCodec::Integer(16);
+  const std::vector<double>& values = BenchAges().values();
+  constexpr int kInnerIterations = 20;
+
+  double threshold = 1.02;
+  if (const char* env = std::getenv("BITPUSH_OBS_OVERHEAD_MAX")) {
+    threshold = std::atof(env);
+  }
+
+  const auto timer_workload = [&] {
+    for (int i = 0; i < kInnerIterations; ++i) {
+      benchmark::DoNotOptimize(codec.EncodeAll(values));
+    }
+  };
+  const auto event_workload = [&] {
+    for (int i = 0; i < kInnerIterations; ++i) {
+      benchmark::DoNotOptimize(codec.EncodeAll(values));
+      // kVolatile: the bench runs on the wall clock, so nothing it emits
+      // may enter the byte-stable ring.
+      obs::EventArgs args;
+      args.round_id = i;
+      obs::EmitEvent(obs::EventType::kRoundOutcome,
+                     obs::Determinism::kVolatile, std::move(args));
+    }
+  };
+
+  // Fresh ring so the guard measures steady-state appends, not eviction
+  // churn left over from earlier benchmark cases.
+  obs::EventRecorder::Default().Reset();
+  const ObsGuardSample timer =
+      MeasureObsGuard("scoped_timer", threshold, timer_workload);
+  const ObsGuardSample events =
+      MeasureObsGuard("event_ring", threshold, event_workload);
+
+  const char* json_env = std::getenv("BITPUSH_OBS_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_obs_overhead.json";
+  if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"threshold\": %.4f,\n"
+                 "  \"paths\": [\n",
+                 threshold);
+    const ObsGuardSample* samples[] = {&timer, &events};
+    for (size_t i = 0; i < 2; ++i) {
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"ratio\": %.4f, "
+                   "\"status\": \"%s\"}%s\n",
+                   samples[i]->name, samples[i]->ratio,
+                   samples[i]->pass ? "pass" : "fail", i == 0 ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("obs_overhead json written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "obs_overhead_guard: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+
+  int status = 0;
+  for (const ObsGuardSample* sample : {&timer, &events}) {
+    if (sample->pass) {
+      std::printf("obs_overhead_guard[%s] PASS\n", sample->name);
+    } else {
+      std::fprintf(stderr,
+                   "obs_overhead_guard[%s] FAIL: ratio %.4f >= %.4f\n",
+                   sample->name, sample->ratio, sample->threshold);
+      status = 1;
+    }
+  }
+  return status;
 }
 
 // The kernel throughput guard (ROADMAP item 1's acceptance line): the

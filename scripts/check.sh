@@ -82,6 +82,8 @@ SIM_ARGS=(--task=campaign --n=400 --ticks=4 --seed=99)
 "$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/clean" \
   --metrics_out="$STATE_ROOT/clean.snapshot" \
   --trace_out="$STATE_ROOT/clean.trace.json" \
+  --events_out="$STATE_ROOT/clean.events.snapshot" \
+  --alerts_out="$STATE_ROOT/clean.alerts.txt" \
   > "$STATE_ROOT/clean.out"
 
 set +e
@@ -97,6 +99,8 @@ fi
 "$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/crashed" \
   --metrics_out="$STATE_ROOT/recovered.snapshot" \
   --trace_out="$STATE_ROOT/recovered.trace.json" \
+  --events_out="$STATE_ROOT/recovered.events.snapshot" \
+  --alerts_out="$STATE_ROOT/recovered.alerts.txt" \
   > "$STATE_ROOT/recovered.out" 2> "$STATE_ROOT/recovered.err"
 grep -q 'recovered state:' "$STATE_ROOT/recovered.err"
 diff -u "$STATE_ROOT/clean.out" "$STATE_ROOT/recovered.out"
@@ -110,14 +114,39 @@ diff -u "$STATE_ROOT/clean.snapshot" "$STATE_ROOT/recovered.snapshot"
 diff -u tests/golden/campaign_metrics.snapshot "$STATE_ROOT/clean.snapshot"
 echo "exporters: metrics snapshot is crash-exact and matches the golden"
 
+# The flight recorder's stable event stream and the fired-alert timeline
+# carry the same guarantee: byte-identical across the crash, and pinned by
+# checked-in goldens.
+diff -u "$STATE_ROOT/clean.events.snapshot" "$STATE_ROOT/recovered.events.snapshot"
+diff -u tests/golden/campaign_events.snapshot "$STATE_ROOT/clean.events.snapshot"
+diff -u "$STATE_ROOT/clean.alerts.txt" "$STATE_ROOT/recovered.alerts.txt"
+diff -u tests/golden/campaign_alerts.txt "$STATE_ROOT/clean.alerts.txt"
+echo "exporters: events snapshot and alert timeline are crash-exact and match the goldens"
+
 "$SIM" "${SIM_ARGS[@]}" --state_dir="$STATE_ROOT/prom" \
-  --metrics_out="$STATE_ROOT/metrics.prom" > /dev/null
+  --metrics_out="$STATE_ROOT/metrics.prom" \
+  --events_out="$STATE_ROOT/events.jsonl" > /dev/null
 for metric in bitpush_rounds_total bitpush_campaign_ticks_total \
     bitpush_wire_payload_bytes_total bitpush_meter_epsilon_spent \
-    bitpush_journal_records_total bitpush_round_sim_minutes_bucket; do
+    bitpush_journal_records_total bitpush_round_sim_minutes_bucket \
+    bitpush_alert_state; do
   grep -q "^$metric" "$STATE_ROOT/metrics.prom" \
     || { echo "exporters: $metric missing from Prometheus output" >&2; exit 1; }
 done
+
+# The full (stable + volatile) event log exports as JSONL; every line must
+# be well-formed JSON. bitpush_doctor doubles as the validator, and its
+# post-mortem report over the crashed-then-recovered state directory must
+# see the journal, the events, and the fired alert.
+DOCTOR="$BUILD_DIR/tools/bitpush_doctor"
+"$DOCTOR" --validate_events="$STATE_ROOT/events.jsonl"
+"$DOCTOR" --state_dir="$STATE_ROOT/crashed" \
+  --events="$STATE_ROOT/events.jsonl" \
+  --metrics="$STATE_ROOT/metrics.prom" \
+  --out="$STATE_ROOT/doctor.txt"
+grep -q '^== journal ' "$STATE_ROOT/doctor.txt"
+grep -q 'FIRED.*rule=privacy_burn_rate' "$STATE_ROOT/doctor.txt"
+echo "exporters: events JSONL well-formed; doctor post-mortem report complete"
 python3 - "$STATE_ROOT/clean.trace.json" <<'PYEOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -138,7 +167,10 @@ for b in "$BUILD_DIR"/bench/*; do
     # kernel pipeline is not >= 10x the per-report scalar path
     # (BENCH_kernel_throughput.json records the measurement; the kernel
     # guard self-skips on hardware with no SIMD kernel).
+    # BITPUSH_OBS_BENCH_JSON captures the obs-overhead guard's two paths
+    # (metrics timer, event ring) as a machine-readable artifact.
     BITPUSH_KERNEL_BENCH_JSON="BENCH_kernel_throughput.json" \
+    BITPUSH_OBS_BENCH_JSON="$BUILD_DIR/BENCH_obs_overhead.json" \
       "$b" --benchmark_out="$BUILD_DIR/BENCH_micro_throughput.json" \
       --benchmark_out_format=json
   elif [[ "$(basename "$b")" == bench_shard_scaling ]]; then

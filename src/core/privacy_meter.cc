@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/check.h"
@@ -28,6 +29,24 @@ void PrivacyMeter::RefreshObsGauges() const {
   denied->Set(static_cast<double>(denied_charges_));
 }
 
+void PrivacyMeter::NoteChargeOutcome(int64_t value_id, bool granted) {
+  if (!obs::Enabled()) return;
+  uint8_t& mask = announced_[value_id];
+  const uint8_t bit = granted ? 1 : 2;
+  if ((mask & bit) != 0) return;
+  mask |= bit;
+  // Deliberately no ledger totals in the detail: at the moment a recovered
+  // run re-serves a journaled prefix charge, the ledger already holds the
+  // whole prefix (ApplyJournal applied it), so totals here would not be
+  // replay-invariant. The (value, outcome) transition itself is.
+  obs::EventArgs args;
+  args.detail = "value=" + std::to_string(value_id) +
+                (granted ? " first grant" : " first denial");
+  obs::EmitEvent(granted ? obs::EventType::kMeterCharge
+                         : obs::EventType::kMeterDenial,
+                 obs::Determinism::kStable, std::move(args));
+}
+
 PrivacyMeter::PrivacyMeter(MeterPolicy policy) : policy_(policy) {
   BITPUSH_CHECK_GE(policy_.max_bits_per_value, 1);
   BITPUSH_CHECK_GE(policy_.max_bits_per_client, 1);
@@ -48,7 +67,13 @@ bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
     // restored ledger already reflects it — return it without re-charging.
     const std::optional<bool> replayed =
         journal_->OnChargeAttempt(client_id, value_id, epsilon);
-    if (replayed.has_value()) return *replayed;
+    if (replayed.has_value()) {
+      // Re-served prefix charge: the ledger already reflects it, but its
+      // flight-recorder announcement was suppressed during replay — emit it
+      // here, at the same logical position a live run would have.
+      NoteChargeOutcome(value_id, *replayed);
+      return *replayed;
+    }
   }
   ClientLedger* ledger = nullptr;
   bool granted = false;
@@ -67,6 +92,7 @@ bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
   if (!granted) {
     ++denied_charges_;
     RefreshObsGauges();
+    if (!replay_quiet_) NoteChargeOutcome(value_id, false);
     return false;
   }
   ++ledger->bits_per_value[value_id];
@@ -75,6 +101,7 @@ bool PrivacyMeter::TryChargeBit(int64_t client_id, int64_t value_id,
   ++total_bits_;
   total_epsilon_ += epsilon;
   RefreshObsGauges();
+  if (!replay_quiet_) NoteChargeOutcome(value_id, true);
   return true;
 }
 
@@ -207,6 +234,16 @@ bool PrivacyMeter::DecodeFrom(const std::vector<uint8_t>& buffer,
   // (replay re-charges in the original order).
   out->total_epsilon_ = ledger_epsilon_sum;
   out->denied_charges_ = denied_charges;
+  // Values restored from a snapshot are marked fully announced: their
+  // first grant / first denial happened before the snapshot, and
+  // re-announcing them would fabricate flight-recorder events the
+  // original run never emitted.
+  out->announced_.clear();
+  for (const auto& [client_id, ledger] : out->ledgers_) {
+    for (const auto& [value_id, bits] : ledger.bits_per_value) {
+      if (bits > 0) out->announced_[value_id] = 3;
+    }
+  }
   out->RefreshObsGauges();
   *offset = cursor;
   return true;

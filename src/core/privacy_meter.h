@@ -68,6 +68,14 @@ class PrivacyMeter {
   // Installs (or clears, with nullptr) the write-ahead journal hook.
   void set_journal(Journal* journal) { journal_ = journal; }
 
+  // Recovery-replay suppression for the flight recorder. While set, charge
+  // decisions mutate the ledger but emit no events and advance no
+  // first-grant/first-denial latches — used by recovery for the replay
+  // *prefix* (the in-flight query's charges), whose events are instead
+  // emitted when the re-execution is served the journaled outcomes, i.e.
+  // at the same logical position as in an uninterrupted run.
+  void set_replay_quiet(bool quiet) { replay_quiet_ = quiet; }
+
   // Attempts to charge one disclosed bit about `value_id` from `client_id`
   // at randomized-response cost `epsilon` (0 for a noiseless bit). Returns
   // true and records the charge if all caps allow it; returns false and
@@ -115,12 +123,26 @@ class PrivacyMeter {
   // replayed, and snapshot-restored meters all report the same spend.
   void RefreshObsGauges() const;
 
+  // Flight-recorder hook: emits a kMeterCharge / kMeterDenial event the
+  // *first* time a value id sees a grant (resp. a denial). Latching per
+  // (value, outcome) keeps the stable event stream bounded — a campaign
+  // charging thousands of clients produces at most two meter events per
+  // value — while still marking the privacy-relevant transitions: "bits
+  // started flowing for this value" and "the budget wall was hit".
+  void NoteChargeOutcome(int64_t value_id, bool granted);
+
   MeterPolicy policy_;
   std::unordered_map<int64_t, ClientLedger> ledgers_;
   int64_t total_bits_ = 0;
   double total_epsilon_ = 0.0;
   int64_t denied_charges_ = 0;
   Journal* journal_ = nullptr;
+  bool replay_quiet_ = false;
+  // Per-value announcement latches: bit 0 = grant announced, bit 1 =
+  // denial announced. Not serialized — DecodeFrom conservatively marks
+  // restored values fully announced (snapshot-restored history is outside
+  // the stable-event replay contract anyway).
+  std::unordered_map<int64_t, uint8_t> announced_;
 };
 
 }  // namespace bitpush

@@ -48,7 +48,8 @@ MetricMonitor::MetricMonitor(const FixedPointCodec& codec,
                              const MonitorConfig& config)
     : codec_(codec),
       config_(config),
-      bound_monitor_(config.flag_shift_bits) {
+      bound_monitor_(config.flag_shift_bits),
+      alerts_(config.alerts) {
   BITPUSH_CHECK_EQ(config_.protocol.bits, codec_.bits());
   BITPUSH_CHECK_GE(config_.min_window_size, 2);
   BITPUSH_CHECK_GE(config_.drift_threshold, 0.0);
@@ -56,6 +57,13 @@ MetricMonitor::MetricMonitor(const FixedPointCodec& codec,
 
 WindowSummary MetricMonitor::IngestWindow(const std::vector<double>& values,
                                           Rng& rng) {
+  WindowSummary summary = IngestWindowCore(values, rng);
+  FinalizeWindow(&summary);
+  return summary;
+}
+
+WindowSummary MetricMonitor::IngestWindowCore(
+    const std::vector<double>& values, Rng& rng) {
   WindowSummary summary;
   summary.window_index = static_cast<int64_t>(history_.size());
   summary.clients = static_cast<int64_t>(values.size());
@@ -99,7 +107,7 @@ WindowSummary MetricMonitor::IngestWindow(
     const std::vector<double>& values,
     const RetryStats& cumulative_retry_stats, Rng& rng) {
   const int64_t recovered_before = retry_stats_.RecoveredTotal();
-  WindowSummary summary = IngestWindow(values, rng);
+  WindowSummary summary = IngestWindowCore(values, rng);
   retry_stats_ = cumulative_retry_stats;
   int64_t recovered = retry_stats_.RecoveredTotal() - recovered_before;
   if (recovered < 0) {
@@ -115,6 +123,7 @@ WindowSummary MetricMonitor::IngestWindow(
   summary.recovered_reports = recovered;
   history_.back().recovered_reports = recovered;
   GetMonitorInstruments().recovered_reports->Add(recovered);
+  FinalizeWindow(&summary);
   return summary;
 }
 
@@ -128,7 +137,7 @@ WindowSummary MetricMonitor::IngestWindow(
   BITPUSH_CHECK_EQ(per_shard_stats.size(), per_shard_retry_stats_.size())
       << "shard count changed between monitor windows";
 
-  WindowSummary summary = IngestWindow(values, rng);
+  WindowSummary summary = IngestWindowCore(values, rng);
   int64_t recovered = 0;
   for (size_t s = 0; s < per_shard_stats.size(); ++s) {
     const int64_t current = per_shard_stats[s].RecoveredTotal();
@@ -146,7 +155,34 @@ WindowSummary MetricMonitor::IngestWindow(
   summary.recovered_reports = recovered;
   history_.back().recovered_reports = recovered;
   GetMonitorInstruments().recovered_reports->Add(recovered);
+  FinalizeWindow(&summary);
   return summary;
+}
+
+void MetricMonitor::FinalizeWindow(WindowSummary* summary) {
+  obs::CampaignAlertInputs inputs;
+  inputs.tick = summary->window_index;
+  // The monitor has no privacy meter or journal of its own: bits_budget=0
+  // gates burn-rate off and journal_records=-1 gates journal_growth off.
+  // retry_storm is the live rule here — cumulative retries scheduled by
+  // the collection transport, attributed to windows by the retry-stats
+  // overloads before this runs.
+  inputs.retries_scheduled = retry_stats_.retries_scheduled;
+  inputs.recovery_divergence = summary->retry_stats_regressed;
+  const std::vector<obs::AlertTransition> transitions =
+      alerts_.EvaluateCampaignTick(inputs);
+  for (const obs::AlertTransition& transition : transitions) {
+    if (transition.fired) {
+      ++summary->alerts_fired;
+    } else {
+      ++summary->alerts_resolved;
+    }
+  }
+  summary->alerts_firing = alerts_.firing_count();
+  WindowSummary& stored = history_.back();
+  stored.alerts_fired = summary->alerts_fired;
+  stored.alerts_resolved = summary->alerts_resolved;
+  stored.alerts_firing = summary->alerts_firing;
 }
 
 }  // namespace bitpush

@@ -13,6 +13,7 @@
 #include "core/fixed_point.h"
 #include "federated/resilience.h"
 #include "federated/telemetry.h"
+#include "obs/alerts.h"
 #include "rng/rng.h"
 
 namespace bitpush {
@@ -29,6 +30,10 @@ struct MonitorConfig {
   // Relative change of the estimate vs the trailing average that raises
   // the drift flag (0 disables).
   double drift_threshold = 0.0;
+  // Thresholds for the monitor's in-process alert engine (obs/alerts.h).
+  // Each window is one evaluation tick; rules without inputs at this layer
+  // (privacy budget, shard quorum, journal growth) stay gated off.
+  obs::AlertConfig alerts;
 };
 
 struct WindowSummary {
@@ -50,6 +55,12 @@ struct WindowSummary {
   // counters). The recovered-report delta is clamped to 0 for the window
   // instead of aborting the coordinator.
   bool retry_stats_regressed = false;
+  // Alert-engine activity for this window, evaluated after the retry
+  // attribution above: transitions this window and rules still firing at
+  // its close (also published as the bitpush_alert_state gauge family).
+  int64_t alerts_fired = 0;
+  int64_t alerts_resolved = 0;
+  int64_t alerts_firing = 0;
 };
 
 class MetricMonitor {
@@ -85,8 +96,20 @@ class MetricMonitor {
   int64_t windows_flagged() const { return windows_flagged_; }
   // Latest cumulative recovery-layer counters seen by IngestWindow.
   const RetryStats& retry_stats() const { return retry_stats_; }
+  // The monitor's alert engine (retry_storm is the rule with live inputs
+  // at this layer); transitions() carries the fired/resolved log.
+  const obs::AlertEngine& alerts() const { return alerts_; }
 
  private:
+  // The window protocol run shared by all IngestWindow overloads. Appends
+  // to history_ but does NOT evaluate alerts — FinalizeWindow runs once
+  // per window, after any retry attribution, so alert inputs see the
+  // window's final recovered/retry counters.
+  WindowSummary IngestWindowCore(const std::vector<double>& values, Rng& rng);
+  // Evaluates the alert engine for the finished window and patches the
+  // alert fields onto `*summary` and history_.back().
+  void FinalizeWindow(WindowSummary* summary);
+
   FixedPointCodec codec_;
   MonitorConfig config_;
   UpperBoundMonitor bound_monitor_;
@@ -97,6 +120,7 @@ class MetricMonitor {
   double trailing_estimate_sum_ = 0.0;
   int64_t trailing_estimate_count_ = 0;
   int64_t windows_flagged_ = 0;
+  obs::AlertEngine alerts_;
 };
 
 }  // namespace bitpush

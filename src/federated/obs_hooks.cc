@@ -3,6 +3,7 @@
 #include "federated/campaign.h"
 #include "federated/resilience.h"
 #include "federated/server.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace bitpush {
@@ -168,6 +169,33 @@ void ObserveRoundOutcome(const RoundOutcome& outcome) {
   i.breaker_probes->Add(outcome.retry.breaker_probes);
   i.backoff_minutes->Add(outcome.retry.backoff_minutes);
   i.round_minutes->Observe(outcome.retry.elapsed_minutes);
+
+  // Flight-recorder events. This function is the exactly-once round
+  // boundary shared by the live, journal-restored, and recovery-replay
+  // paths, so events emitted here are replay-stable: every field below is
+  // derived from the journaled outcome.
+  {
+    obs::EventArgs args;
+    args.sim_minutes = outcome.retry.elapsed_minutes;
+    args.has_sim_minutes = true;
+    args.detail = "contacted=" + std::to_string(outcome.contacted) +
+                  " responded=" + std::to_string(outcome.responded);
+    obs::EmitEvent(obs::EventType::kRoundOutcome, obs::Determinism::kStable,
+                   std::move(args));
+  }
+  // A round that scheduled a burst of full re-requests is a retry storm —
+  // the fixed threshold matches AlertConfig::retry_storm_threshold's
+  // default so the flight recorder and the alert engine agree on what
+  // counts as one.
+  constexpr int64_t kRetryStormEventThreshold = 8;
+  if (outcome.retry.retries_scheduled >= kRetryStormEventThreshold) {
+    obs::EventArgs args;
+    args.detail =
+        "retries_scheduled=" + std::to_string(outcome.retry.retries_scheduled) +
+        " retransmits=" + std::to_string(outcome.retry.retransmits_requested);
+    obs::EmitEvent(obs::EventType::kRetryStorm, obs::Determinism::kStable,
+                   std::move(args));
+  }
 }
 
 void ObserveBreakerState(const HealthTracker& health) {

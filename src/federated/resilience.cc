@@ -6,6 +6,7 @@
 
 #include "federated/persist_hooks.h"
 #include "federated/wire.h"
+#include "obs/events.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
@@ -399,6 +400,19 @@ void HealthTracker::ObserveRound(int64_t round_id,
     event.client_id = client_id;
     recorder->OnResilienceEvent(event);
   };
+  // Flight-recorder breaker transitions. ObserveRound is the exactly-once
+  // transition site on every execution path — live rounds, journal-restored
+  // rounds, and recovery's replay of finished queries (which calls it with
+  // recorder == nullptr) — and the transitions are pure functions of the
+  // journaled success/failure lists, so the events are replay-stable even
+  // though the `emit` lambda above is suppressed during replay.
+  const auto announce = [&](int64_t client_id, const char* what) {
+    obs::EventArgs args;
+    args.round_id = round_id;
+    args.detail = std::string(what) + " client=" + std::to_string(client_id);
+    obs::EmitEvent(obs::EventType::kBreakerTransition,
+                   obs::Determinism::kStable, std::move(args));
+  };
   for (const int64_t id : succeeded) {
     ClientHealth& health = clients_[id];
     ++health.successes;
@@ -409,6 +423,7 @@ void HealthTracker::ObserveRound(int64_t round_id,
       health = ClientHealth{};
       ++closes_;
       emit(ResilienceEventType::kBreakerClosed, id);
+      announce(id, "closed");
     }
   }
   for (const int64_t id : failed) {
@@ -421,11 +436,13 @@ void HealthTracker::ObserveRound(int64_t round_id,
       health.cooldown_remaining = policy_.cooldown_rounds;
       ++opens_;
       emit(ResilienceEventType::kBreakerOpened, id);
+      announce(id, "opened (failed probe)");
     } else if (health.state == BreakerState::kClosed && ShouldOpen(health)) {
       health.state = BreakerState::kOpen;
       health.cooldown_remaining = policy_.cooldown_rounds;
       ++opens_;
       emit(ResilienceEventType::kBreakerOpened, id);
+      announce(id, "opened");
     }
   }
 }

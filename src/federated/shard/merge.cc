@@ -17,6 +17,7 @@
 #include "federated/obs_hooks.h"
 #include "federated/wire.h"
 #include "ldp/randomized_response.h"
+#include "obs/events.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
@@ -137,6 +138,10 @@ void EncodeShardTickFrame(const ShardTickFrame& frame,
   }
   EncodeRetryStats(frame.retry, out);
   EncodeShardMetrics(frame.metrics, out);
+  bytes::PutByte(kTraceContextVersion, out);
+  bytes::PutInt64(frame.trace_id, out);
+  bytes::PutInt64(frame.span_id, out);
+  bytes::PutInt64(frame.parent_span_id, out);
 }
 
 bool DecodeShardTickFrame(const std::vector<uint8_t>& buffer,
@@ -169,6 +174,19 @@ bool DecodeShardTickFrame(const std::vector<uint8_t>& buffer,
   }
   if (!DecodeRetryStats(buffer, &cursor, &frame.retry)) return false;
   if (!DecodeShardMetrics(buffer, &cursor, &frame.metrics)) return false;
+  // Trace-context section: fail closed on a sub-version this decoder does
+  // not know and on negative ids (zero means "tracing disabled").
+  uint8_t trace_version = 0;
+  if (!bytes::GetByte(buffer, &cursor, &trace_version)) return false;
+  if (trace_version != kTraceContextVersion) return false;
+  if (!bytes::GetInt64(buffer, &cursor, &frame.trace_id) ||
+      !bytes::GetInt64(buffer, &cursor, &frame.span_id) ||
+      !bytes::GetInt64(buffer, &cursor, &frame.parent_span_id)) {
+    return false;
+  }
+  if (frame.trace_id < 0 || frame.span_id < 0 || frame.parent_span_id < 0) {
+    return false;
+  }
   if (cursor != buffer.size()) return false;  // trailing garbage
   *out = std::move(frame);
   return true;
@@ -331,6 +349,22 @@ MergedTickResult MergeTier::CloseTick(int64_t tick,
         result.shards_lost));
   }
 
+  // Flight-recorder quorum event, kVolatile like every shard-layer signal:
+  // the single-coordinator reference never exercises the merge tier, so
+  // shard traffic must stay out of the stable ring the sharded-vs-single
+  // oracle compares.
+  if (result.quorum_failed || result.shards_lost > 0) {
+    obs::EventArgs args;
+    args.tick = tick;
+    args.detail =
+        std::string(result.quorum_failed ? "failed closed" : "degraded") +
+        ": delivered=" + std::to_string(result.shards_delivered) + "/" +
+        std::to_string(shards_) +
+        " lost=" + std::to_string(result.shards_lost) +
+        " quorum_min=" + std::to_string(quorum_min_);
+    obs::EmitEvent(obs::EventType::kQuorumDegraded,
+                   obs::Determinism::kVolatile, std::move(args));
+  }
   ObserveShardTickMerged(result.shards_delivered, result.shards_lost,
                          result.quorum_failed);
   pending_present_.assign(static_cast<size_t>(shards_), false);

@@ -91,10 +91,25 @@ struct ShardTickFrame {
   std::vector<ShardQueryFrame> queries;  // scheduled queries, in order
   RetryStats retry;                      // shard-cumulative
   ShardMetrics metrics;                  // shard-cumulative
+  // Cross-shard trace context (obs/trace.h): the coordinates of the
+  // shard's collect span for this tick — span_id under trace_id, parented
+  // by the merge tier's tick span (parent_span_id) — so the root can
+  // stitch per-shard work under its own span hierarchy in the Chrome
+  // trace export. All zero when tracing is disabled; ids are never
+  // negative.
+  int64_t trace_id = 0;
+  int64_t span_id = 0;
+  int64_t parent_span_id = 0;
 
   friend bool operator==(const ShardTickFrame&,
                          const ShardTickFrame&) = default;
 };
+
+// Sub-version byte of the frame's trailing trace-context section. Bumped
+// independently of kWireFormatVersion so the trace payload can evolve
+// without invalidating the tally codec; decoders fail closed on any value
+// they do not know.
+inline constexpr uint8_t kTraceContextVersion = 1;
 
 // Wire codec for the shard -> merge hop. Same contract as federated/wire:
 // a leading format-version byte, fail-closed decoding (version, counts,

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "federated/server.h"
+#include "obs/events.h"
+#include "obs/trace.h"
 #include "persist/journal.h"
 #include "util/check.h"
 
@@ -193,6 +195,14 @@ bool ShardedCampaignRunner::RunTick(int64_t tick, MergedTickResult* out,
   std::vector<int64_t> delivered_shards;
   double makespan = 0.0;
 
+  // Merge-tier tick span: the root of this tick's cross-shard trace. Its
+  // context rides into every CollectTick (and from there across the frame
+  // codec), so each shard's collect/harvest/recover spans render as
+  // children of this span in the Chrome trace export.
+  obs::Span merge_span("merge.tick", "merge");
+  merge_span.set_ids(tick, /*query_index=*/-1, /*round_id=*/-1);
+  const obs::TraceContext merge_context = merge_span.context();
+
   for (int64_t s = 0; s < options_.shards; ++s) {
     ShardCoordinator* coordinator = coordinators_[static_cast<size_t>(s)].get();
     const auto lose_shard = [&] {
@@ -204,6 +214,14 @@ bool ShardedCampaignRunner::RunTick(int64_t tick, MergedTickResult* out,
       }
       losses.push_back(std::move(loss));
       coordinator->NoteLostTick();
+      // kVolatile: shard delivery is harness scheduling, invisible to the
+      // single-coordinator reference the stable ring is compared against.
+      obs::EventArgs args;
+      args.tick = tick;
+      args.shard = s;
+      args.detail = "missed tick deadline";
+      obs::EmitEvent(obs::EventType::kShardLost, obs::Determinism::kVolatile,
+                     std::move(args));
     };
 
     if (plan != nullptr && plan->PermanentlyLost(s, tick)) {
@@ -213,6 +231,7 @@ bool ShardedCampaignRunner::RunTick(int64_t tick, MergedTickResult* out,
 
     double clock = 0.0;
     bool delivered = false;
+    const int64_t recoveries_before = coordinator->metrics().recoveries;
     for (int64_t attempt = 0; attempt < options_.max_attempts_per_tick;
          ++attempt) {
       if (attempt > 0) {
@@ -241,7 +260,9 @@ bool ShardedCampaignRunner::RunTick(int64_t tick, MergedTickResult* out,
       }
 
       ShardTickFrame frame;
-      if (!coordinator->CollectTick(tick, &frame, error)) return false;
+      if (!coordinator->CollectTick(tick, &frame, error, merge_context)) {
+        return false;
+      }
       if (fault == ShardFaultType::kNone) {
         // The frame crosses the wire codec even in-process: the merge
         // tier only ever consumes fail-closed-decoded bytes.
@@ -265,6 +286,16 @@ bool ShardedCampaignRunner::RunTick(int64_t tick, MergedTickResult* out,
     if (delivered) {
       delivered_shards.push_back(s);
       makespan = std::max(makespan, clock);
+      if (coordinator->metrics().recoveries > recoveries_before) {
+        obs::EventArgs args;
+        args.tick = tick;
+        args.shard = s;
+        args.detail = "delivered after crash recovery (replayed=" +
+                      std::to_string(coordinator->metrics().replayed_records) +
+                      ")";
+        obs::EmitEvent(obs::EventType::kShardRecovered,
+                       obs::Determinism::kVolatile, std::move(args));
+      }
     } else {
       lose_shard();
     }

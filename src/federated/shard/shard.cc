@@ -246,7 +246,8 @@ bool ShardCoordinator::RestoreRound(int64_t /*round_id*/,
 void ShardCoordinator::OnRoundClosed(int64_t /*round_id*/,
                                      const RoundOutcome& /*outcome*/) {}
 
-bool ShardCoordinator::EnsureOpen(std::string* error) {
+bool ShardCoordinator::EnsureOpen(std::string* error,
+                                  const obs::TraceContext& parent) {
   BITPUSH_CHECK(bound_) << "Bind() before CollectTick()";
   if (!durable()) {
     if (mem_ == nullptr) {
@@ -257,6 +258,11 @@ bool ShardCoordinator::EnsureOpen(std::string* error) {
     return true;
   }
   if (runner_ != nullptr) return true;
+  // Stitched under the merge-tick span that triggered the (re)open, so a
+  // crash-recovery replay shows up as a child of the tick that paid for it.
+  obs::Span span("shard.recover", "shard");
+  span.set_parent(parent);
+  span.AddNumeric("shard", static_cast<double>(options_.shard_index));
   DurableCampaignOptions durable_options;
   durable_options.state_dir = options_.state_dir;
   durable_options.seed = options_.seed;
@@ -274,6 +280,8 @@ bool ShardCoordinator::EnsureOpen(std::string* error) {
     metrics_.replayed_records += info.replayed_records;
     if (info.torn_tail) ++metrics_.torn_tails;
   }
+  span.AddNumeric("replayed_records",
+                  static_cast<double>(info.replayed_records));
   runner_ = std::move(runner);
   return true;
 }
@@ -330,11 +338,16 @@ bool ShardCoordinator::HarvestFromJournal(int64_t tick, int64_t query_index,
 }
 
 bool ShardCoordinator::CollectTick(int64_t tick, ShardTickFrame* frame,
-                                   std::string* error) {
+                                   std::string* error,
+                                   const obs::TraceContext& parent) {
   BITPUSH_CHECK(frame != nullptr);
   BITPUSH_CHECK(error != nullptr);
   BITPUSH_CHECK_GE(tick, 0);
-  if (!EnsureOpen(error)) return false;
+  obs::Span span("shard.collect", "shard");
+  span.set_parent(parent);
+  span.set_ids(tick, /*query_index=*/-1, /*round_id=*/-1);
+  span.AddNumeric("shard", static_cast<double>(options_.shard_index));
+  if (!EnsureOpen(error, span.context())) return false;
 
   // Catch up: a shard that crashed or lost ticks re-runs (or restores)
   // every tick from its durable position through `tick`, in order — both
@@ -357,9 +370,20 @@ bool ShardCoordinator::CollectTick(int64_t tick, ShardTickFrame* frame,
   const MeasurementCampaign& campaign =
       durable() ? runner_->campaign() : mem_->campaign;
 
+  // The harvest (per-query tally aggregation into the frame) is the
+  // shard-side aggregate phase — its own child span under the collect.
+  obs::Span harvest_span("shard.harvest", "shard");
+  harvest_span.set_parent(span.context());
+  harvest_span.set_ids(tick, /*query_index=*/-1, /*round_id=*/-1);
+  harvest_span.AddNumeric("shard", static_cast<double>(options_.shard_index));
+
   ShardTickFrame out;
   out.shard = options_.shard_index;
   out.tick = tick;
+  const obs::TraceContext context = span.context();
+  out.trace_id = context.trace_id;
+  out.span_id = context.span_id;
+  out.parent_span_id = parent.valid() ? parent.span_id : 0;
 
   size_t history_cursor = 0;
   // Count a tick's metrics once: a re-delivery attempt after a stall

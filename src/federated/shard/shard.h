@@ -33,6 +33,7 @@
 #include "federated/client.h"
 #include "federated/resilience.h"
 #include "federated/shard/merge.h"
+#include "obs/trace.h"
 #include "persist/journal.h"
 #include "persist/recovery.h"
 #include "rng/rng.h"
@@ -103,8 +104,12 @@ class ShardCoordinator : private CampaignRecorder {
   // and fills `*frame` with `tick`'s contribution. A shard that fell
   // behind (lost ticks, crash recovery) catches up here — earlier ticks
   // re-run deterministically but are not re-delivered. Fails closed
-  // (false + *error) on any durability violation.
-  bool CollectTick(int64_t tick, ShardTickFrame* frame, std::string* error);
+  // (false + *error) on any durability violation. `parent` is the merge
+  // tier's tick-span context; when tracing is on, the shard's collect
+  // span is parented under it and the frame carries the stitched
+  // coordinates back across the wire.
+  bool CollectTick(int64_t tick, ShardTickFrame* frame, std::string* error,
+                   const obs::TraceContext& parent = obs::TraceContext{});
 
   // Takes a snapshot and truncates the journal. Only legal at a delivered
   // tick boundary (the sharded runner calls it after the merge publishes,
@@ -151,7 +156,8 @@ class ShardCoordinator : private CampaignRecorder {
   bool RestoreRound(int64_t round_id, RoundOutcome* out) override;
   void OnRoundClosed(int64_t round_id, const RoundOutcome& outcome) override;
 
-  bool EnsureOpen(std::string* error);
+  bool EnsureOpen(std::string* error,
+                  const obs::TraceContext& parent = obs::TraceContext{});
   int64_t next_tick() const;
   std::vector<const std::vector<Client>*> PopulationPointers() const;
   // Recovers a fully-restored query's round outcomes from the shard's own

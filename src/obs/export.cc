@@ -192,6 +192,13 @@ std::string ChromeTraceJson(const Tracer& tracer) {
       first_arg = false;
       out += body;
     };
+    if (span.trace_id > 0) {
+      add_arg("\"trace\":" + std::to_string(span.trace_id));
+    }
+    if (span.span_id > 0) add_arg("\"span\":" + std::to_string(span.span_id));
+    if (span.parent_span_id > 0) {
+      add_arg("\"parent\":" + std::to_string(span.parent_span_id));
+    }
     if (span.tick >= 0) add_arg("\"tick\":" + std::to_string(span.tick));
     if (span.query_index >= 0) {
       add_arg("\"query\":" + std::to_string(span.query_index));

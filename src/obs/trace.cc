@@ -46,11 +46,18 @@ int64_t Tracer::NowMicros() {
       .count();
 }
 
+int64_t Tracer::NextSpanId() {
+  static std::atomic<int64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Span::Span(std::string_view name, std::string_view category) {
   if (!TracingEnabled()) return;
   active_ = true;
   record_.name = std::string(name);
   record_.category = std::string(category);
+  record_.span_id = Tracer::NextSpanId();
+  record_.trace_id = record_.span_id;  // a root starts its own trace
   record_.thread_id = static_cast<uint64_t>(
       std::hash<std::thread::id>()(std::this_thread::get_id()));
   record_.wall_start_us = Tracer::NowMicros();
@@ -69,6 +76,17 @@ void Span::set_sim_minutes(double minutes) {
   if (!active_) return;
   record_.sim_minutes = minutes;
   record_.has_sim_minutes = true;
+}
+
+void Span::set_parent(const TraceContext& parent) {
+  if (!active_ || !parent.valid()) return;
+  record_.trace_id = parent.trace_id;
+  record_.parent_span_id = parent.span_id;
+}
+
+TraceContext Span::context() const {
+  if (!active_) return TraceContext{};
+  return TraceContext{record_.trace_id, record_.span_id};
 }
 
 void Span::AddNumeric(std::string_view key, double value) {

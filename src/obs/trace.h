@@ -43,10 +43,26 @@ inline bool TracingEnabled() {
 }
 void SetTracingEnabled(bool enabled);
 
+// Propagatable trace context: the (trace, span) coordinates a parent span
+// hands to work it fans out — across call stacks or across the shard wire
+// (ShardTickFrame carries one so merge-tier spans parent per-shard spans;
+// see federated/shard/merge.h). Ids are positive; zero means unset.
+struct TraceContext {
+  int64_t trace_id = 0;
+  int64_t span_id = 0;
+  bool valid() const { return trace_id > 0 && span_id > 0; }
+};
+
 // One completed span, ready for export.
 struct SpanRecord {
   std::string name;
   std::string category;
+  // Trace hierarchy: ids are process-unique positive integers allocated at
+  // span start; parent_span_id = 0 marks a root span. A span with no
+  // explicit parent starts its own trace (trace_id == span_id).
+  int64_t trace_id = 0;
+  int64_t span_id = 0;
+  int64_t parent_span_id = 0;
   // Hierarchy coordinates; negative means unset. Exported as args.
   int64_t tick = -1;
   int64_t query_index = -1;
@@ -82,6 +98,9 @@ class Tracer {
   // Microseconds since the process-wide tracer epoch (first use).
   static int64_t NowMicros();
 
+  // Next process-unique positive span id.
+  static int64_t NextSpanId();
+
  private:
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
@@ -98,9 +117,16 @@ class Span {
 
   void set_ids(int64_t tick, int64_t query_index, int64_t round_id);
   void set_sim_minutes(double minutes);
+  // Parents this span under `parent` (adopting its trace id). A no-op when
+  // the span is inert or `parent` is invalid, so contexts decoded off the
+  // wire can be passed through unconditionally.
+  void set_parent(const TraceContext& parent);
   void AddNumeric(std::string_view key, double value);
   void AddString(std::string_view key, std::string_view value);
   void End();
+
+  // This span's propagatable context ({0, 0} when tracing is disabled).
+  TraceContext context() const;
 
   bool active() const { return active_; }
 

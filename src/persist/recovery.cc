@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "federated/obs_hooks.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -152,6 +153,7 @@ bool DurableCampaignRunner::Open(std::string* error) {
   info_.replayed_records = static_cast<int64_t>(journal.records.size());
   info_.recovered = found || !journal.records.empty() || journal.torn_tail;
   if (!ApplyJournal(journal.records, error)) return false;
+  journal_records_ = static_cast<int64_t>(journal.records.size());
 
   // Rewrite the file to exactly the validated records: drops the torn tail
   // and any stale pre-snapshot prefix so a later recovery never re-parses
@@ -170,6 +172,20 @@ bool DurableCampaignRunner::Open(std::string* error) {
   rng_ = Rng(options_.seed);
   open_ = true;
   ObserveRecovery(info_);
+  // Replay milestone for the flight recorder. kVolatile by nature: an
+  // uninterrupted run opens with nothing to replay, so this event can
+  // never match across a clean/recovered pair.
+  if (info_.recovered) {
+    obs::EventArgs args;
+    args.detail = "journal replay complete: replayed=" +
+                  std::to_string(info_.replayed_records) +
+                  " completed_ticks=" + std::to_string(completed_ticks_) +
+                  " pending_prefix=" + std::to_string(prefix_.size()) +
+                  (info_.had_snapshot ? " snapshot" : "") +
+                  (info_.torn_tail ? " torn_tail" : "");
+    obs::EmitEvent(obs::EventType::kReplayMilestone,
+                   obs::Determinism::kVolatile, std::move(args));
+  }
   span.AddNumeric("replayed_records",
                   static_cast<double>(info_.replayed_records));
   span.AddString("recovered", info_.recovered ? "yes" : "no");
@@ -236,16 +252,8 @@ bool DurableCampaignRunner::ApplyJournal(
           *error = "journal: malformed or misplaced meter-charge record";
           return false;
         }
-        // Re-apply through the real meter: the ledger absorbs the charge
-        // exactly once, and the recomputed decision must match what was
-        // journaled — anything else means the ledger and journal disagree,
-        // and a coordinator that cannot trust its ledger must stop.
-        const bool granted = meter_.TryChargeBit(
-            charge.client_id, charge.value_id, charge.epsilon);
-        if (granted != charge.granted) {
-          *error = "journal: meter replay diverged from recorded outcome";
-          return false;
-        }
+        // Validated here; re-applied through the real meter in the
+        // in-order replay pass below.
         break;
       }
       case JournalRecordType::kQueryFinished: {
@@ -305,28 +313,84 @@ bool DurableCampaignRunner::ApplyJournal(
   prefix_.assign(records.begin() + static_cast<ptrdiff_t>(prefix_start),
                  records.end());
 
-  // Rounds of *finished* queries never re-execute (RestoreQueryResult
-  // serves their summaries), so their breaker observations and their
-  // round-boundary metrics are replayed here from the journaled outcomes;
-  // the in-flight query's rounds — the replay prefix — are applied by the
-  // round layer during re-execution, and pre-snapshot history came in
-  // with the snapshot's health blob (round metrics truncated with the
-  // journal are gone — the deterministic-metrics contract is scoped to
-  // journal-only recovery; see docs/OBSERVABILITY.md).
+  // In-order replay of the completed region (everything before the replay
+  // prefix). Meter charges and round closes are re-applied in journal
+  // order — which is execution order — so the ledger absorbs every charge
+  // exactly once, the breaker rebuilds transition by transition, and the
+  // flight recorder's stable events (meter announcements, round outcomes,
+  // breaker transitions) land in the same relative order a live run
+  // produced them. Rounds of *finished* queries never re-execute
+  // (RestoreQueryResult serves their summaries), so this pass is their
+  // only observation point; the in-flight query's rounds — the replay
+  // prefix — are applied by the round layer during re-execution, and
+  // pre-snapshot history came in with the snapshot's health blob (round
+  // metrics truncated with the journal are gone — the
+  // deterministic-metrics contract is scoped to journal-only recovery;
+  // see docs/OBSERVABILITY.md).
   HealthTracker* health = campaign_.mutable_health();
   for (size_t i = 0; i < prefix_start; ++i) {
-    if (records[i].type != JournalRecordType::kRoundClosed) continue;
-    RoundClosedRecord record;
-    BITPUSH_CHECK(DecodeRoundClosedRecord(records[i].payload, &record));
-    ObserveRoundOutcome(record.outcome);
-    if (health != nullptr) {
-      health->BeginRound();
-      health->ObserveRound(record.round_id,
-                           record.outcome.succeeded_client_ids,
-                           record.outcome.failed_client_ids,
-                           /*recorder=*/nullptr);
+    const JournalRecord& record = records[i];
+    switch (record.type) {
+      case JournalRecordType::kMeterCharge: {
+        MeterChargeRecord charge;
+        BITPUSH_CHECK(DecodeMeterChargeRecord(record.payload, &charge));
+        // The recomputed decision must match what was journaled — anything
+        // else means the ledger and journal disagree, and a coordinator
+        // that cannot trust its ledger must stop.
+        const bool granted = meter_.TryChargeBit(
+            charge.client_id, charge.value_id, charge.epsilon);
+        if (granted != charge.granted) {
+          *error = "journal: meter replay diverged from recorded outcome";
+          return false;
+        }
+        break;
+      }
+      case JournalRecordType::kRoundClosed: {
+        RoundClosedRecord closed;
+        BITPUSH_CHECK(DecodeRoundClosedRecord(record.payload, &closed));
+        ObserveRoundOutcome(closed.outcome);
+        if (health != nullptr) {
+          health->BeginRound();
+          health->ObserveRound(closed.round_id,
+                               closed.outcome.succeeded_client_ids,
+                               closed.outcome.failed_client_ids,
+                               /*recorder=*/nullptr);
+        }
+        break;
+      }
+      case JournalRecordType::kCampaignTick: {
+        CampaignTickRecord tick;
+        BITPUSH_CHECK(DecodeCampaignTickRecord(record.payload, &tick));
+        // Sample the meter at the tick close, before any later records
+        // mutate it — the recovery-stable trajectory meter_by_tick().
+        RecordMeterSample(tick.tick);
+        break;
+      }
+      default:
+        break;
     }
   }
+
+  // Replay-prefix charges: the in-flight query's journaled meter activity.
+  // The ledger must absorb them now (they are durable decisions), but
+  // their flight-recorder announcements are suppressed — the re-execution
+  // will be served these same outcomes through OnChargeAttempt, and the
+  // events are emitted there, at the position a live run emitted them.
+  meter_.set_replay_quiet(true);
+  for (size_t i = prefix_start; i < records.size(); ++i) {
+    if (records[i].type != JournalRecordType::kMeterCharge) continue;
+    MeterChargeRecord charge;
+    BITPUSH_CHECK(DecodeMeterChargeRecord(records[i].payload, &charge));
+    const bool granted = meter_.TryChargeBit(charge.client_id,
+                                             charge.value_id, charge.epsilon);
+    if (granted != charge.granted) {
+      meter_.set_replay_quiet(false);
+      *error = "journal: meter replay diverged from recorded outcome";
+      return false;
+    }
+  }
+  meter_.set_replay_quiet(false);
+
   if (health != nullptr) ObserveBreakerState(*health);
   return true;
 }
@@ -393,6 +457,10 @@ std::vector<CampaignTickResult> DurableCampaignRunner::RunTick(
   }
   completed_ticks_ = tick + 1;
   ++next_tick_;
+  // No-op for ticks already sampled during journal replay; the tick that
+  // was in flight at a crash gets its sample here, after its re-execution
+  // completed — the same totals the uninterrupted run closed it with.
+  RecordMeterSample(tick);
 
   if (options_.snapshot_every_ticks > 0 &&
       completed_ticks_ % options_.snapshot_every_ticks == 0) {
@@ -444,6 +512,7 @@ bool DurableCampaignRunner::Snapshot(std::string* error) {
   // recovery skips them as stale.
   journal_.Close();
   if (!RewriteJournalFile({}, error)) return false;
+  journal_records_ = 0;
   return journal_.Open(journal_path_, snapshot.journal_next_seq, error);
 }
 
@@ -471,6 +540,14 @@ void DurableCampaignRunner::VerifyOrAppend(JournalRecordType type,
     return;  // already durable — do not re-append
   }
   BITPUSH_CHECK(journal_.Append(type, payload)) << "journal append failed";
+  ++journal_records_;
+}
+
+void DurableCampaignRunner::RecordMeterSample(int64_t tick) {
+  const MeterTickSample sample{meter_.total_bits(), meter_.denied_charges()};
+  while (static_cast<int64_t>(meter_by_tick_.size()) <= tick) {
+    meter_by_tick_.push_back(sample);
+  }
 }
 
 void DurableCampaignRunner::AdvanceReplay(size_t next) {

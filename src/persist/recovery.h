@@ -134,6 +134,25 @@ class DurableCampaignRunner : private CampaignRecorder,
   const RecoveryInfo& recovery_info() const { return info_; }
   int64_t next_tick() const { return next_tick_; }
 
+  // Recovery-stable per-tick privacy-meter trajectory: entry t holds the
+  // ledger totals at the close of tick t. A recovered run reconstructs the
+  // samples for restored ticks during journal replay (at each campaign-tick
+  // record, i.e. with exactly the charges that preceded that tick's close),
+  // so the trajectory is byte-identical to an uninterrupted run's — the
+  // deterministic input the privacy-burn-rate alert rule evaluates on.
+  struct MeterTickSample {
+    int64_t bits_spent = 0;
+    int64_t denied_charges = 0;
+  };
+  const std::vector<MeterTickSample>& meter_by_tick() const {
+    return meter_by_tick_;
+  }
+
+  // Records currently in the journal file: the validated records kept at
+  // Open plus live appends, zeroed when a snapshot truncates the journal.
+  // Feeds the journal-growth alert rule.
+  int64_t journal_records() const { return journal_records_; }
+
   // Latest final bit means per value id (snapshot-persisted).
   const std::map<int64_t, std::vector<double>>& bit_means_cache() const {
     return bit_means_cache_;
@@ -184,6 +203,11 @@ class DurableCampaignRunner : private CampaignRecorder,
                     std::string* error);
   bool RewriteJournalFile(const std::vector<JournalRecord>& records,
                           std::string* error);
+  // Pads meter_by_tick_ up to (and including) index `tick` with the
+  // meter's current totals — called when a tick closes (live) and at each
+  // replayed campaign-tick record (recovery). Never overwrites an existing
+  // sample, so the replayed values win for restored ticks.
+  void RecordMeterSample(int64_t tick);
 
   MeterPolicy policy_;
   DurableCampaignOptions options_;
@@ -206,6 +230,8 @@ class DurableCampaignRunner : private CampaignRecorder,
   std::map<std::pair<int64_t, int64_t>, FederatedQueryResult> full_results_;
   std::vector<CollectionSession> sessions_;
 
+  std::vector<MeterTickSample> meter_by_tick_;
+  int64_t journal_records_ = 0;
   int64_t completed_ticks_ = 0;
   // Ticks whose kCampaignTick record predates this process (do not
   // re-append while re-running them).

@@ -5,7 +5,9 @@
 // global state or accidental seed reuse).
 
 #include <filesystem>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,8 +20,11 @@
 #include "data/census.h"
 #include "federated/round.h"
 #include "federated/shard/runner.h"
+#include "obs/alerts.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/journal.h"
 #include "persist/recovery.h"
 #include "rng/rng.h"
@@ -441,6 +446,174 @@ TEST_F(DeterminismTest, MetricsSnapshotReproducesAcrossRunsAndCrashes) {
   const std::string recovered = run(base + "/c", 2);
   EXPECT_EQ(recovered, first);
   std::filesystem::remove_all(base);
+}
+
+TEST_F(DeterminismTest, StableEventsAndAlertTimelineReproduceAcrossCrashes) {
+  // The flight recorder's stable stream and the fired-alert timeline join
+  // the seed contract: two clean runs of the same seeded campaign, and a
+  // run crashed mid-journal and recovered, must all produce byte-identical
+  // DeterministicEventsSnapshot and AlertTimelineText artifacts. The query
+  // runs on a two-tick cadence so the burn-rate rule exercises its full
+  // lifecycle — fires on a spend tick, resolves on the idle tick after it.
+  FaultRates rates;
+  rates.mid_round_dropout = 0.15;
+  rates.straggler = 0.1;
+  static const FaultPlan plan(59, rates);
+  const std::vector<Client> clients =
+      MakePopulation(ages_.values(), ClientConfig{});
+  const std::vector<const std::vector<Client>*> populations = {&clients};
+  const std::vector<FixedPointCodec> codecs = {FixedPointCodec::Integer(7)};
+  CampaignQuery query;
+  query.name = "ages";
+  query.value_id = 0;
+  query.cadence_ticks = 2;
+  query.query.adaptive.bits = 7;
+  query.query.cohort.max_cohort_size = 400;
+  query.query.fault_plan = &plan;
+  query.query.fault_policy.report_deadline_minutes = 30.0;
+  MeterPolicy policy;
+  policy.max_bits_per_value = 2;
+  ResilienceConfig resilience;
+  resilience.seed = 91;
+  resilience.retry.max_retries_per_client = 2;
+  resilience.hedge.enabled = true;
+  resilience.breaker.consecutive_failures_to_open = 2;
+  resilience.breaker.cooldown_rounds = 2;
+
+  constexpr int64_t kTicks = 4;
+  // Returns {stable events snapshot, alert timeline}.
+  auto run = [&](const std::string& dir) {
+    obs::EventRecorder::Default().Reset();
+    obs::SetEnabled(true);
+    DurableCampaignOptions options;
+    options.state_dir = dir;
+    options.seed = 654;
+    options.fsync = false;
+    DurableCampaignRunner runner({query}, policy, options, resilience);
+    std::string error;
+    EXPECT_TRUE(runner.Open(&error)) << error;
+    for (int64_t tick = 0; tick < kTicks; ++tick) {
+      runner.RunTick(tick, populations, codecs);
+    }
+    // Evaluate the burn-rate rule over the recovery-stable per-tick meter
+    // trajectory. The budget is twice the first tick's spend, so the spend
+    // ticks (0, 2) project exhaustion inside the horizon and fire, and the
+    // idle cadence ticks (1, 3) resolve.
+    obs::AlertEngine engine;
+    const auto& samples = runner.meter_by_tick();
+    EXPECT_EQ(samples.size(), static_cast<size_t>(kTicks));
+    EXPECT_GT(samples[0].bits_spent, 0);
+    const int64_t budget = samples[0].bits_spent * 2;
+    for (int64_t tick = 0; tick < kTicks; ++tick) {
+      obs::CampaignAlertInputs inputs;
+      inputs.tick = tick;
+      inputs.bits_spent = samples[static_cast<size_t>(tick)].bits_spent;
+      inputs.denied_charges =
+          samples[static_cast<size_t>(tick)].denied_charges;
+      inputs.bits_budget = budget;
+      engine.EvaluateCampaignTick(inputs);
+    }
+    obs::SetEnabled(false);
+    return std::make_pair(obs::DeterministicEventsSnapshot(),
+                          AlertTimelineText(engine));
+  };
+  const std::string base = ::testing::TempDir() + "/determinism_events";
+  std::filesystem::remove_all(base);
+  const auto first = run(base + "/a");
+  const auto second = run(base + "/b");
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+
+  // The artifacts are non-trivial: stable round/meter events were emitted,
+  // and the burn-rate alert both fired and resolved.
+  EXPECT_NE(first.first.find("round_outcome"), std::string::npos)
+      << first.first;
+  EXPECT_NE(first.first.find("meter_charge"), std::string::npos)
+      << first.first;
+  EXPECT_NE(first.second.find("tick=0 fired privacy_burn_rate"),
+            std::string::npos)
+      << first.second;
+  EXPECT_NE(first.second.find("tick=1 resolved privacy_burn_rate"),
+            std::string::npos)
+      << first.second;
+
+  // Crash run c halfway through its journal, recover, and re-derive both
+  // artifacts — byte-identical to the uninterrupted run.
+  run(base + "/c");
+  JournalReadResult journal;
+  std::string error;
+  ASSERT_TRUE(ReadJournal(base + "/c/journal.wal", 0, &journal, &error))
+      << error;
+  ASSERT_TRUE(TruncateJournalToRecords(base + "/c/journal.wal",
+                                       journal.records.size() / 2, &error))
+      << error;
+  const auto recovered = run(base + "/c");
+  EXPECT_EQ(recovered.first, first.first);
+  EXPECT_EQ(recovered.second, first.second);
+  std::filesystem::remove_all(base);
+}
+
+TEST_F(DeterminismTest, ShardedTraceStitchesMergeAndShardSpans) {
+  // Cross-shard trace propagation: every per-shard collect span must be
+  // parented under the merge tier's tick span via the context carried in
+  // ShardTickFrame, for shard counts 2, 4, and 8, and the Chrome trace
+  // export must render the hierarchy ids.
+  constexpr int64_t kTicks = 2;
+  const std::vector<Client> clients =
+      MakePopulation(ages_.values(), ClientConfig{});
+  const std::vector<const std::vector<Client>*> populations = {&clients};
+  const std::vector<FixedPointCodec> codecs = {FixedPointCodec::Integer(7)};
+  CampaignQuery query;
+  query.name = "ages";
+  query.query.adaptive.bits = 7;
+  query.query.adaptive.epsilon = 1.0;
+  MeterPolicy policy;
+  policy.max_bits_per_value = kTicks + 1;
+
+  for (const int64_t shards : {int64_t{2}, int64_t{4}, int64_t{8}}) {
+    obs::Tracer::Default().Reset();
+    obs::SetTracingEnabled(true);
+    ShardedCampaignOptions options;
+    options.shards = shards;
+    options.seed = 97;
+    ShardedCampaignRunner runner({query}, policy, options);
+    runner.Open(populations, codecs);
+    for (int64_t tick = 0; tick < kTicks; ++tick) {
+      MergedTickResult out;
+      std::string error;
+      EXPECT_TRUE(runner.RunTick(tick, &out, &error)) << error;
+    }
+    obs::SetTracingEnabled(false);
+
+    const std::vector<obs::SpanRecord> spans =
+        obs::Tracer::Default().Snapshot();
+    std::map<int64_t, int64_t> merge_trace_by_span;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.name == "merge.tick") {
+        EXPECT_EQ(span.parent_span_id, 0) << "merge.tick must be a root";
+        merge_trace_by_span[span.span_id] = span.trace_id;
+      }
+    }
+    EXPECT_EQ(merge_trace_by_span.size(), static_cast<size_t>(kTicks))
+        << "one merge.tick root per tick at shards=" << shards;
+    int64_t collect_spans = 0;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.name != "shard.collect") continue;
+      ++collect_spans;
+      const auto parent = merge_trace_by_span.find(span.parent_span_id);
+      ASSERT_NE(parent, merge_trace_by_span.end())
+          << "shard.collect span not parented under a merge.tick span";
+      EXPECT_EQ(span.trace_id, parent->second)
+          << "collect span did not adopt the merge tick's trace id";
+    }
+    EXPECT_EQ(collect_spans, shards * kTicks) << "shards=" << shards;
+
+    const std::string json = obs::ChromeTraceJson();
+    std::string error;
+    EXPECT_TRUE(obs::JsonIsWellFormed(json, &error)) << error;
+    EXPECT_NE(json.find("\"parent\""), std::string::npos)
+        << "Chrome export dropped the hierarchy ids";
+  }
 }
 
 TEST_F(DeterminismTest, ShardedCampaignMatchesSingleCoordinator) {

@@ -1,0 +1,18 @@
+// src/obs/ is on the wall-clock allowlist, so a kStable flight-recorder
+// emission here must trip obs-stability: stable events feed the
+// deterministic events snapshot and belong in deterministic code, not
+// next to wall clocks.
+
+#include "obs/events.h"
+
+namespace fixture {
+
+void EmitStableInObs() {
+  bitpush::obs::EventArgs args;
+  args.detail = "fixture";
+  bitpush::obs::EmitEvent(bitpush::obs::EventType::kRoundOutcome,
+                          bitpush::obs::Determinism::kStable,
+                          std::move(args));
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// The sanctioned shape of flight-recorder emission from wall-clock-capable
+// code: src/obs/ is on the allowlist, and everything it emits is tagged
+// kVolatile, so the deterministic events snapshot never sees it.
+
+#include "obs/events.h"
+
+namespace fixture {
+
+void EmitVolatileInObs() {
+  bitpush::obs::EventArgs args;
+  args.detail = "fixture";
+  bitpush::obs::EmitEvent(bitpush::obs::EventType::kReplayMilestone,
+                          bitpush::obs::Determinism::kVolatile,
+                          std::move(args));
+}
+
+}  // namespace fixture

@@ -46,17 +46,17 @@ std::string ReadFile(const fs::path& path) {
 TEST(LintTest, BadTreeFiresEveryCheckFamily) {
   const Result result = RunLint(FixtureRoot("bad"), Options{});
   ASSERT_FALSE(result.io_error) << result.io_error_message;
-  EXPECT_EQ(result.files_scanned, 16);
+  EXPECT_EQ(result.files_scanned, 17);
 
   const std::map<Check, int> counts = CountByCheck(result);
   EXPECT_EQ(counts.at(Check::kDeterminism), 5)
       << FormatReport(result);  // one per banned construct line
   EXPECT_EQ(counts.at(Check::kPrivacyMetering), 3) << FormatReport(result);
-  EXPECT_EQ(counts.at(Check::kObsStability), 2) << FormatReport(result);
+  EXPECT_EQ(counts.at(Check::kObsStability), 3) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kHeaderHygiene), 4) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kWireExhaustiveness), 5) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kWaiverSyntax), 3) << FormatReport(result);
-  EXPECT_EQ(result.findings.size(), 22u) << FormatReport(result);
+  EXPECT_EQ(result.findings.size(), 23u) << FormatReport(result);
 }
 
 TEST(LintTest, ShardLayerMeteringRulesFireAndComply) {
@@ -153,7 +153,7 @@ TEST(LintTest, GoodTreeIsCleanWithOneBudgetedWaiver) {
   ASSERT_FALSE(result.io_error) << result.io_error_message;
   EXPECT_TRUE(result.findings.empty()) << FormatReport(result);
   EXPECT_EQ(result.waivers.size(), 1u) << FormatWaiverReport(result);
-  EXPECT_EQ(result.files_scanned, 8);
+  EXPECT_EQ(result.files_scanned, 9);
 }
 
 TEST(LintTest, FixModeRepairsGuardsAndNormalizesWaivers) {

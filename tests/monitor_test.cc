@@ -196,6 +196,63 @@ TEST(MetricMonitorTest, NonCumulativeRetryStatsDegradeGracefully) {
   EXPECT_FALSE(resumed.retry_stats_regressed);
 }
 
+TEST(MetricMonitorTest, RetryStormAlertSurfacesThroughWindowSummaries) {
+  Rng rng(11);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MonitorConfig config = Config(10);
+  config.alerts.retry_storm_threshold = 5;  // config plumbs to the engine
+  MetricMonitor monitor(codec, config);
+
+  RetryStats cumulative;
+  cumulative.retries_scheduled = 2;
+  const WindowSummary calm =
+      monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng);
+  EXPECT_EQ(calm.alerts_fired, 0);
+  EXPECT_EQ(calm.alerts_firing, 0);
+
+  cumulative.retries_scheduled = 20;  // delta 18 >= threshold 5
+  const WindowSummary storm =
+      monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng);
+  EXPECT_EQ(storm.alerts_fired, 1);
+  EXPECT_EQ(storm.alerts_firing, 1);
+  EXPECT_TRUE(monitor.alerts().firing(obs::AlertRule::kRetryStorm));
+
+  const WindowSummary after =  // cumulative count unchanged: storm over
+      monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng);
+  EXPECT_EQ(after.alerts_resolved, 1);
+  EXPECT_EQ(after.alerts_firing, 0);
+  // history mirrors what the returned summaries reported.
+  EXPECT_EQ(monitor.history()[1].alerts_fired, 1);
+  EXPECT_EQ(monitor.history()[2].alerts_resolved, 1);
+}
+
+TEST(MetricMonitorTest, RetryStatsRegressionRaisesRecoveryDivergenceAlert) {
+  Rng rng(12);
+  const FixedPointCodec codec = FixedPointCodec::Integer(10);
+  MetricMonitor monitor(codec, Config(10));
+
+  RetryStats cumulative;
+  cumulative.retry_reports_recovered = 10;
+  monitor.IngestWindow(Constant(4000, 100.0), cumulative, rng);
+
+  RetryStats per_window;  // non-cumulative: the total goes backwards
+  per_window.retry_reports_recovered = 4;
+  const WindowSummary regressed =
+      monitor.IngestWindow(Constant(4000, 100.0), per_window, rng);
+  EXPECT_TRUE(regressed.retry_stats_regressed);
+  EXPECT_EQ(regressed.alerts_fired, 1);
+  EXPECT_TRUE(monitor.alerts().firing(obs::AlertRule::kRecoveryDivergence));
+
+  // The divergence alert latches for the campaign even after the stats
+  // re-baseline and stop regressing.
+  per_window.retry_reports_recovered = 7;
+  const WindowSummary resumed =
+      monitor.IngestWindow(Constant(4000, 100.0), per_window, rng);
+  EXPECT_FALSE(resumed.retry_stats_regressed);
+  EXPECT_EQ(resumed.alerts_resolved, 0);
+  EXPECT_EQ(resumed.alerts_firing, 1);
+}
+
 TEST(MetricMonitorTest, ShardSnapshotRecoveryIsNotARegression) {
   Rng rng(10);
   const FixedPointCodec codec = FixedPointCodec::Integer(10);

@@ -1,9 +1,12 @@
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/alerts.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -268,6 +271,271 @@ TEST_F(ObsTest, WriteTextFileRoundTrips) {
   EXPECT_FALSE(
       obs::WriteTextFile("/nonexistent-dir/x.txt", "data", &error));
   EXPECT_FALSE(error.empty());
+}
+
+// --------------------------------------------------------------------------
+// Flight recorder (obs/events.h). Local EventRecorder instances keep these
+// cases independent of the process-wide Default() ring.
+
+TEST_F(ObsTest, EventRingEvictsOldestAndCountsDrops) {
+  obs::EventRecorder recorder;
+  recorder.SetCapacity(4);
+  for (int i = 0; i < 6; ++i) {
+    obs::EventArgs args;
+    args.tick = i;
+    recorder.Emit(obs::EventType::kRoundOutcome, obs::Determinism::kStable,
+                  std::move(args));
+  }
+  const std::vector<obs::EventRecord> stable =
+      recorder.Snapshot(obs::Determinism::kStable);
+  ASSERT_EQ(stable.size(), 4u);
+  EXPECT_EQ(stable.front().seq, 2);  // seqs 0 and 1 were evicted
+  EXPECT_EQ(stable.back().seq, 5);
+  EXPECT_EQ(recorder.dropped(obs::Determinism::kStable), 2);
+  EXPECT_EQ(recorder.emitted(obs::Determinism::kStable), 6);
+  EXPECT_EQ(recorder.dropped(obs::Determinism::kVolatile), 0);
+  recorder.Reset();
+  EXPECT_TRUE(recorder.Snapshot(obs::Determinism::kStable).empty());
+  EXPECT_EQ(recorder.emitted(obs::Determinism::kStable), 0);
+}
+
+TEST_F(ObsTest, VolatileSpamCannotEvictStableEvents) {
+  obs::EventRecorder recorder;
+  recorder.SetCapacity(2);
+  obs::EventArgs stable_args;
+  stable_args.tick = 0;
+  recorder.Emit(obs::EventType::kMeterCharge, obs::Determinism::kStable,
+                std::move(stable_args));
+  for (int i = 0; i < 10; ++i) {
+    recorder.Emit(obs::EventType::kReplayMilestone,
+                  obs::Determinism::kVolatile, obs::EventArgs{});
+  }
+  // The stable ring is untouched by the volatile flood: separate rings,
+  // separate sequence counters, separate eviction accounting.
+  const std::vector<obs::EventRecord> stable =
+      recorder.Snapshot(obs::Determinism::kStable);
+  ASSERT_EQ(stable.size(), 1u);
+  EXPECT_EQ(stable[0].seq, 0);
+  EXPECT_EQ(recorder.dropped(obs::Determinism::kStable), 0);
+  EXPECT_EQ(recorder.dropped(obs::Determinism::kVolatile), 8);
+  const std::vector<obs::EventRecord> all = recorder.SnapshotAll();
+  ASSERT_EQ(all.size(), 3u);  // stable ring first
+  EXPECT_EQ(all[0].determinism, obs::Determinism::kStable);
+}
+
+TEST_F(ObsTest, EventsJsonlIsWellFormedPerLine) {
+  obs::EventRecorder recorder;
+  obs::EventArgs args;
+  args.tick = 3;
+  args.shard = 1;
+  args.detail = "quote \" backslash \\ newline \n done";
+  recorder.Emit(obs::EventType::kShardLost, obs::Determinism::kVolatile,
+                std::move(args));
+  obs::EventArgs charge;
+  charge.tick = 0;
+  charge.has_sim_minutes = true;
+  charge.sim_minutes = 2.5;
+  recorder.Emit(obs::EventType::kMeterCharge, obs::Determinism::kStable,
+                std::move(charge));
+  const std::string jsonl = obs::EventsJsonl(recorder);
+  size_t lines = 0;
+  std::istringstream stream(jsonl);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    std::string error;
+    EXPECT_TRUE(obs::JsonIsWellFormed(line, &error)) << line << ": " << error;
+  }
+  EXPECT_EQ(lines, 2u);
+  // Stable ring first, escapes intact, coordinates present.
+  EXPECT_NE(jsonl.find("\"type\":\"meter_charge\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"determinism\":\"stable\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"shard\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\\""), std::string::npos);
+  EXPECT_LT(jsonl.find("meter_charge"), jsonl.find("shard_lost"));
+}
+
+TEST_F(ObsTest, DeterministicEventsSnapshotDropsVolatileEvents) {
+  obs::EventRecorder recorder;
+  obs::EventArgs stable_args;
+  stable_args.tick = 1;
+  stable_args.detail = "value=0 first grant";
+  recorder.Emit(obs::EventType::kMeterCharge, obs::Determinism::kStable,
+                std::move(stable_args));
+  obs::EventArgs volatile_args;
+  volatile_args.detail = "replayed 120 records";
+  recorder.Emit(obs::EventType::kReplayMilestone, obs::Determinism::kVolatile,
+                std::move(volatile_args));
+  const std::string snapshot = obs::DeterministicEventsSnapshot(recorder);
+  EXPECT_EQ(snapshot.rfind("# bitpush deterministic events snapshot v1\n", 0),
+            0u);
+  EXPECT_NE(snapshot.find("meter_charge"), std::string::npos);
+  EXPECT_EQ(snapshot.find("replay_milestone"), std::string::npos);
+}
+
+TEST_F(ObsTest, EmitEventIsANoOpWhenObsDisabled) {
+  obs::EventRecorder::Default().Reset();
+  obs::SetEnabled(false);
+  obs::EmitEvent(obs::EventType::kRoundOutcome, obs::Determinism::kStable,
+                 obs::EventArgs{});
+  EXPECT_EQ(obs::EventRecorder::Default().emitted(obs::Determinism::kStable),
+            0);
+  obs::SetEnabled(true);
+  obs::EmitEvent(obs::EventType::kRoundOutcome, obs::Determinism::kStable,
+                 obs::EventArgs{});
+  EXPECT_EQ(obs::EventRecorder::Default().emitted(obs::Determinism::kStable),
+            1);
+  obs::EventRecorder::Default().Reset();
+}
+
+// --------------------------------------------------------------------------
+// Alert engine (obs/alerts.h). Inputs are cumulative; the engine differences
+// them internally, so each case feeds a small cumulative trajectory.
+
+TEST_F(ObsTest, BurnRateAlertFiresOnProjectionAndResolvesWhenIdle) {
+  obs::AlertEngine engine;  // horizon: 2 ticks
+  obs::CampaignAlertInputs inputs;
+  inputs.bits_budget = 100;
+  inputs.tick = 0;
+  inputs.bits_spent = 50;  // 50/tick leaves tte = 1 tick <= horizon
+  std::vector<obs::AlertTransition> transitions =
+      engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].rule, obs::AlertRule::kPrivacyBurnRate);
+  EXPECT_TRUE(transitions[0].fired);
+  EXPECT_NE(transitions[0].detail.find("tte_ticks=1"), std::string::npos);
+  EXPECT_TRUE(engine.firing(obs::AlertRule::kPrivacyBurnRate));
+
+  inputs.tick = 1;  // no new spend, no denials: the burn stopped
+  transitions = engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_FALSE(transitions[0].fired);
+  EXPECT_FALSE(engine.firing(obs::AlertRule::kPrivacyBurnRate));
+  EXPECT_EQ(engine.fired_total(), 1);
+  EXPECT_EQ(engine.resolved_total(), 1);
+}
+
+TEST_F(ObsTest, BurnRateAlertFiresImmediatelyOnDenial) {
+  obs::AlertEngine engine;
+  obs::CampaignAlertInputs inputs;
+  inputs.bits_budget = 100;
+  inputs.tick = 0;
+  inputs.bits_spent = 10;  // tte = 9 ticks: comfortably outside the horizon
+  EXPECT_TRUE(engine.EvaluateCampaignTick(inputs).empty());
+  inputs.tick = 1;
+  inputs.denied_charges = 1;  // the wall was hit regardless of projection
+  const std::vector<obs::AlertTransition> transitions =
+      engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_TRUE(transitions[0].fired);
+  EXPECT_NE(transitions[0].detail.find("budget exhausted"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, RetryStormAlertTracksPerTickDelta) {
+  obs::AlertEngine engine;  // threshold: 8 per tick
+  obs::CampaignAlertInputs inputs;
+  inputs.tick = 0;
+  inputs.retries_scheduled = 3;
+  EXPECT_TRUE(engine.EvaluateCampaignTick(inputs).empty());
+  inputs.tick = 1;
+  inputs.retries_scheduled = 15;  // delta 12 >= 8
+  std::vector<obs::AlertTransition> transitions =
+      engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].rule, obs::AlertRule::kRetryStorm);
+  EXPECT_TRUE(transitions[0].fired);
+  inputs.tick = 2;  // cumulative count unchanged: the storm passed
+  transitions = engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_FALSE(transitions[0].fired);
+}
+
+TEST_F(ObsTest, QuorumAtRiskAlertFiresAtTheMargin) {
+  obs::AlertEngine engine;  // margin: 0
+  obs::CampaignAlertInputs inputs;
+  inputs.tick = 0;
+  inputs.shards_total = 4;
+  inputs.quorum_min = 3;
+  inputs.shards_delivered = 3;  // exactly at quorum: no headroom left
+  std::vector<obs::AlertTransition> transitions =
+      engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].rule, obs::AlertRule::kShardQuorumAtRisk);
+  EXPECT_TRUE(transitions[0].fired);
+  inputs.tick = 1;
+  inputs.shards_delivered = 4;  // full delivery restores headroom
+  transitions = engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_FALSE(transitions[0].fired);
+  // shards_delivered = -1 (unsharded run) keeps the rule gated off.
+  obs::AlertEngine unsharded;
+  obs::CampaignAlertInputs single;
+  single.tick = 0;
+  EXPECT_TRUE(unsharded.EvaluateCampaignTick(single).empty());
+}
+
+TEST_F(ObsTest, JournalGrowthAlertFiresAtThresholdAndResolvesAfterTruncate) {
+  obs::AlertConfig config;
+  config.journal_growth_threshold = 1000;
+  obs::AlertEngine engine(config);
+  obs::CampaignAlertInputs inputs;
+  inputs.tick = 0;
+  inputs.journal_records = 400;
+  EXPECT_TRUE(engine.EvaluateCampaignTick(inputs).empty());
+  inputs.tick = 1;
+  inputs.journal_records = 1200;
+  std::vector<obs::AlertTransition> transitions =
+      engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].rule, obs::AlertRule::kJournalGrowth);
+  EXPECT_TRUE(transitions[0].fired);
+  inputs.tick = 2;
+  inputs.journal_records = 50;  // snapshot + truncate happened
+  transitions = engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_FALSE(transitions[0].fired);
+}
+
+TEST_F(ObsTest, RecoveryDivergenceAlertLatchesForTheCampaign) {
+  obs::AlertEngine engine;
+  obs::CampaignAlertInputs inputs;
+  inputs.tick = 0;
+  inputs.recovery_divergence = true;
+  const std::vector<obs::AlertTransition> transitions =
+      engine.EvaluateCampaignTick(inputs);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].rule, obs::AlertRule::kRecoveryDivergence);
+  EXPECT_TRUE(transitions[0].fired);
+  inputs.tick = 1;
+  inputs.recovery_divergence = false;  // latched: never resolves
+  EXPECT_TRUE(engine.EvaluateCampaignTick(inputs).empty());
+  EXPECT_TRUE(engine.firing(obs::AlertRule::kRecoveryDivergence));
+  engine.Reset();
+  EXPECT_FALSE(engine.firing(obs::AlertRule::kRecoveryDivergence));
+  EXPECT_EQ(engine.fired_total(), 0);
+}
+
+TEST_F(ObsTest, AlertEngineRefreshesStateGaugesAndTimelineIsStableOnly) {
+  obs::Registry::Default().Reset();
+  obs::AlertEngine engine;
+  obs::CampaignAlertInputs inputs;
+  inputs.tick = 0;
+  inputs.bits_budget = 100;
+  inputs.bits_spent = 60;          // kStable rule fires
+  inputs.recovery_divergence = true;  // kVolatile rule fires
+  engine.EvaluateCampaignTick(inputs);
+  const std::string prom = obs::PrometheusText();
+  EXPECT_NE(prom.find("bitpush_alert_state_privacy_burn_rate"),
+            std::string::npos);
+  const std::string timeline = obs::AlertTimelineText(engine);
+  EXPECT_EQ(timeline.rfind("# bitpush alert timeline v1\n", 0), 0u);
+  EXPECT_NE(timeline.find("tick=0 fired privacy_burn_rate"),
+            std::string::npos);
+  // The volatile recovery_divergence transition stays out of the
+  // deterministic timeline.
+  EXPECT_EQ(timeline.find("recovery_divergence"), std::string::npos);
 }
 
 }  // namespace

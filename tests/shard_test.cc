@@ -192,6 +192,57 @@ TEST(ShardFrameCodecTest, RoundTripsAndFailsClosed) {
   EXPECT_FALSE(DecodeShardTickFrame(bad_wire, &out));
 }
 
+TEST(ShardFrameCodecTest, TraceContextSectionFailsClosed) {
+  ShardTickFrame frame;
+  frame.shard = 1;
+  frame.tick = 0;
+  frame.trace_id = 7001;
+  frame.span_id = 7002;
+  frame.parent_span_id = 7000;
+  std::vector<uint8_t> wire;
+  EncodeShardTickFrame(frame, &wire);
+  ShardTickFrame decoded;
+  ASSERT_TRUE(DecodeShardTickFrame(wire, &decoded));
+  EXPECT_EQ(decoded.trace_id, 7001);
+  EXPECT_EQ(decoded.span_id, 7002);
+  EXPECT_EQ(decoded.parent_span_id, 7000);
+
+  // The trace section is the trailing sub-version byte plus three int64
+  // ids. An unknown sub-version must be rejected even though the outer
+  // frame version matched.
+  std::vector<uint8_t> bad_subversion = wire;
+  bad_subversion[wire.size() - 25] ^= 0xFF;
+  ShardTickFrame out;
+  EXPECT_FALSE(DecodeShardTickFrame(bad_subversion, &out));
+
+  // A frame cut off mid-trace-section must be rejected, not defaulted.
+  std::vector<uint8_t> truncated = wire;
+  truncated.resize(wire.size() - 8);
+  EXPECT_FALSE(DecodeShardTickFrame(truncated, &out));
+
+  // Negative ids never appear on a healthy wire (zero means "tracing
+  // disabled"); each one fails closed.
+  for (int field = 0; field < 3; ++field) {
+    ShardTickFrame negative = frame;
+    if (field == 0) negative.trace_id = -1;
+    if (field == 1) negative.span_id = -1;
+    if (field == 2) negative.parent_span_id = -1;
+    std::vector<uint8_t> negative_wire;
+    EncodeShardTickFrame(negative, &negative_wire);
+    EXPECT_FALSE(DecodeShardTickFrame(negative_wire, &out))
+        << "negative id field " << field << " decoded";
+  }
+
+  // All-zero context (tracing disabled) stays valid.
+  ShardTickFrame disabled;
+  disabled.shard = 0;
+  disabled.tick = 0;
+  std::vector<uint8_t> disabled_wire;
+  EncodeShardTickFrame(disabled, &disabled_wire);
+  EXPECT_TRUE(DecodeShardTickFrame(disabled_wire, &out));
+  EXPECT_EQ(out.trace_id, 0);
+}
+
 // --------------------------------------------------------------------------
 // Sharded == single-coordinator reference, in-memory and durable.
 

@@ -391,9 +391,11 @@ void CheckPrivacyMetering(const SourceFile& file,
 
 // ---------------------------------------------------------------------------
 // obs-stability: instruments tagged Determinism::kStable feed the
-// deterministic metrics snapshot, which must be byte-identical across
+// deterministic metrics snapshot, and kStable flight-recorder events feed
+// the deterministic events snapshot — both must be byte-identical across
 // reruns and crash recovery. A file that is allowed to touch wall clocks
-// (allowlisted or waived) therefore may not register kStable instruments.
+// (allowlisted or waived) therefore may not register kStable instruments
+// or emit kStable events.
 
 void CheckObsStability(const SourceFile& file,
                        const std::vector<Waiver>& waivers,
@@ -406,18 +408,20 @@ void CheckObsStability(const SourceFile& file,
     }
   }
   if (!wall_clock_capable) return;
-  static const std::regex kRegisterRe(R"(Get(Counter|Gauge|Histogram)\s*\()");
+  static const std::regex kRegisterRe(
+      R"((Get(Counter|Gauge|Histogram)|EmitEvent)\s*\()");
   static const std::regex kStableRe(R"(\bkStable\b)");
   for (size_t i = 0; i < file.code_lines.size(); ++i) {
     if (!std::regex_search(file.code_lines[i], kRegisterRe)) continue;
-    // Scan the registration statement (to the terminating ';', capped).
+    // Scan the registration/emission statement (to the terminating ';',
+    // capped).
     for (size_t j = i; j < file.code_lines.size() && j < i + 10; ++j) {
       if (std::regex_search(file.code_lines[j], kStableRe)) {
         findings->push_back(
             {file.rel_path, static_cast<int>(i + 1), Check::kObsStability,
              "file is allowed to touch wall clocks, so it may not register "
-             "Determinism::kStable instruments (tag it kVolatile or move "
-             "the instrument)"});
+             "Determinism::kStable instruments or emit kStable events (tag "
+             "it kVolatile or move the instrumentation)"});
         break;
       }
       if (file.code_lines[j].find(';') != std::string::npos) break;

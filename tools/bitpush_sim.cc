@@ -23,6 +23,8 @@
 #include "federated/shard/runner.h"
 #include "data/file_source.h"
 #include "data/synthetic.h"
+#include "obs/alerts.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -75,9 +77,12 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
 // to stdout. The trace is always Chrome trace-event JSON.
 class ObsExporter {
  public:
-  ObsExporter(std::string metrics_out, std::string trace_out)
+  ObsExporter(std::string metrics_out, std::string trace_out,
+              std::string events_out, std::string alerts_out)
       : metrics_out_(std::move(metrics_out)),
-        trace_out_(std::move(trace_out)) {}
+        trace_out_(std::move(trace_out)),
+        events_out_(std::move(events_out)),
+        alerts_out_(std::move(alerts_out)) {}
 
   ~ObsExporter() {
     std::string error;
@@ -99,11 +104,27 @@ class ObsExporter {
         !obs::WriteTextFile(trace_out_, obs::ChromeTraceJson(), &error)) {
       std::fprintf(stderr, "--trace_out: %s\n", error.c_str());
     }
+    if (!events_out_.empty()) {
+      // .snapshot = stable ring only, byte-identical across crash-recovered
+      // reruns; anything else = the full JSONL dump (both rings).
+      const std::string text = EndsWith(events_out_, ".snapshot")
+                                   ? obs::DeterministicEventsSnapshot()
+                                   : obs::EventsJsonl();
+      if (!obs::WriteTextFile(events_out_, text, &error)) {
+        std::fprintf(stderr, "--events_out: %s\n", error.c_str());
+      }
+    }
+    if (!alerts_out_.empty() &&
+        !obs::WriteTextFile(alerts_out_, obs::AlertTimelineText(), &error)) {
+      std::fprintf(stderr, "--alerts_out: %s\n", error.c_str());
+    }
   }
 
  private:
   std::string metrics_out_;
   std::string trace_out_;
+  std::string events_out_;
+  std::string alerts_out_;
 };
 
 int Main(int argc, char** argv) {
@@ -170,11 +191,23 @@ int Main(int argc, char** argv) {
   flags.AddString("trace_out", &trace_out,
                   "write spans on exit as Chrome trace-event JSON "
                   "(- = stdout)");
+  std::string events_out;
+  std::string alerts_out;
+  flags.AddString("events_out", &events_out,
+                  "write flight-recorder events on exit (.snapshot = "
+                  "deterministic stable stream, anything else = JSONL; "
+                  "- = stdout)");
+  flags.AddString("alerts_out", &alerts_out,
+                  "write the deterministic fired-alert timeline on exit "
+                  "(- = stdout)");
   flags.Parse(argc, argv);
 
-  if (!metrics_out.empty() || !trace_out.empty()) obs::SetEnabled(true);
+  if (!metrics_out.empty() || !trace_out.empty() || !events_out.empty() ||
+      !alerts_out.empty()) {
+    obs::SetEnabled(true);
+  }
   if (!trace_out.empty()) obs::SetTracingEnabled(true);
-  const ObsExporter exporter(metrics_out, trace_out);
+  const ObsExporter exporter(metrics_out, trace_out, events_out, alerts_out);
 
   Rng rng(static_cast<uint64_t>(seed));
   const FixedPointCodec codec =
@@ -316,6 +349,23 @@ int Main(int argc, char** argv) {
           std::fprintf(stderr, "sharded tick failed: %s\n", error.c_str());
           return EXIT_FAILURE;
         }
+        // Per-tick alert evaluation over the merged topology: the privacy
+        // inputs are the sum of the disjoint shard-local ledgers, and the
+        // delivery inputs come from the tick's merge result.
+        obs::CampaignAlertInputs alert_inputs;
+        alert_inputs.tick = tick;
+        for (int64_t s = 0; s < shards; ++s) {
+          const PrivacyMeter* meter = sharded.shard(s)->local_meter();
+          if (meter == nullptr) continue;
+          alert_inputs.bits_spent += meter->total_bits();
+          alert_inputs.denied_charges += meter->denied_charges();
+        }
+        alert_inputs.bits_budget = static_cast<int64_t>(population.size()) *
+                                   policy.max_bits_per_client;
+        alert_inputs.shards_delivered = merged.shards_delivered;
+        alert_inputs.shards_total = shards;
+        alert_inputs.quorum_min = sharded.merge().quorum_min();
+        obs::AlertEngine::Default().EvaluateCampaignTick(alert_inputs);
         for (const MergedQueryResult& result : merged.queries) {
           const char* status =
               result.status == MergedQueryResult::Status::kRan ? "ran"
@@ -376,8 +426,27 @@ int Main(int argc, char** argv) {
     const std::vector<FixedPointCodec> codecs = {codec, codec};
     Table table({"tick", "query", "status", "estimate", "reports"});
     for (int64_t tick = 0; tick < ticks; ++tick) {
-      for (const CampaignTickResult& result :
-           runner.RunTick(tick, populations, codecs)) {
+      const std::vector<CampaignTickResult> tick_results =
+          runner.RunTick(tick, populations, codecs);
+      // Per-tick alert evaluation. The meter inputs come from the
+      // recovery-stable trajectory (meter_by_tick), not the live ledger,
+      // so the kStable burn-rate rule's timeline is byte-identical across
+      // a clean run and a crash-recovered rerun; the volatile rules
+      // (journal growth, recovery divergence) consume live process state.
+      obs::CampaignAlertInputs alert_inputs;
+      alert_inputs.tick = tick;
+      const auto& meter_samples = runner.meter_by_tick();
+      if (static_cast<size_t>(tick) < meter_samples.size()) {
+        const auto& sample = meter_samples[static_cast<size_t>(tick)];
+        alert_inputs.bits_spent = sample.bits_spent;
+        alert_inputs.denied_charges = sample.denied_charges;
+      }
+      alert_inputs.bits_budget = static_cast<int64_t>(population.size()) *
+                                 policy.max_bits_per_client;
+      alert_inputs.journal_records = runner.journal_records();
+      alert_inputs.recovery_divergence = info.torn_tail;
+      obs::AlertEngine::Default().EvaluateCampaignTick(alert_inputs);
+      for (const CampaignTickResult& result : tick_results) {
         const char* status =
             result.status == CampaignTickResult::Status::kRan ? "ran"
             : result.status == CampaignTickResult::Status::kSkippedCohort
