@@ -31,6 +31,15 @@ cmake --build "$BUILD_DIR" --target bitpush_lint
 "$BUILD_DIR/tools/bitpush_lint" --root=. --list-waivers
 "$BUILD_DIR/tools/bitpush_lint" --root=.
 
+# Dataflow stage: the cross-TU passes (privacy-taint from client values to
+# wire/journal/obs sinks, determinism-flow over Rng seed lineage) catch
+# what the token-level lint cannot — a leak laundered through a helper in
+# another TU. Same contract as the lint stage: waiver budget printed,
+# unwaived findings fail the run.
+cmake --build "$BUILD_DIR" --target bitpush_analyze
+"$BUILD_DIR/tools/bitpush_analyze" --root=. --list-waivers
+"$BUILD_DIR/tools/bitpush_analyze" --root=.
+
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 

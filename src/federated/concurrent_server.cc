@@ -33,13 +33,13 @@ const AggregatorInstruments& GetAggregatorInstruments() {
 ConcurrentAggregator::ConcurrentAggregator(int bits) : histogram_(bits) {}
 
 void ConcurrentAggregator::Add(int bit_index, int reported_bit) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   histogram_.Add(bit_index, reported_bit);
   GetAggregatorInstruments().reports->Increment();
 }
 
 void ConcurrentAggregator::Merge(const BitHistogram& batch) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   histogram_.Merge(batch);
   const AggregatorInstruments& obs = GetAggregatorInstruments();
   obs.merges->Increment();
@@ -47,22 +47,22 @@ void ConcurrentAggregator::Merge(const BitHistogram& batch) {
 }
 
 void ConcurrentAggregator::MergeRetryStats(const RetryStats& batch) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   retry_stats_.MergeFrom(batch);
 }
 
 BitHistogram ConcurrentAggregator::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return histogram_;
 }
 
 RetryStats ConcurrentAggregator::retry_stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return retry_stats_;
 }
 
 int64_t ConcurrentAggregator::TotalReports() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return histogram_.TotalReports();
 }
 
@@ -70,35 +70,35 @@ ConcurrentHealthTracker::ConcurrentHealthTracker(const BreakerPolicy& policy)
     : tracker_(policy) {}
 
 void ConcurrentHealthTracker::BeginRound() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   tracker_.BeginRound();
 }
 
 AssignmentDecision ConcurrentHealthTracker::Decision(int64_t client_id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return tracker_.Decision(client_id);
 }
 
 void ConcurrentHealthTracker::ObserveRound(
     int64_t round_id, const std::vector<int64_t>& succeeded_client_ids,
     const std::vector<int64_t>& failed_client_ids) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   tracker_.ObserveRound(round_id, succeeded_client_ids, failed_client_ids,
                         /*recorder=*/nullptr);
 }
 
 BreakerState ConcurrentHealthTracker::state(int64_t client_id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return tracker_.state(client_id);
 }
 
 int64_t ConcurrentHealthTracker::opens() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return tracker_.opens();
 }
 
 int64_t ConcurrentHealthTracker::closes() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return tracker_.closes();
 }
 

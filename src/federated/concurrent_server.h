@@ -9,11 +9,11 @@
 #define BITPUSH_FEDERATED_CONCURRENT_SERVER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "core/bit_pushing.h"
 #include "federated/resilience.h"
+#include "util/thread_annotations.h"
 
 namespace bitpush {
 
@@ -44,9 +44,9 @@ class ConcurrentAggregator {
   int64_t TotalReports() const;
 
  private:
-  mutable std::mutex mutex_;
-  BitHistogram histogram_;
-  RetryStats retry_stats_;
+  mutable util::Mutex mutex_;
+  BitHistogram histogram_ BITPUSH_GUARDED_BY(mutex_);
+  RetryStats retry_stats_ BITPUSH_GUARDED_BY(mutex_);
 };
 
 // Thread-safe facade over the per-client circuit breaker
@@ -73,8 +73,8 @@ class ConcurrentHealthTracker {
   int64_t closes() const;
 
  private:
-  mutable std::mutex mutex_;
-  HealthTracker tracker_;
+  mutable util::Mutex mutex_;
+  HealthTracker tracker_ BITPUSH_GUARDED_BY(mutex_);
 };
 
 }  // namespace bitpush

@@ -157,6 +157,9 @@ bool DecodeShardTickFrame(const std::vector<uint8_t>& buffer,
   if (frame.shard < 0 || frame.tick < 0) return false;
   uint32_t count = 0;
   if (!bytes::GetUint32(buffer, &cursor, &count)) return false;
+  // A lied count must not drive the reserve below: every query frame
+  // consumes many bytes, so the remaining buffer length is a safe bound.
+  if (static_cast<size_t>(count) > buffer.size() - cursor) return false;
   frame.queries.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     ShardQueryFrame query;

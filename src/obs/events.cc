@@ -43,7 +43,7 @@ EventRecorder& EventRecorder::Default() {
 
 void EventRecorder::Emit(EventType type, Determinism determinism,
                          EventArgs args) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Ring& r = ring(determinism);
   EventRecord record;
   record.seq = r.next_seq++;
@@ -59,30 +59,30 @@ void EventRecorder::Emit(EventType type, Determinism determinism,
 
 std::vector<EventRecord> EventRecorder::Snapshot(
     Determinism determinism) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return ring(determinism).entries;
 }
 
 std::vector<EventRecord> EventRecorder::SnapshotAll() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<EventRecord> out = stable_.entries;
   out.insert(out.end(), volatile_.entries.begin(), volatile_.entries.end());
   return out;
 }
 
 int64_t EventRecorder::dropped(Determinism determinism) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return ring(determinism).dropped;
 }
 
 int64_t EventRecorder::emitted(Determinism determinism) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return ring(determinism).next_seq;
 }
 
 void EventRecorder::SetCapacity(size_t capacity) {
   BITPUSH_CHECK_GE(capacity, 1u);
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   capacity_ = capacity;
   for (Ring* r : {&stable_, &volatile_}) {
     while (r->entries.size() > capacity_) {
@@ -93,12 +93,12 @@ void EventRecorder::SetCapacity(size_t capacity) {
 }
 
 size_t EventRecorder::capacity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return capacity_;
 }
 
 void EventRecorder::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   stable_ = Ring{};
   volatile_ = Ring{};
 }

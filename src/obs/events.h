@@ -28,11 +28,11 @@
 #define BITPUSH_OBS_EVENTS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace bitpush::obs {
 
@@ -116,17 +116,17 @@ class EventRecorder {
     int64_t dropped = 0;
   };
 
-  Ring& ring(Determinism determinism) {
+  Ring& ring(Determinism determinism) BITPUSH_REQUIRES(mutex_) {
     return determinism == Determinism::kStable ? stable_ : volatile_;
   }
-  const Ring& ring(Determinism determinism) const {
+  const Ring& ring(Determinism determinism) const BITPUSH_REQUIRES(mutex_) {
     return determinism == Determinism::kStable ? stable_ : volatile_;
   }
 
-  mutable std::mutex mutex_;
-  size_t capacity_ = 4096;
-  Ring stable_;
-  Ring volatile_;
+  mutable util::Mutex mutex_;
+  size_t capacity_ BITPUSH_GUARDED_BY(mutex_) = 4096;
+  Ring stable_ BITPUSH_GUARDED_BY(mutex_);
+  Ring volatile_ BITPUSH_GUARDED_BY(mutex_);
 };
 
 // Emission entry point used by instrumented call sites. The determinism

@@ -51,7 +51,7 @@ Registry::Entry* Registry::FindOrNull(std::string_view name) {
 
 Counter* Registry::GetCounter(std::string_view name, std::string_view help,
                               Determinism determinism) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (Entry* entry = FindOrNull(name)) {
     BITPUSH_CHECK(entry->info.kind == InstrumentKind::kCounter)
         << "instrument " << std::string(name) << " re-registered as counter";
@@ -69,7 +69,7 @@ Counter* Registry::GetCounter(std::string_view name, std::string_view help,
 
 Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
                           Determinism determinism) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (Entry* entry = FindOrNull(name)) {
     BITPUSH_CHECK(entry->info.kind == InstrumentKind::kGauge)
         << "instrument " << std::string(name) << " re-registered as gauge";
@@ -88,7 +88,7 @@ Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
 Histogram* Registry::GetHistogram(std::string_view name, std::string_view help,
                                   std::vector<double> bounds,
                                   Determinism determinism) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (Entry* entry = FindOrNull(name)) {
     BITPUSH_CHECK(entry->info.kind == InstrumentKind::kHistogram)
         << "instrument " << std::string(name) << " re-registered as histogram";
@@ -108,7 +108,7 @@ Histogram* Registry::GetHistogram(std::string_view name, std::string_view help,
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) entry.counter->Reset();
     if (entry.gauge != nullptr) entry.gauge->Reset();
@@ -119,7 +119,7 @@ void Registry::Reset() {
 void Registry::Visit(
     const std::function<void(const InstrumentInfo&, const Counter*,
                              const Gauge*, const Histogram*)>& visitor) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& [name, entry] : entries_) {
     visitor(entry.info, entry.counter.get(), entry.gauge.get(),
             entry.histogram.get());
@@ -127,7 +127,7 @@ void Registry::Visit(
 }
 
 size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return entries_.size();
 }
 

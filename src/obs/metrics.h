@@ -34,10 +34,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace bitpush::obs {
 
@@ -174,10 +175,11 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* FindOrNull(std::string_view name);
+  Entry* FindOrNull(std::string_view name) BITPUSH_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_
+      BITPUSH_GUARDED_BY(mutex_);
 };
 
 // Wall-clock scoped timer feeding a histogram in seconds. When

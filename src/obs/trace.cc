@@ -19,22 +19,22 @@ Tracer& Tracer::Default() {
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   spans_.push_back(std::move(record));
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return spans_;
 }
 
 int64_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return static_cast<int64_t>(spans_.size());
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   spans_.clear();
 }
 

@@ -26,11 +26,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace bitpush::obs {
 
@@ -102,8 +103,8 @@ class Tracer {
   static int64_t NextSpanId();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
+  mutable util::Mutex mutex_;
+  std::vector<SpanRecord> spans_ BITPUSH_GUARDED_BY(mutex_);
 };
 
 // RAII span: starts timing at construction, records into the default

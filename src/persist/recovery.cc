@@ -412,7 +412,10 @@ bool DurableCampaignRunner::RewriteJournalFile(
     *error = "rewrite journal " + temp_path + ": " + std::strerror(errno);
     return false;
   }
+  // An empty record set is legal (a journal rewritten down to nothing) and
+  // an empty vector's data() may be null, which fwrite declares nonnull.
   const bool wrote =
+      bytes.empty() ||
       std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
   const bool flushed = wrote && std::fflush(file) == 0;
   const bool synced = flushed && (!options_.fsync || fsync(fileno(file)) == 0);

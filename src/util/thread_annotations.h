@@ -1,0 +1,73 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety), compiled
+// away under GCC and other compilers without the capability attributes.
+//
+// The analysis only follows lock acquisitions it can see, and std::mutex
+// / std::lock_guard carry no annotations in libstdc++ — so this header
+// also provides the thin annotated wrappers (util::Mutex, util::MutexLock)
+// the concurrent classes hold instead of naked std types. Under GCC the
+// wrappers compile to exactly a std::mutex and a lock_guard; under Clang
+// the CI build promotes -Wthread-safety to an error, so a guarded member
+// touched without its mutex fails the build.
+
+#ifndef BITPUSH_UTIL_THREAD_ANNOTATIONS_H_
+#define BITPUSH_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BITPUSH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BITPUSH_THREAD_ANNOTATION
+#define BITPUSH_THREAD_ANNOTATION(x)
+#endif
+
+#define BITPUSH_CAPABILITY(x) BITPUSH_THREAD_ANNOTATION(capability(x))
+#define BITPUSH_SCOPED_CAPABILITY BITPUSH_THREAD_ANNOTATION(scoped_lockable)
+#define BITPUSH_GUARDED_BY(x) BITPUSH_THREAD_ANNOTATION(guarded_by(x))
+#define BITPUSH_PT_GUARDED_BY(x) BITPUSH_THREAD_ANNOTATION(pt_guarded_by(x))
+#define BITPUSH_ACQUIRE(...) \
+  BITPUSH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BITPUSH_RELEASE(...) \
+  BITPUSH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BITPUSH_REQUIRES(...) \
+  BITPUSH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BITPUSH_EXCLUDES(...) \
+  BITPUSH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define BITPUSH_NO_THREAD_SAFETY_ANALYSIS \
+  BITPUSH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bitpush::util {
+
+// std::mutex with the capability attribute the analysis needs.
+class BITPUSH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BITPUSH_ACQUIRE() { mutex_.lock(); }
+  void Unlock() BITPUSH_RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+// RAII lock over util::Mutex — the annotated twin of std::lock_guard.
+class BITPUSH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) BITPUSH_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() BITPUSH_RELEASE() { mutex_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace bitpush::util
+
+#endif  // BITPUSH_UTIL_THREAD_ANNOTATIONS_H_

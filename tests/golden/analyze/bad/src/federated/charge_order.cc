@@ -1,0 +1,14 @@
+// Bad: the bit is perturbed (disclosed) before the privacy meter is
+// charged; the one-bit contract requires the charge to gate the flip.
+namespace bitpush {
+
+bool PerturbThenCharge(PrivacyMeter& meter, RandomizedResponse& rr,
+                       bool bit, Rng& rng) {
+  const bool noisy = rr.Apply(bit, rng);
+  if (!meter.TryChargeBit()) {
+    return false;
+  }
+  return noisy;
+}
+
+}  // namespace bitpush

@@ -1,0 +1,14 @@
+// Bad: raw codewords reach a wire encoder with no perturbation between
+// the encode (source) and the batch serialization (sink).
+#include <vector>
+
+namespace bitpush {
+
+void FlushRawBatch(const FixedPointCodec& codec,
+                   const std::vector<double>& values, WireWriter& out) {
+  ReportBatch batch;
+  batch.codewords = codec.EncodeAll(values);
+  EncodeReportBatch(out, batch);
+}
+
+}  // namespace bitpush

@@ -1,0 +1,9 @@
+#include "federated/producer.h"
+
+namespace bitpush {
+
+uint8_t BuildRaw(uint64_t word, int index) {
+  return FixedPointCodec::Bit(word, index);
+}
+
+}  // namespace bitpush

@@ -1,0 +1,13 @@
+#ifndef BAD_SRC_FEDERATED_PRODUCER_H_
+#define BAD_SRC_FEDERATED_PRODUCER_H_
+
+#include <cstdint>
+
+namespace bitpush {
+
+// Returns one raw (unperturbed) codeword bit.
+uint8_t BuildRaw(uint64_t word, int index);
+
+}  // namespace bitpush
+
+#endif  // BAD_SRC_FEDERATED_PRODUCER_H_

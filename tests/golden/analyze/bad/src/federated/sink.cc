@@ -1,0 +1,12 @@
+// Bad: the taint originates in another TU (producer.cc returns a raw
+// codeword bit) and reaches the wire here, two files away.
+#include "federated/producer.h"
+
+namespace bitpush {
+
+void FlushRaw(uint64_t word, int index, WireWriter& out) {
+  const uint8_t bit = BuildRaw(word, index);
+  EncodeBitReport(out, bit);
+}
+
+}  // namespace bitpush

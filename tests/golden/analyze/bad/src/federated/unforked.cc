@@ -1,0 +1,10 @@
+// Bad: an RNG constructed from a literal inside library code; every
+// stream must descend from the campaign seed / ShardSeed / Fork roots.
+namespace bitpush {
+
+double SampleNoise() {
+  Rng rng(1234);
+  return rng.NextDouble();
+}
+
+}  // namespace bitpush

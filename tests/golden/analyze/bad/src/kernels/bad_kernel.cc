@@ -1,0 +1,11 @@
+// Bad: kernels are contractually randomness-free; drawing here breaks
+// the SIMD-vs-scalar equivalence proof.
+#include <cstdint>
+
+namespace bitpush::kernels {
+
+uint64_t MixEntropy(Rng& rng, uint64_t word) {
+  return word ^ rng.NextUint64();
+}
+
+}  // namespace bitpush::kernels

@@ -1,0 +1,15 @@
+// Bad: the same RNG stream is drawn before and after the restart
+// boundary without reseeding, so a replayed run resumes a diverged
+// stream.
+#include <cstdint>
+
+namespace bitpush {
+
+void ReplayTick(Coordinator& coord, Rng& rng) {
+  const uint64_t before = rng.NextUint64();
+  coord.Restart();
+  const uint64_t after = rng.NextUint64();
+  Consume(before, after);
+}
+
+}  // namespace bitpush

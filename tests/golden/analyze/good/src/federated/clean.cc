@@ -1,0 +1,17 @@
+// Good: the raw bit is read, perturbed, and charged in the contractual
+// order — charge gates the flip, only the noisy bit reaches the wire.
+#include <cstdint>
+
+namespace bitpush {
+
+bool EmitPerturbed(PrivacyMeter& meter, RandomizedResponse& rr,
+                   uint64_t word, int index, Rng& rng, WireWriter& out) {
+  if (!meter.TryChargeBit()) {
+    return false;
+  }
+  const bool noisy = rr.Apply(FixedPointCodec::Bit(word, index), rng);
+  EncodeBitReport(out, noisy);
+  return true;
+}
+
+}  // namespace bitpush

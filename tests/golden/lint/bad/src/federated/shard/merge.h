@@ -1,0 +1,33 @@
+// Fixture: a shard wire header that breaks the exhaustiveness contract
+// six ways — an encoder with no decoder, a message no fuzz/golden test
+// exercises, a single-line enum whose enumerator is neither referenced
+// in src/ nor covered, and a wire-section version constant that gates
+// nothing and is never fuzzed. The nested Inner enum is a negative
+// control: it sits at struct depth and must NOT be harvested.
+#ifndef BITPUSH_FEDERATED_SHARD_MERGE_H_
+#define BITPUSH_FEDERATED_SHARD_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bitpush {
+
+enum class MiniKind : uint8_t { kTick = 1 };
+
+struct Mini {
+  enum class Inner : uint8_t { kNope = 1 };
+  int64_t tick = 0;
+};
+
+inline constexpr uint8_t kMiniSectionVersion = 1;
+
+struct MiniFrame {
+  MiniKind kind = MiniKind::kTick;
+  int64_t payload = 0;
+};
+
+void EncodeMiniFrame(const MiniFrame& frame, std::vector<uint8_t>* out);
+
+}  // namespace bitpush
+
+#endif  // BITPUSH_FEDERATED_SHARD_MERGE_H_

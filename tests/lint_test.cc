@@ -46,7 +46,7 @@ std::string ReadFile(const fs::path& path) {
 TEST(LintTest, BadTreeFiresEveryCheckFamily) {
   const Result result = RunLint(FixtureRoot("bad"), Options{});
   ASSERT_FALSE(result.io_error) << result.io_error_message;
-  EXPECT_EQ(result.files_scanned, 17);
+  EXPECT_EQ(result.files_scanned, 18);
 
   const std::map<Check, int> counts = CountByCheck(result);
   EXPECT_EQ(counts.at(Check::kDeterminism), 5)
@@ -54,9 +54,13 @@ TEST(LintTest, BadTreeFiresEveryCheckFamily) {
   EXPECT_EQ(counts.at(Check::kPrivacyMetering), 3) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kObsStability), 3) << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kHeaderHygiene), 4) << FormatReport(result);
-  EXPECT_EQ(counts.at(Check::kWireExhaustiveness), 5) << FormatReport(result);
+  // 5 from journal.h's kGhost, 6 from the shard merge.h fixture (encoder
+  // without decoder, uncovered message, unreferenced + uncovered kTick,
+  // version constant unreferenced + uncovered).
+  EXPECT_EQ(counts.at(Check::kWireExhaustiveness), 11)
+      << FormatReport(result);
   EXPECT_EQ(counts.at(Check::kWaiverSyntax), 3) << FormatReport(result);
-  EXPECT_EQ(result.findings.size(), 23u) << FormatReport(result);
+  EXPECT_EQ(result.findings.size(), 29u) << FormatReport(result);
 }
 
 TEST(LintTest, ShardLayerMeteringRulesFireAndComply) {
@@ -129,12 +133,46 @@ TEST(LintTest, BadTreeWireFindingsNameTheGhostRecord) {
   int ghost_findings = 0;
   for (const Finding& finding : result.findings) {
     if (finding.check != Check::kWireExhaustiveness) continue;
-    EXPECT_EQ(finding.path, "src/persist/journal.h");
+    if (finding.path != "src/persist/journal.h") continue;
     if (finding.message.find("Ghost") != std::string::npos) ++ghost_findings;
   }
   // kGhost breaks all five wire rules between the enumerator and the
   // orphaned EncodeGhostRecord declaration; kCovered breaks none.
   EXPECT_EQ(ghost_findings, 5) << FormatReport(result);
+}
+
+TEST(LintTest, BadTreeShardWireHeaderFiresAllSixNewRules) {
+  const Result result = RunLint(FixtureRoot("bad"), Options{});
+  ASSERT_FALSE(result.io_error) << result.io_error_message;
+  int merge_findings = 0;
+  for (const Finding& finding : result.findings) {
+    if (finding.path != "src/federated/shard/merge.h") continue;
+    EXPECT_EQ(finding.check, Check::kWireExhaustiveness);
+    ++merge_findings;
+    // The nested Mini::Inner enum is a negative control: harvesting it
+    // would be a depth-tracking regression.
+    EXPECT_EQ(finding.message.find("kNope"), std::string::npos)
+        << finding.message;
+    EXPECT_EQ(finding.message.find("Inner"), std::string::npos)
+        << finding.message;
+  }
+  EXPECT_EQ(merge_findings, 6) << FormatReport(result);
+
+  const std::string report = FormatReport(result);
+  EXPECT_NE(report.find("EncodeMiniFrame has no matching DecodeMiniFrame"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("wire-section version constant kMiniSectionVersion "
+                        "is never referenced"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("wire-section version constant kMiniSectionVersion "
+                        "is never exercised"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("enumerator MiniKind::kTick is never referenced"),
+            std::string::npos)
+      << report;
 }
 
 TEST(LintTest, ChecksFilterRestrictsFamiliesButNotWaiverSyntax) {

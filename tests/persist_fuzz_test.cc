@@ -163,7 +163,12 @@ class PersistFuzzTest : public ::testing::Test {
   void WriteBytes(const std::vector<uint8_t>& bytes) {
     std::FILE* file = std::fopen(path_.c_str(), "wb");
     ASSERT_NE(file, nullptr);
-    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+    if (!bytes.empty()) {
+      // fwrite's first argument is declared nonnull; an empty vector's
+      // data() may be null.
+      ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file),
+                bytes.size());
+    }
     std::fclose(file);
   }
 

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include "federated/resilience.h"
+#include "federated/shard/merge.h"
 #include "federated/wire.h"
 #include "prop/bitprop.h"
 #include "rng/rng.h"
@@ -465,6 +466,159 @@ TEST(WireFuzzPropTest, StructuredRequestMutationsKeepTheDecodeContract) {
         return std::nullopt;
       },
       options);
+}
+
+// ---------------------------------------------------------------------------
+// Shard -> merge hop (federated/shard/merge.h): the ShardTickFrame carries
+// tallies, cumulative stats, and the trailing trace-context section, each
+// of which must fail closed under the same mutation corpus.
+
+ShardTickFrame SampleShardFrame(Rng& rng) {
+  ShardTickFrame frame;
+  frame.shard = static_cast<int64_t>(rng.NextBelow(8));
+  frame.tick = static_cast<int64_t>(rng.NextBelow(64));
+  const size_t queries = rng.NextBelow(3);
+  for (size_t q = 0; q < queries; ++q) {
+    ShardQueryFrame query;
+    query.query_index = static_cast<int64_t>(q);
+    query.partition_clients = static_cast<int64_t>(rng.NextBelow(64));
+    query.result.tick = frame.tick;
+    query.result.query_name = "metric" + std::to_string(q);
+    query.result.status = static_cast<CampaignTickResult::Status>(
+        rng.NextBelow(3));
+    query.result.estimate = rng.NextDouble() * 8.0 - 4.0;
+    query.result.reports = static_cast<int64_t>(rng.NextBelow(64));
+    const size_t words = rng.NextBelow(4);
+    for (size_t w = 0; w < words; ++w) {
+      const int64_t total = static_cast<int64_t>(rng.NextBelow(32));
+      query.tallies.totals.push_back(total);
+      query.tallies.ones.push_back(
+          static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(total) + 1)));
+    }
+    frame.queries.push_back(std::move(query));
+  }
+  frame.retry.retries_scheduled = static_cast<int64_t>(rng.NextBelow(100));
+  frame.retry.hedges_issued = static_cast<int64_t>(rng.NextBelow(100));
+  frame.metrics.ticks_completed = static_cast<int64_t>(rng.NextBelow(64));
+  frame.metrics.queries_ran = static_cast<int64_t>(rng.NextBelow(64));
+  frame.metrics.recoveries = static_cast<int64_t>(rng.NextBelow(8));
+  if (rng.NextBit() == 1) {  // tracing on for about half the corpus
+    frame.trace_id = static_cast<int64_t>(1 + rng.NextBelow(1000));
+    frame.span_id = static_cast<int64_t>(1 + rng.NextBelow(1000));
+    frame.parent_span_id = static_cast<int64_t>(rng.NextBelow(1000));
+  }
+  return frame;
+}
+
+TEST(WireFuzzTest, ShardTickFrameDecodeNeverMisbehaves) {
+  // Frame decoders are whole-buffer, so a clean decode must re-encode to
+  // the exact mutated buffer — any accepted corruption is a finding.
+  for (uint64_t iteration = 0; iteration < 5000; ++iteration) {
+    Rng rng(0x5AAD0000 + iteration);
+    std::vector<uint8_t> buffer;
+    EncodeShardTickFrame(SampleShardFrame(rng), &buffer);
+    Mutate(rng, &buffer);
+    ShardTickFrame decoded;
+    if (!DecodeShardTickFrame(buffer, &decoded)) continue;
+    for (const ShardQueryFrame& query : decoded.queries) {
+      ASSERT_GE(query.query_index, 0) << iteration;
+      ASSERT_GE(query.partition_clients, 0) << iteration;
+      ASSERT_EQ(query.tallies.totals.size(), query.tallies.ones.size())
+          << iteration;
+      for (size_t w = 0; w < query.tallies.totals.size(); ++w) {
+        ASSERT_GE(query.tallies.ones[w], 0) << iteration;
+        ASSERT_LE(query.tallies.ones[w], query.tallies.totals[w])
+            << iteration;
+      }
+    }
+    ASSERT_GE(decoded.trace_id, 0) << iteration;
+    ASSERT_GE(decoded.span_id, 0) << iteration;
+    ASSERT_GE(decoded.parent_span_id, 0) << iteration;
+    std::vector<uint8_t> reencoded;
+    EncodeShardTickFrame(decoded, &reencoded);
+    ASSERT_EQ(reencoded, buffer) << "round-trip mismatch at " << iteration;
+  }
+}
+
+TEST(WireFuzzTest, ShardMetricsDecodeNeverMisbehaves) {
+  for (uint64_t iteration = 0; iteration < 5000; ++iteration) {
+    Rng rng(0x3E7A0000 + iteration);
+    ShardMetrics metrics;
+    metrics.ticks_completed = static_cast<int64_t>(rng.NextBelow(1000));
+    metrics.queries_ran = static_cast<int64_t>(rng.NextBelow(1000));
+    metrics.queries_skipped = static_cast<int64_t>(rng.NextBelow(1000));
+    metrics.reports_total = static_cast<int64_t>(rng.NextBelow(100000));
+    metrics.shard_attempts = static_cast<int64_t>(rng.NextBelow(1000));
+    metrics.shard_retries = static_cast<int64_t>(rng.NextBelow(1000));
+    metrics.shard_stalls = static_cast<int64_t>(rng.NextBelow(100));
+    metrics.recoveries = static_cast<int64_t>(rng.NextBelow(100));
+    metrics.replayed_records = static_cast<int64_t>(rng.NextBelow(10000));
+    metrics.torn_tails = static_cast<int64_t>(rng.NextBelow(100));
+    metrics.lost_ticks = static_cast<int64_t>(rng.NextBelow(100));
+    std::vector<uint8_t> buffer;
+    EncodeShardMetrics(metrics, &buffer);
+    Mutate(rng, &buffer);
+    size_t offset = 0;
+    ShardMetrics decoded;
+    if (!DecodeShardMetrics(buffer, &offset, &decoded)) continue;
+    // A corrupted metrics block must never smuggle a negative counter
+    // into the merged ops rollup, and the consumed prefix re-encodes
+    // byte for byte.
+    ASSERT_GE(decoded.ticks_completed, 0) << iteration;
+    ASSERT_GE(decoded.reports_total, 0) << iteration;
+    ASSERT_GE(decoded.lost_ticks, 0) << iteration;
+    std::vector<uint8_t> reencoded;
+    EncodeShardMetrics(decoded, &reencoded);
+    ASSERT_EQ(reencoded.size(), offset) << iteration;
+    ASSERT_TRUE(std::equal(reencoded.begin(), reencoded.end(),
+                           buffer.begin()))
+        << "round-trip mismatch at iteration " << iteration;
+  }
+}
+
+TEST(WireFuzzTest, ShardFrameVersionBytesFailClosed) {
+  // Both version bytes in the shard frame — the leading
+  // kWireFormatVersion and the trace-context sub-version
+  // kTraceContextVersion — must reject every unknown value, not just the
+  // adjacent one. The trace sub-version byte sits 25 bytes from the end
+  // (1 version byte + 3 int64 ids).
+  Rng rng(0xFEED5EED);
+  ShardTickFrame frame = SampleShardFrame(rng);
+  std::vector<uint8_t> wire;
+  EncodeShardTickFrame(frame, &wire);
+  ShardTickFrame out;
+  ASSERT_TRUE(DecodeShardTickFrame(wire, &out));
+  ASSERT_GE(wire.size(), 25u);
+  const size_t trace_version_at = wire.size() - 25;
+  for (int bump = 1; bump < 256; ++bump) {
+    std::vector<uint8_t> bad_outer = wire;
+    bad_outer[0] = static_cast<uint8_t>(kWireFormatVersion + bump);
+    EXPECT_FALSE(DecodeShardTickFrame(bad_outer, &out))
+        << "outer version " << int{bad_outer[0]} << " decoded";
+    std::vector<uint8_t> bad_trace = wire;
+    bad_trace.at(trace_version_at) =
+        static_cast<uint8_t>(kTraceContextVersion + bump);
+    if (bad_trace.at(trace_version_at) == kTraceContextVersion) continue;
+    EXPECT_FALSE(DecodeShardTickFrame(bad_trace, &out))
+        << "trace sub-version " << int{bad_trace.at(trace_version_at)}
+        << " decoded";
+  }
+}
+
+TEST(WireFuzzTest, ReportBatchVersionByteFailsClosed) {
+  // The batch decoders share kWireFormatVersion; every other value must
+  // be rejected outright (fail-closed version negotiation).
+  Rng rng(0x1CEB00DA);
+  std::vector<uint8_t> wire;
+  EncodeReportBatch(SampleReports(rng), &wire);
+  ASSERT_EQ(wire[0], kWireFormatVersion);
+  std::vector<BitReport> out;
+  for (int bump = 1; bump < 256; ++bump) {
+    std::vector<uint8_t> bad = wire;
+    bad[0] = static_cast<uint8_t>(kWireFormatVersion + bump);
+    EXPECT_FALSE(DecodeReportBatch(bad, &out))
+        << "version " << int{bad[0]} << " decoded";
+  }
 }
 
 TEST(WireFuzzTest, EncodeRejectsNonFiniteEpsilonAtTheSource) {

@@ -1,0 +1,110 @@
+// Cross-TU dataflow analysis for the bitpush tree.
+//
+// `bitpush_lint` (tools/bitpush_lint) enforces line-level invariants; this
+// tool checks the two *whole-program* contracts the paper's correctness
+// story rests on, over a call graph built from the shared declaration
+// index (tools/analysis_core):
+//
+//   privacy-taint       every disclosed client bit must flow through
+//                       randomized-response perturbation before reaching a
+//                       wire / journal / obs sink (paper §1.1: the one
+//                       disclosed bit per client is the perturbed bit,
+//                       never the raw one). Sources are client-value
+//                       encodes and raw bit reads (SelectValue,
+//                       FixedPointCodec::Bit, codec Encode/EncodeAll,
+//                       BuildReportBatch); sanitizers are the metered
+//                       perturbation points (RandomizedResponse::Apply /
+//                       ApplyToWords, PerturbBatch, DrawFlip, secure-agg
+//                       masking); sinks are wire encoders, journal record
+//                       codecs/appends, and obs event emission/export. A
+//                       source→sink path not dominated by a sanitizer is a
+//                       finding, with the offending call chain printed.
+//                       The pass also enforces charge-before-disclosure: a
+//                       function that both charges the privacy meter
+//                       (TryChargeBit) and perturbs/constructs a report
+//                       must charge first.
+//   determinism-flow    every RNG must descend from the seeded fork roots
+//                       so replay and shard determinism hold
+//                       (docs/PERSISTENCE.md, docs/SHARDING.md): flags Rng
+//                       constructions whose seed expression references no
+//                       seed/fork lineage, random draws inside kernel code
+//                       (src/kernels/ is contractually randomness-free
+//                       except the sanctioned scalar source shared.cc),
+//                       and reuse of an RNG stream across a replay
+//                       boundary (Restart/recovery) without reseeding.
+//
+// Findings are reported for src/ only: tests/, bench/, and tools/ are
+// harness roots that legitimately seed from literals and print output, but
+// they still contribute definitions to the call graph so cross-TU paths
+// resolve.
+//
+// Waivers mirror the linter: `bitpush-analyze: allow(<check>): <reason>`
+// inside a // comment. privacy-taint is a whole-TU property, so its
+// waivers are file-scoped; determinism-flow waivers cover lines L and L+1.
+// The reason is mandatory, waivers are counted and printed as a budget,
+// and malformed annotations are findings (check name "waiver-syntax").
+
+#ifndef BITPUSH_TOOLS_BITPUSH_ANALYZE_ANALYZE_H_
+#define BITPUSH_TOOLS_BITPUSH_ANALYZE_ANALYZE_H_
+
+#include <string>
+#include <vector>
+
+namespace bitpush::analyze {
+
+enum class Check {
+  kPrivacyTaint,
+  kDeterminismFlow,
+  // Malformed or unknown `bitpush-analyze:` annotations. Always enabled.
+  kWaiverSyntax,
+};
+
+// Canonical check name as used in waiver comments and --checks.
+std::string CheckName(Check check);
+// Returns true and sets *out when `name` is a known check name.
+bool ParseCheckName(const std::string& name, Check* out);
+
+struct Finding {
+  std::string path;  // Relative to the analysis root.
+  int line = 0;      // 1-based.
+  Check check = Check::kPrivacyTaint;
+  // For privacy-taint path findings the message embeds the call chain:
+  // "... path: <file:line (what)> -> ... -> <file:line (sink)>".
+  std::string message;
+};
+
+struct Waiver {
+  std::string path;
+  int line = 0;
+  Check check = Check::kPrivacyTaint;
+  std::string reason;
+};
+
+struct Options {
+  // Empty means every check. "waiver-syntax" is always enabled.
+  std::vector<Check> checks;
+};
+
+struct Result {
+  std::vector<Finding> findings;  // Unsuppressed violations, sorted.
+  std::vector<Waiver> waivers;    // The waiver budget actually in use.
+  int files_scanned = 0;
+  int functions_indexed = 0;
+  bool io_error = false;
+  std::string io_error_message;
+};
+
+// Analyzes every *.h / *.cc under <root>/{src,tests,bench,tools} (same
+// walk as bitpush_lint: directories named "golden" are skipped).
+Result RunAnalyze(const std::string& root, const Options& options);
+
+// One "path:line: [check] message" line per finding, sorted, followed by a
+// one-line summary with the waiver budget and index size.
+std::string FormatReport(const Result& result);
+
+// One line per waiver: "path:line: allow(check): reason".
+std::string FormatWaiverReport(const Result& result);
+
+}  // namespace bitpush::analyze
+
+#endif  // BITPUSH_TOOLS_BITPUSH_ANALYZE_ANALYZE_H_

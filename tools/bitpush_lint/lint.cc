@@ -14,10 +14,19 @@
 #include <utility>
 #include <vector>
 
+#include "analysis_core/source_model.h"
+
 namespace bitpush::lint {
 namespace {
 
 namespace fs = std::filesystem;
+
+// The tokenizer/source model is shared with bitpush_analyze
+// (tools/analysis_core/); the lint checks operate on its code/comment
+// channels unchanged.
+using analysis::SourceFile;
+using analysis::StartsWith;
+using analysis::Trim;
 
 // ---------------------------------------------------------------------------
 // Check names.
@@ -35,169 +44,6 @@ constexpr CheckNameEntry kCheckNames[] = {
     {Check::kHeaderHygiene, "header-hygiene"},
     {Check::kWaiverSyntax, "waiver-syntax"},
 };
-
-// ---------------------------------------------------------------------------
-// Source model: a file split into per-line code text (string/char-literal
-// contents and comments blanked out) and per-line comment text. The split
-// lets token checks run on code without tripping over patterns quoted in
-// string literals or prose, while waiver parsing sees only comments.
-
-struct SourceFile {
-  std::string rel_path;   // Relative to the lint root, '/'-separated.
-  std::string abs_path;
-  std::vector<std::string> raw_lines;
-  std::vector<std::string> code_lines;
-  std::vector<std::string> comment_lines;
-  bool is_header = false;
-};
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (const char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
-}
-
-// Single-pass lexer over the whole file. Tracks block comments, string /
-// char literals, and raw string literals across line boundaries.
-void LexFile(const std::vector<std::string>& raw,
-             std::vector<std::string>* code_lines,
-             std::vector<std::string>* comment_lines) {
-  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // For raw strings: the )delim" terminator.
-
-  for (const std::string& line : raw) {
-    std::string code(line.size(), ' ');
-    std::string comment(line.size(), ' ');
-    size_t i = 0;
-    while (i < line.size()) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            // Rest of the line is a comment.
-            for (size_t j = i + 2; j < line.size(); ++j) {
-              comment[j] = line[j];
-            }
-            i = line.size();
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            i += 2;
-          } else if (c == 'R' && next == '"' &&
-                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                     line[i - 1])) &&
-                                 line[i - 1] != '_'))) {
-            // Raw string literal: R"delim( ... )delim".
-            size_t paren = line.find('(', i + 2);
-            if (paren == std::string::npos) {
-              // Malformed; treat rest of line as code.
-              code[i] = c;
-              ++i;
-              break;
-            }
-            raw_delim = ")";
-            raw_delim += line.substr(i + 2, paren - (i + 2));
-            raw_delim += '"';
-            code[i] = 'R';
-            code[i + 1] = '"';
-            state = State::kRawString;
-            i = paren + 1;
-          } else if (c == '"') {
-            code[i] = c;
-            state = State::kString;
-            ++i;
-          } else if (c == '\'') {
-            // A quote directly after an identifier/digit character is a
-            // C++14 digit separator (1'000'000), not a char literal.
-            const bool separator =
-                i > 0 && (std::isalnum(static_cast<unsigned char>(
-                              line[i - 1])) ||
-                          line[i - 1] == '_');
-            code[i] = c;
-            if (!separator) state = State::kChar;
-            ++i;
-          } else {
-            code[i] = c;
-            ++i;
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            i += 2;
-          } else {
-            comment[i] = c;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            i += 2;
-          } else if (c == '"') {
-            code[i] = c;
-            state = State::kCode;
-            ++i;
-          } else {
-            ++i;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            i += 2;
-          } else if (c == '\'') {
-            code[i] = c;
-            state = State::kCode;
-            ++i;
-          } else {
-            ++i;
-          }
-          break;
-        case State::kRawString: {
-          const size_t end = line.find(raw_delim, i);
-          if (end == std::string::npos) {
-            i = line.size();
-          } else {
-            state = State::kCode;
-            i = end + raw_delim.size();
-            if (i > 0) code[i - 1] = '"';
-          }
-          break;
-        }
-      }
-    }
-    // A string or char literal cannot span a physical line (raw strings
-    // can); recover rather than poison the rest of the file.
-    if (state == State::kString || state == State::kChar) state = State::kCode;
-    code_lines->push_back(code);
-    comment_lines->push_back(comment);
-  }
-}
-
-std::string Trim(const std::string& s) {
-  size_t begin = 0;
-  size_t end = s.size();
-  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
-    ++begin;
-  }
-  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
-    --end;
-  }
-  return s.substr(begin, end - begin);
-}
-
-bool StartsWith(const std::string& s, std::string_view prefix) {
-  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
-}
 
 // ---------------------------------------------------------------------------
 // Wall-clock / ambient-entropy allowlist. Paths are root-relative. Only the
@@ -222,40 +68,34 @@ struct ParsedWaivers {
 
 ParsedWaivers ParseWaivers(const SourceFile& file) {
   ParsedWaivers out;
-  static const std::regex kWaiverRe(
-      R"(bitpush-lint:\s*allow\(([A-Za-z0-9_-]+)\)\s*:\s*(.*))");
-  // Backtick-quoted mentions (`bitpush-lint: ...`) are prose about the
-  // syntax, not annotations; docs and this tool's own comments use them.
-  static const std::regex kMarkerRe(R"((^|[^`])bitpush-lint)");
-  for (size_t i = 0; i < file.comment_lines.size(); ++i) {
-    const std::string& comment = file.comment_lines[i];
-    if (!std::regex_search(comment, kMarkerRe)) continue;
-    std::smatch match;
-    if (!std::regex_search(comment, match, kWaiverRe)) {
+  // The `<marker>: allow(<check>): <reason>` shape is parsed by the shared
+  // annotation parser; only the check-name vocabulary is lint's own.
+  const analysis::ParsedAnnotations parsed =
+      analysis::ParseAnnotations(file, "bitpush-lint");
+  for (const analysis::MalformedAnnotation& bad : parsed.malformed) {
+    if (bad.missing_reason) {
       out.syntax_findings.push_back(
-          {file.rel_path, static_cast<int>(i + 1), Check::kWaiverSyntax,
+          {file.rel_path, bad.line, Check::kWaiverSyntax,
+           "waiver for `" + bad.check_name +
+               "` is missing its reason string"});
+    } else {
+      out.syntax_findings.push_back(
+          {file.rel_path, bad.line, Check::kWaiverSyntax,
            "malformed bitpush-lint annotation; expected "
            "`// bitpush-lint: allow(<check>): <reason>`"});
-      continue;
     }
+  }
+  for (const analysis::Annotation& annotation : parsed.annotations) {
     Check check;
-    if (!ParseCheckName(match[1].str(), &check) ||
+    if (!ParseCheckName(annotation.check_name, &check) ||
         check == Check::kWaiverSyntax) {
       out.syntax_findings.push_back(
-          {file.rel_path, static_cast<int>(i + 1), Check::kWaiverSyntax,
-           "unknown lint check `" + match[1].str() + "` in waiver"});
-      continue;
-    }
-    const std::string reason = Trim(match[2].str());
-    if (reason.empty()) {
-      out.syntax_findings.push_back(
-          {file.rel_path, static_cast<int>(i + 1), Check::kWaiverSyntax,
-           "waiver for `" + match[1].str() +
-               "` is missing its reason string"});
+          {file.rel_path, annotation.line, Check::kWaiverSyntax,
+           "unknown lint check `" + annotation.check_name + "` in waiver"});
       continue;
     }
     out.waivers.push_back(
-        {file.rel_path, static_cast<int>(i + 1), check, reason});
+        {file.rel_path, annotation.line, check, annotation.reason});
   }
   return out;
 }
@@ -620,10 +460,12 @@ struct WireInventory {
   std::vector<WireDecl> enumerators;   // qualified Type::kX
   std::vector<WireDecl> encode_decls;  // message stems with Encode in header
   std::vector<WireDecl> decode_decls;  // message stems with Decode in header
+  std::vector<WireDecl> version_consts;  // k*Version wire-section constants
 };
 
 const char* const kWireHeaders[] = {"src/federated/wire.h",
-                                    "src/persist/journal.h"};
+                                    "src/persist/journal.h",
+                                    "src/federated/shard/merge.h"};
 
 bool IsWireHeader(const std::string& rel_path) {
   for (const char* header : kWireHeaders) {
@@ -636,26 +478,52 @@ WireInventory HarvestWireDecls(const std::vector<SourceFile>& files) {
   WireInventory inventory;
   static const std::regex kEnumRe(
       R"(^\s*enum\s+class\s+([A-Za-z0-9_]+))");
-  static const std::regex kEnumeratorRe(R"(^\s*(k[A-Za-z0-9_]+)\s*[=,}])");
+  // Enumerators at line start (multi-line enums) or after the opening
+  // brace / a comma (single-line enums such as merge.h's nested Status).
+  static const std::regex kEnumeratorRe(R"((^|[{,])\s*(k[A-Za-z0-9_]+)\b)");
   static const std::regex kFnRe(
       R"(\b(Encode|Decode)([A-Za-z0-9_]+)\s*\()");
+  // Wire-section version constants (kWireFormatVersion,
+  // kTraceContextVersion, ...): sub-version bytes decoders fail closed on.
+  static const std::regex kVersionConstRe(
+      R"(^\s*(inline\s+)?constexpr\s+[A-Za-z0-9_:<>\s]+\b(k[A-Za-z0-9_]*Version)\s*=)");
   for (const SourceFile& file : files) {
     if (!IsWireHeader(file.rel_path)) continue;
     std::string enum_name;
     bool in_enum = false;
+    // Brace depth at the start of each line: only enums declared at
+    // namespace scope (depth <= 1) are wire enums. Nested helper enums —
+    // e.g. MergedQueryResult::Status in merge.h, which never crosses the
+    // wire as an enumerator section — are not harvested.
+    int depth = 0;
     for (size_t i = 0; i < file.code_lines.size(); ++i) {
       const std::string& code = file.code_lines[i];
+      const int line_start_depth = depth;
+      for (const char c : code) {
+        if (c == '{') ++depth;
+        if (c == '}' && depth > 0) --depth;
+      }
       std::smatch match;
-      if (std::regex_search(code, match, kEnumRe)) {
+      if (!in_enum && line_start_depth <= 1 &&
+          std::regex_search(code, match, kEnumRe)) {
         enum_name = match[1].str();
         in_enum = true;
       }
-      if (in_enum && std::regex_search(code, match, kEnumeratorRe)) {
-        inventory.enumerators.push_back({file.rel_path,
-                                         static_cast<int>(i + 1),
-                                         enum_name + "::" + match[1].str()});
+      if (in_enum) {
+        auto it = std::sregex_iterator(code.begin(), code.end(),
+                                       kEnumeratorRe);
+        for (; it != std::sregex_iterator(); ++it) {
+          inventory.enumerators.push_back(
+              {file.rel_path, static_cast<int>(i + 1),
+               enum_name + "::" + (*it)[2].str()});
+        }
       }
       if (in_enum && code.find("};") != std::string::npos) in_enum = false;
+      if (line_start_depth <= 1 &&
+          std::regex_search(code, match, kVersionConstRe)) {
+        inventory.version_consts.push_back(
+            {file.rel_path, static_cast<int>(i + 1), match[2].str()});
+      }
       std::string rest = code;
       while (std::regex_search(rest, match, kFnRe)) {
         WireDecl decl{file.rel_path, static_cast<int>(i + 1),
@@ -684,7 +552,10 @@ bool IsFuzzOrGoldenTest(const SourceFile& file) {
 void CheckWireExhaustiveness(const std::vector<SourceFile>& files,
                              std::vector<Finding>* findings) {
   const WireInventory inventory = HarvestWireDecls(files);
-  if (inventory.enumerators.empty() && inventory.encode_decls.empty()) return;
+  if (inventory.enumerators.empty() && inventory.encode_decls.empty() &&
+      inventory.version_consts.empty()) {
+    return;
+  }
 
   std::string library_code;   // src/**/*.cc
   std::string coverage_code;  // fuzz/golden tests
@@ -772,6 +643,26 @@ void CheckWireExhaustiveness(const std::vector<SourceFile>& files,
                " is never exercised by a fuzz or golden test under tests/"});
     }
   }
+
+  // Wire-section version constants: decoders fail closed on an unknown
+  // version byte, so the constant must actually gate a codec path in the
+  // library AND a fuzz/golden test must prove the fail-closed behavior by
+  // naming it (typically via a version-byte mutation case).
+  for (const WireDecl& decl : inventory.version_consts) {
+    if (!contains_token(library_code, decl.name)) {
+      findings->push_back(
+          {decl.header, decl.line, Check::kWireExhaustiveness,
+           "wire-section version constant " + decl.name +
+               " is never referenced by an encode/decode path in src/"});
+    }
+    if (!contains_token(coverage_code, decl.name)) {
+      findings->push_back(
+          {decl.header, decl.line, Check::kWireExhaustiveness,
+           "wire-section version constant " + decl.name +
+               " is never exercised by a fuzz or golden test under tests/ "
+               "(mutate the version byte and require fail-closed decoding)"});
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -822,29 +713,6 @@ bool FixFile(SourceFile* file) {
 // ---------------------------------------------------------------------------
 // Driver.
 
-bool LoadFile(const fs::path& abs, const std::string& rel,
-              SourceFile* out, std::string* error) {
-  std::ifstream in(abs, std::ios::binary);
-  if (!in) {
-    *error = "cannot read " + abs.string();
-    return false;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  out->rel_path = rel;
-  out->abs_path = abs.string();
-  out->raw_lines = SplitLines(buffer.str());
-  out->is_header = rel.size() >= 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
-  LexFile(out->raw_lines, &out->code_lines, &out->comment_lines);
-  return true;
-}
-
-void Relex(SourceFile* file) {
-  file->code_lines.clear();
-  file->comment_lines.clear();
-  LexFile(file->raw_lines, &file->code_lines, &file->comment_lines);
-}
-
 bool CheckEnabled(const Options& options, Check check) {
   if (check == Check::kWaiverSyntax) return true;
   if (options.checks.empty()) return true;
@@ -873,49 +741,13 @@ bool ParseCheckName(const std::string& name, Check* out) {
 
 Result RunLint(const std::string& root, const Options& options) {
   Result result;
-  const char* const kTopDirs[] = {"src", "tests", "bench", "tools"};
-  std::vector<SourceFile> files;
-  bool any_dir = false;
-  for (const char* top : kTopDirs) {
-    const fs::path dir = fs::path(root) / top;
-    std::error_code ec;
-    if (!fs::is_directory(dir, ec)) continue;
-    any_dir = true;
-    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
-         it.increment(ec)) {
-      if (ec) break;
-      if (it->is_directory() &&
-          it->path().filename().string() == "golden") {
-        // Fixture snippets (tests/golden/lint/ holds deliberately broken
-        // inputs) must not count against the real tree.
-        it.disable_recursion_pending();
-        continue;
-      }
-      if (!it->is_regular_file()) continue;
-      const std::string ext = it->path().extension().string();
-      if (ext != ".cc" && ext != ".h") continue;
-      const std::string rel =
-          fs::relative(it->path(), fs::path(root)).generic_string();
-      SourceFile file;
-      std::string error;
-      if (!LoadFile(it->path(), rel, &file, &error)) {
-        result.io_error = true;
-        result.io_error_message = error;
-        return result;
-      }
-      files.push_back(std::move(file));
-    }
-  }
-  if (!any_dir) {
+  analysis::TreeLoadResult tree = analysis::LoadTree(root);
+  if (tree.io_error) {
     result.io_error = true;
-    result.io_error_message =
-        "no src/, tests/, bench/, or tools/ directory under " + root;
+    result.io_error_message = std::move(tree.io_error_message);
     return result;
   }
-  std::sort(files.begin(), files.end(),
-            [](const SourceFile& a, const SourceFile& b) {
-              return a.rel_path < b.rel_path;
-            });
+  std::vector<SourceFile> files = std::move(tree.files);
   result.files_scanned = static_cast<int>(files.size());
 
   if (options.fix) {
@@ -929,7 +761,7 @@ Result RunLint(const std::string& root, const Options& options) {
       }
       for (const std::string& line : file.raw_lines) out << line << '\n';
       out.close();
-      Relex(&file);
+      analysis::Relex(&file);
       result.fixed_paths.push_back(file.rel_path);
     }
   }

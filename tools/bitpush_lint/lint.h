@@ -21,9 +21,13 @@
 //                       reports must reference the PrivacyMeter charge
 //                       path (TryChargeBit) or carry a waiver.
 //   wire-exhaustiveness every frame-kind enumerator and Encode/Decode
-//                       message pair declared in federated/wire.h and
-//                       persist/journal.h must be referenced by the
-//                       library and exercised by a fuzz or golden test.
+//                       message pair declared in federated/wire.h,
+//                       persist/journal.h, and federated/shard/merge.h
+//                       must be referenced by the library and exercised
+//                       by a fuzz or golden test; wire-section version
+//                       constants (k*Version) must gate a codec path in
+//                       src/ and be named by a fuzz/golden case that
+//                       proves fail-closed decoding.
 //   obs-stability       files allowed to touch wall clocks may not
 //                       register Determinism::kStable instruments.
 //   header-hygiene      canonical include guards, no `using namespace`
